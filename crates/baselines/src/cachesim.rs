@@ -1,0 +1,287 @@
+//! Trace-driven set-associative cache hierarchy.
+//!
+//! The paper's argument for why CPUs lose at k-mer matching (§II) is a
+//! cache argument: lookups are random pointer chases over multi-gigabyte
+//! structures, so every probe walks down to DRAM, and the small per-lookup
+//! compute cannot hide the latency. This module lets the CPU baseline
+//! *measure* that on the real database structures rather than assume it.
+
+/// One cache level's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity, bytes.
+    pub size_bytes: u64,
+    /// Line size, bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency, nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl CacheConfig {
+    fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * u64::from(self.ways))) as usize
+    }
+}
+
+/// A set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    /// Per set: tags in MRU-first order.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// An empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0, "cache too small for its associativity");
+        Self {
+            config,
+            sets: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses a byte address; returns `true` on hit. Fills on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            set.insert(0, tag);
+            set.truncate(self.config.ways as usize);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The level's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+/// Per-access outcome of a hierarchy walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Hit in L1.
+    L1,
+    /// Hit in L2.
+    L2,
+    /// Hit in L3.
+    L3,
+    /// Served from DRAM.
+    Dram,
+}
+
+/// A three-level hierarchy plus DRAM.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l3: SetAssocCache,
+    /// DRAM access latency, ns.
+    pub dram_latency_ns: u64,
+    counts: [u64; 4],
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from three level configs and a DRAM latency.
+    #[must_use]
+    pub fn new(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig, dram_latency_ns: u64) -> Self {
+        Self {
+            l1: SetAssocCache::new(l1),
+            l2: SetAssocCache::new(l2),
+            l3: SetAssocCache::new(l3),
+            dram_latency_ns,
+            counts: [0; 4],
+        }
+    }
+
+    /// The Table-I workstation: 32 KB L1 (8-way, 4 cyc ≈ 1.4 ns at
+    /// 2.8 GHz), 256 KB L2 (8-way, ≈ 4.3 ns), 35 MB shared L3 (20-way,
+    /// ≈ 15 ns), DDR4-2400 ≈ 90 ns loaded latency.
+    #[must_use]
+    pub fn xeon_e5_2658v4() -> Self {
+        let line = 64;
+        Self::new(
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: line,
+                ways: 8,
+                latency_ns: 2,
+            },
+            CacheConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: line,
+                ways: 8,
+                latency_ns: 5,
+            },
+            CacheConfig {
+                size_bytes: 35 * 1024 * 1024,
+                line_bytes: line,
+                ways: 20,
+                latency_ns: 15,
+            },
+            90,
+        )
+    }
+
+    /// Accesses an address through the hierarchy; returns where it was
+    /// served and the latency in ns.
+    pub fn access(&mut self, addr: u64) -> (ServedBy, u64) {
+        if self.l1.access(addr) {
+            self.counts[0] += 1;
+            return (ServedBy::L1, self.l1.config().latency_ns);
+        }
+        if self.l2.access(addr) {
+            self.counts[1] += 1;
+            return (ServedBy::L2, self.l2.config().latency_ns);
+        }
+        if self.l3.access(addr) {
+            self.counts[2] += 1;
+            return (ServedBy::L3, self.l3.config().latency_ns);
+        }
+        self.counts[3] += 1;
+        (ServedBy::Dram, self.dram_latency_ns)
+    }
+
+    /// `[l1, l2, l3, dram]` service counts.
+    #[must_use]
+    pub fn service_counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Fraction of accesses served by DRAM.
+    #[must_use]
+    pub fn dram_fraction(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[3] as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            latency_ns: 1,
+        }
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = SetAssocCache::new(tiny());
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way: lines mapping to the same set evict LRU.
+        let mut c = SetAssocCache::new(tiny());
+        let sets = tiny().sets() as u64; // 8 sets
+        let stride = 64 * sets;
+        c.access(0); // way 1
+        c.access(stride); // way 2
+        c.access(2 * stride); // evicts line 0
+        assert!(!c.access(0), "LRU line must have been evicted");
+        assert!(c.access(2 * stride));
+    }
+
+    #[test]
+    fn lru_touch_refreshes() {
+        let mut c = SetAssocCache::new(tiny());
+        let stride = 64 * tiny().sets() as u64;
+        c.access(0);
+        c.access(stride);
+        c.access(0); // refresh line 0
+        c.access(2 * stride); // should evict `stride`, not 0
+        assert!(c.access(0));
+        assert!(!c.access(stride));
+    }
+
+    #[test]
+    fn hierarchy_latencies_order() {
+        let mut h = Hierarchy::xeon_e5_2658v4();
+        let (level, lat_miss) = h.access(0x1000);
+        assert_eq!(level, ServedBy::Dram);
+        let (level, lat_hit) = h.access(0x1000);
+        assert_eq!(level, ServedBy::L1);
+        assert!(lat_hit < lat_miss);
+        assert_eq!(h.service_counts()[3], 1);
+        assert_eq!(h.service_counts()[0], 1);
+    }
+
+    #[test]
+    fn random_big_working_set_misses_to_dram() {
+        let mut h = Hierarchy::xeon_e5_2658v4();
+        // 4 GB working set: stride past L3.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.access(x % (4 << 30));
+        }
+        assert!(
+            h.dram_fraction() > 0.95,
+            "random 4 GB trace must miss: {}",
+            h.dram_fraction()
+        );
+    }
+
+    #[test]
+    fn small_working_set_stays_in_cache() {
+        let mut h = Hierarchy::xeon_e5_2658v4();
+        for round in 0..10 {
+            for i in 0..256u64 {
+                h.access(i * 64);
+            }
+            let _ = round;
+        }
+        // After warm-up, hits dominate.
+        let counts = h.service_counts();
+        assert!(counts[0] > counts[3] * 5);
+    }
+}

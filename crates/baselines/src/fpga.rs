@@ -1,0 +1,127 @@
+//! The FPGA baseline. The paper's abstract lists FPGA among the compared
+//! platforms (§I cites FM-index string matching in hardware — Fernandez et
+//! al., FCCM 2011); its evaluation figures focus on CPU/GPU, so this model
+//! fills in the third comparator with the same style of first-order
+//! accounting.
+//!
+//! FPGA k-mer matchers stream queries through deeply pipelined lookup
+//! engines; with the reference in board DRAM, throughput is bound by the
+//! board's random-access rate across its memory channels, and the pipeline
+//! itself adds a fixed per-lookup engine cost. Boards of the paper's era
+//! (Stratix/Virtex class) carry 2–4 DDR3/DDR4 channels and draw ~25 W.
+
+use sieve_genomics::db::{HybridDb, KmerDatabase};
+use sieve_genomics::Kmer;
+
+use crate::report::BaselineReport;
+
+/// FPGA board parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaConfig {
+    /// Independent DRAM channels on the board.
+    pub memory_channels: u32,
+    /// Random-access transactions per second per channel (row-buffer-miss
+    /// dominated: ~1 / 50 ns ≈ 20 M/s).
+    pub random_access_per_s: f64,
+    /// Dependent memory probes per lookup (FM-index backward search steps
+    /// or hash probes; FM-index needs ~2 per base without heavy caching —
+    /// engines cache the first levels, we charge a handful).
+    pub probes_per_lookup: f64,
+    /// Board power attributed to the kernel, watts.
+    pub power_w: f64,
+}
+
+impl FpgaConfig {
+    /// A Virtex/Stratix-class board with 4 memory channels.
+    #[must_use]
+    pub fn virtex_class() -> Self {
+        Self {
+            memory_channels: 4,
+            random_access_per_s: 20e6,
+            probes_per_lookup: 6.0,
+            power_w: 25.0,
+        }
+    }
+}
+
+/// Runs the k-mer matching kernel on the FPGA model.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty or the database is empty.
+#[must_use]
+pub fn run_kmer_matching(db: &HybridDb, queries: &[Kmer], config: FpgaConfig) -> BaselineReport {
+    assert!(!queries.is_empty(), "need at least one query");
+    assert!(db.len() > 0, "need a non-empty database");
+    // Probes scale gently with database depth (deeper structures at paper
+    // scale), floored by the configured pipeline depth.
+    let avg_bucket = db.len() as f64 / db.bucket_count() as f64;
+    let probes = config.probes_per_lookup.max(1.0 + avg_bucket.log2().max(0.0));
+    let lookups_per_s =
+        f64::from(config.memory_channels) * config.random_access_per_s / probes;
+    let time_s = queries.len() as f64 / lookups_per_s;
+    BaselineReport {
+        label: "FPGA".to_string(),
+        queries: queries.len() as u64,
+        time_ps: (time_s * 1e12) as u128,
+        energy_fj: (config.power_w * time_s * 1e15) as u128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{self, CpuConfig};
+    use crate::gpu::{self, GpuConfig};
+    use sieve_genomics::synth;
+
+    fn setup() -> (HybridDb, Vec<Kmer>) {
+        let ds = synth::make_dataset_with(8, 4096, 31, 3);
+        let db = HybridDb::from_entries(&ds.entries, 31);
+        let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 100, 4);
+        let queries = reads
+            .iter()
+            .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+            .collect();
+        (db, queries)
+    }
+
+    #[test]
+    fn fpga_sits_between_cpu_and_gpu() {
+        let (db, queries) = setup();
+        let fpga = run_kmer_matching(&db, &queries, FpgaConfig::virtex_class());
+        let cpu = cpu::run_kmer_matching(&db, &queries, CpuConfig::xeon_e5_2658v4());
+        let gpu = gpu::run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        assert!(fpga.speedup_over(&cpu.report) > 1.0, "FPGA beats the CPU");
+        assert!(gpu.speedup_over(&fpga) > 1.0, "the GPU's bandwidth wins on raw rate");
+    }
+
+    #[test]
+    fn fpga_is_greener_than_the_cpu() {
+        let (db, queries) = setup();
+        let fpga = run_kmer_matching(&db, &queries, FpgaConfig::virtex_class());
+        let cpu = cpu::run_kmer_matching(&db, &queries, CpuConfig::xeon_e5_2658v4());
+        let gpu = gpu::run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        assert!(fpga.energy_saving_over(&cpu.report) > 1.0);
+        // Against the GPU it is in the same per-query energy class (the
+        // GPU's throughput amortizes its 125 W).
+        let vs_gpu = fpga.energy_saving_over(&gpu);
+        assert!(vs_gpu > 0.3 && vs_gpu < 3.0, "got {vs_gpu}");
+    }
+
+    #[test]
+    fn throughput_scales_with_channels() {
+        let (db, queries) = setup();
+        let two = run_kmer_matching(
+            &db,
+            &queries,
+            FpgaConfig {
+                memory_channels: 2,
+                ..FpgaConfig::virtex_class()
+            },
+        );
+        let four = run_kmer_matching(&db, &queries, FpgaConfig::virtex_class());
+        let ratio = four.throughput_qps() / two.throughput_qps();
+        assert!((ratio - 2.0).abs() < 1e-3, "got {ratio}");
+    }
+}

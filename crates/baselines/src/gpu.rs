@@ -1,0 +1,129 @@
+//! The GPU baseline: an idealized cuCLARK-style matcher on a Titan X
+//! (Pascal), per the paper's methodology (§V): host↔device transfer is
+//! free and on-board memory always fits the reference — both favour the
+//! GPU.
+//!
+//! GPU k-mer matching is bound by *random* global-memory accesses: each
+//! lookup issues a handful of dependent reads whose effective bandwidth is
+//! a small fraction of peak (uncoalesced 32–64 B transactions out of 32-lane
+//! warps). The model multiplies that out and applies the paper's 50 %
+//! energy scaling to exclude cooling.
+
+use sieve_genomics::db::{HybridDb, KmerDatabase};
+use sieve_genomics::Kmer;
+
+use crate::report::BaselineReport;
+
+/// Titan X (Pascal)-class GPU parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Peak memory bandwidth, bytes/s (Titan X Pascal: 480 GB/s).
+    pub peak_bw_bytes_per_s: f64,
+    /// Effective fraction of peak for dependent random transactions.
+    pub random_efficiency: f64,
+    /// Bytes moved per probe (one 64 B transaction).
+    pub bytes_per_probe: f64,
+    /// Board power attributed to the kernel, watts (250 W TDP × 50 % per
+    /// the paper's methodology).
+    pub power_w: f64,
+}
+
+impl GpuConfig {
+    /// The paper's evaluation GPU.
+    #[must_use]
+    pub fn titan_x_pascal() -> Self {
+        Self {
+            peak_bw_bytes_per_s: 480e9,
+            random_efficiency: 0.07,
+            bytes_per_probe: 64.0,
+            power_w: 125.0,
+        }
+    }
+}
+
+/// Runs the k-mer matching kernel on the GPU model.
+///
+/// Probes per lookup come from the real database shape: one bucket fetch
+/// plus the binary-search depth of the average bucket.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty or the database is empty.
+#[must_use]
+pub fn run_kmer_matching(db: &HybridDb, queries: &[Kmer], config: GpuConfig) -> BaselineReport {
+    assert!(!queries.is_empty(), "need at least one query");
+    assert!(db.len() > 0, "need a non-empty database");
+    let avg_bucket = db.len() as f64 / db.bucket_count() as f64;
+    let probes_per_lookup = (1.0 + avg_bucket.log2()).max(6.0);
+    let probe_rate = config.peak_bw_bytes_per_s * config.random_efficiency / config.bytes_per_probe;
+    let lookups_per_s = probe_rate / probes_per_lookup;
+    let time_s = queries.len() as f64 / lookups_per_s;
+    BaselineReport {
+        label: "GPU".to_string(),
+        queries: queries.len() as u64,
+        time_ps: (time_s * 1e12) as u128,
+        energy_fj: (config.power_w * time_s * 1e15) as u128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{self, CpuConfig};
+    use sieve_genomics::synth;
+
+    fn setup() -> (HybridDb, Vec<Kmer>) {
+        let ds = synth::make_dataset_with(8, 4096, 31, 3);
+        let db = HybridDb::from_entries(&ds.entries, 31);
+        let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 100, 4);
+        let queries = reads
+            .iter()
+            .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+            .collect();
+        (db, queries)
+    }
+
+    #[test]
+    fn gpu_beats_cpu_by_an_order_of_magnitude() {
+        // The paper's ratios imply GPU ≈ 6–12× the CPU on k-mer matching.
+        let (db, queries) = setup();
+        let gpu = run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        let cpu = cpu::run_kmer_matching(&db, &queries, CpuConfig::xeon_e5_2658v4());
+        let speedup = gpu.speedup_over(&cpu.report);
+        assert!(
+            speedup > 4.0 && speedup < 20.0,
+            "GPU/CPU speedup out of the paper's band: {speedup:.1}"
+        );
+    }
+
+    #[test]
+    fn gpu_throughput_band() {
+        let (db, queries) = setup();
+        let gpu = run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        let qps = gpu.throughput_qps();
+        // Tens to a couple hundred million lookups/s.
+        assert!(qps > 5e7 && qps < 5e8, "GPU throughput {qps:.3e}");
+    }
+
+    #[test]
+    fn time_scales_linearly_with_queries() {
+        let (db, queries) = setup();
+        let full = run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        let half = run_kmer_matching(
+            &db,
+            &queries[..queries.len() / 2],
+            GpuConfig::titan_x_pascal(),
+        );
+        let ratio = full.time_ps as f64 / half.time_ps as f64;
+        let expected = queries.len() as f64 / (queries.len() / 2) as f64;
+        assert!((ratio - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let (db, queries) = setup();
+        let gpu = run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
+        let expected = 125.0 * gpu.time_ps as f64 * 1e-12 * 1e15;
+        assert!((gpu.energy_fj as f64 - expected).abs() / expected < 1e-6);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sieve-baselines
+//!
+//! The comparison platforms of the Sieve paper's evaluation (§V–VI):
+//!
+//! * [`cpu`] — the Table-I Xeon workstation running a Kraken-style hybrid
+//!   database matcher, timed through a trace-driven cache hierarchy
+//!   ([`cachesim`]);
+//! * [`gpu`] — an idealized cuCLARK-style Titan X (Pascal) model;
+//! * [`insitu`] — row-major in-situ PIM baselines: Ambit/DRISA triple-row
+//!   activation and ComputeDRAM (Figure 13);
+//! * `report` — the common [`BaselineReport`] with speedup / energy-saving
+//!   arithmetic used by every figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use sieve_baselines::{cpu, gpu};
+//! use sieve_genomics::{db::HybridDb, synth};
+//!
+//! let ds = synth::make_dataset_with(4, 2048, 31, 1);
+//! let db = HybridDb::from_entries(&ds.entries, 31);
+//! let queries: Vec<_> = ds.entries.iter().take(500).map(|(k, _)| *k).collect();
+//! let cpu = cpu::run_kmer_matching(&db, &queries, cpu::CpuConfig::xeon_e5_2658v4());
+//! let gpu = gpu::run_kmer_matching(&db, &queries, gpu::GpuConfig::titan_x_pascal());
+//! assert!(gpu.speedup_over(&cpu.report) > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cachesim;
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod insitu;
+mod report;
+
+pub use report::BaselineReport;

@@ -1,0 +1,92 @@
+//! Common report type for baseline platforms.
+
+/// The outcome of running a k-mer matching workload on a baseline platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Platform label (`CPU`, `GPU`, `RowMajor`, `ComputeDRAM`).
+    pub label: String,
+    /// Queries processed.
+    pub queries: u64,
+    /// End-to-end time, picoseconds.
+    pub time_ps: u128,
+    /// Energy consumed, femtojoules.
+    pub energy_fj: u128,
+}
+
+impl BaselineReport {
+    /// Queries per second.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        if self.time_ps == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / (self.time_ps as f64 * 1e-12)
+    }
+
+    /// Energy per query, nanojoules.
+    #[must_use]
+    pub fn energy_per_query_nj(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.energy_fj as f64 * 1e-6 / self.queries as f64
+    }
+
+    /// This platform's speedup over `other` (throughput ratio).
+    #[must_use]
+    pub fn speedup_over(&self, other: &BaselineReport) -> f64 {
+        let base = other.throughput_qps();
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.throughput_qps() / base
+    }
+
+    /// This platform's energy saving over `other` (per-query ratio,
+    /// > 1 means this platform is more efficient).
+    #[must_use]
+    pub fn energy_saving_over(&self, other: &BaselineReport) -> f64 {
+        let own = self.energy_per_query_nj();
+        if own == 0.0 {
+            return 0.0;
+        }
+        other.energy_per_query_nj() / own
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time_ps: u128, energy_fj: u128) -> BaselineReport {
+        BaselineReport {
+            label: "X".into(),
+            queries: 1_000,
+            time_ps,
+            energy_fj,
+        }
+    }
+
+    #[test]
+    fn speedup_is_throughput_ratio() {
+        let fast = report(1_000_000, 100);
+        let slow = report(10_000_000, 100);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_saving_is_per_query_ratio() {
+        let lean = report(1, 1_000);
+        let hog = report(1, 50_000);
+        assert!((lean.energy_saving_over(&hog) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let z = report(0, 0);
+        assert_eq!(z.throughput_qps(), 0.0);
+        let n = report(1, 1);
+        assert_eq!(n.speedup_over(&z), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion end-to-end device benchmarks: full Sieve runs (Type-1/2/3)
+//! and the host classification pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sieve_core::{HostPipeline, SieveConfig, SieveDevice};
+use sieve_dram::Geometry;
+use sieve_genomics::synth;
+
+fn bench_device_runs(c: &mut Criterion) {
+    let ds = synth::make_dataset_with(16, 8192, 31, 11);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 200, 12);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    let geometry = Geometry::scaled_medium();
+
+    let mut g = c.benchmark_group("device_run");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    for (label, config) in [
+        ("type1", SieveConfig::type1()),
+        ("type2_16cb", SieveConfig::type2(16)),
+        ("type3_8sa", SieveConfig::type3(8)),
+    ] {
+        let device =
+            SieveDevice::new(config.with_geometry(geometry), ds.entries.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &device, |b, dev| {
+            b.iter(|| {
+                let out = dev.run(&queries).unwrap();
+                std::hint::black_box(out.report.makespan_ps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_host_pipeline(c: &mut Criterion) {
+    let ds = synth::make_dataset_with(8, 4096, 31, 21);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 100, 22);
+    let device = SieveDevice::new(
+        SieveConfig::type3(8).with_geometry(Geometry::scaled_medium()),
+        ds.entries.clone(),
+    )
+    .unwrap();
+    let host = HostPipeline::new(device);
+    let mut g = c.benchmark_group("host_pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("classify_100_reads", |b| {
+        b.iter(|| {
+            let out = host.classify_reads(&reads).unwrap();
+            std::hint::black_box(out.reads.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(devices, bench_device_runs, bench_host_pipeline);
+criterion_main!(devices);

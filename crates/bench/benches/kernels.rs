@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks for the hot kernels of the simulator:
+//! k-mer extraction, fast-engine lookups, bit-accurate lookups, layout
+//! construction, and the baseline CPU cache walk.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sieve_core::{bitsim::BitAccurateSubarray, engine, DeviceLayout, SieveConfig};
+use sieve_dram::Geometry;
+use sieve_genomics::synth;
+
+fn setup_layout() -> (DeviceLayout, Vec<sieve_genomics::Kmer>) {
+    let ds = synth::make_dataset_with(8, 4096, 31, 42);
+    let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 200, 7);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    (DeviceLayout::build(ds.entries, &config).unwrap(), queries)
+}
+
+fn bench_kmer_extraction(c: &mut Criterion) {
+    let ds = synth::make_dataset_with(2, 2048, 31, 3);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 100, 4);
+    let total: usize = reads.iter().map(|r| r.kmer_count(31)).sum();
+    let mut g = c.benchmark_group("kmer_extraction");
+    g.throughput(Throughput::Elements(total as u64));
+    g.bench_function("rolling_100_reads", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for read in &reads {
+                n += read.kmers(31).count();
+            }
+            std::hint::black_box(n)
+        });
+    });
+    g.finish();
+}
+
+fn bench_engine_lookup(c: &mut Criterion) {
+    let (layout, queries) = setup_layout();
+    let sa = layout.subarray(0);
+    let mut g = c.benchmark_group("engine_lookup");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("fast_sorted_lcp", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            for q in &queries {
+                rows += u64::from(engine::lookup(&sa, *q, true, 1).rows);
+            }
+            std::hint::black_box(rows)
+        });
+    });
+    g.finish();
+}
+
+fn bench_bitsim_lookup(c: &mut Criterion) {
+    let (layout, queries) = setup_layout();
+    let sa = layout.subarray(0);
+    let bits = BitAccurateSubarray::from_view(&sa, 8192);
+    let sample: Vec<_> = queries.iter().take(256).copied().collect();
+    let mut g = c.benchmark_group("bitsim_lookup");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(sample.len() as u64));
+    g.bench_function("bit_accurate_latches", |b| {
+        b.iter(|| {
+            let mut rows = 0u64;
+            for q in &sample {
+                rows += u64::from(bits.lookup(*q, true, 1).rows);
+            }
+            std::hint::black_box(rows)
+        });
+    });
+    g.finish();
+}
+
+fn bench_layout_build(c: &mut Criterion) {
+    let ds = synth::make_dataset_with(8, 4096, 31, 42);
+    let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+    let mut g = c.benchmark_group("layout_build");
+    g.throughput(Throughput::Elements(ds.entries.len() as u64));
+    g.bench_function("sort_partition", |b| {
+        b.iter(|| {
+            let layout = DeviceLayout::build(ds.entries.clone(), &config).unwrap();
+            std::hint::black_box(layout.occupied_subarrays())
+        });
+    });
+    g.finish();
+}
+
+fn bench_cpu_baseline(c: &mut Criterion) {
+    use sieve_baselines::cpu::{run_kmer_matching, CpuConfig};
+    use sieve_genomics::db::HybridDb;
+    let ds = synth::make_dataset_with(8, 4096, 31, 42);
+    let db = HybridDb::from_entries(&ds.entries, 31);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 7);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    let mut g = c.benchmark_group("cpu_baseline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("trace_driven_walk", |b| {
+        b.iter(|| {
+            let d = run_kmer_matching(&db, &queries, CpuConfig::xeon_e5_2658v4());
+            std::hint::black_box(d.report.time_ps)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_kmer_extraction,
+    bench_engine_lookup,
+    bench_bitsim_lookup,
+    bench_layout_build,
+    bench_cpu_baseline
+);
+criterion_main!(kernels);

@@ -1,0 +1,31 @@
+//! §VI-A area overheads: model output vs the paper's published values.
+
+use sieve_bench::table::{pct, Table};
+use sieve_core::area::AreaModel;
+use sieve_core::DeviceKind;
+
+fn main() {
+    let model = AreaModel::paper();
+    println!("Area overheads (fraction of an 8-bank DRAM chip)\n");
+    let mut t = Table::new(["Design", "Model", "Paper"]);
+    let mut configs = vec![DeviceKind::Type1];
+    for cb in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+        configs.push(DeviceKind::Type2 {
+            compute_buffers: cb,
+        });
+    }
+    configs.push(DeviceKind::Type3 { salp: 8 });
+    for device in configs {
+        let label = match device {
+            DeviceKind::Type1 => "T1 (SRAM buffer + MA)".to_string(),
+            _ => device.label(),
+        };
+        t.row([
+            label,
+            pct(model.overhead(device)),
+            AreaModel::paper_reference(device)
+                .map_or_else(|| "-".to_string(), pct),
+        ]);
+    }
+    t.emit("area_table");
+}

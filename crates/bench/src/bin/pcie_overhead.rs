@@ -1,0 +1,35 @@
+//! §VI-C PCIe overhead: PCIe 4.0 ×16 dispatch vs ideal (zero-transport)
+//! dispatch.
+//!
+//! Paper result: PCIe adds 4.6–6.7 % over the ideal case.
+
+use sieve_bench::runner;
+use sieve_bench::table::{pct, Table};
+use sieve_bench::workloads::{build, BenchScale, Workload};
+use sieve_core::{PcieConfig, SieveConfig};
+
+fn main() {
+    println!("PCIe overhead over ideal dispatch (Type-3, 8 SA)\n");
+    let mut t = Table::new(["Workload", "Ideal makespan (us)", "With PCIe (us)", "Overhead"]);
+    for workload in [
+        Workload::FIG13[0],
+        Workload::FIG13[2],
+        Workload::FIG13[4],
+        Workload::FIG13[6],
+        Workload::FIG13[8],
+    ] {
+        let built = build(workload, BenchScale::default());
+        let run = runner::run_sieve(
+            SieveConfig::type3(8).with_pcie(PcieConfig::gen4_x16()),
+            &built,
+        );
+        t.row([
+            workload.name(),
+            format!("{:.1}", run.report.ideal_makespan_ps as f64 / 1e6),
+            format!("{:.1}", run.report.makespan_ps as f64 / 1e6),
+            pct(run.report.transport_overhead()),
+        ]);
+    }
+    t.emit("pcie_overhead");
+    println!("Paper: 4.6%-6.7% over ideal dispatch (PCIe 4.0 x16).");
+}

@@ -1,0 +1,29 @@
+//! Table II: query-sequence summary (paper dimensions and the scaled
+//! synthetic stand-ins the bench binaries use).
+
+use sieve_bench::table::Table;
+use sieve_genomics::synth::QueryPreset;
+
+fn main() {
+    println!("Table II: query sequence summary\n");
+    let mut t = Table::new([
+        "Query file",
+        "Paper #seqs",
+        "Seq length",
+        "Paper #k-mers (approx)",
+        "Bench #seqs (scaled)",
+    ]);
+    for preset in QueryPreset::ALL {
+        let (n, len) = preset.paper_dimensions();
+        let kmers_per_read = (len - 31 + 1) as u64;
+        t.row([
+            preset.name().to_string(),
+            format!("{:.1e}", n as f64),
+            format!("{len} bases"),
+            format!("{:.2e}", (n * kmers_per_read) as f64),
+            preset.scaled_count(100_000).to_string(),
+        ]);
+    }
+    t.emit("table2_queries");
+    println!("K is set to 31 throughout, as in the paper.");
+}

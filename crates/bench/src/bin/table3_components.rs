@@ -1,0 +1,24 @@
+//! Table III: Sieve component energy and latency.
+
+use sieve_bench::table::Table;
+use sieve_core::energy_model::TABLE3;
+
+fn main() {
+    println!("Table III: Sieve components energy and latency\n");
+    let mut t = Table::new([
+        "Component",
+        "Dynamic Energy (pJ)",
+        "Static Power (uW)",
+        "Latency (ns)",
+    ]);
+    for c in TABLE3 {
+        t.row([
+            c.name.to_string(),
+            format!("{:.3}", c.dynamic_pj),
+            format!("{:.4}", c.static_uw),
+            format!("{:.3}", c.latency_ns),
+        ]);
+    }
+    t.emit("table3_components");
+    println!("Values adopted from the paper's FreePDK45/OpenRAM synthesis (Table III).");
+}

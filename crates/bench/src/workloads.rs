@@ -1,0 +1,231 @@
+//! The evaluation workloads (§V): `kernel.query.size` combinations.
+//!
+//! Figures 13/14 use Kraken2 over the MiniKraken 4/8 GB stand-ins with the
+//! accuracy query files, plus CLARK over the NCBI Bacteria stand-in with
+//! the timing files; Figure 15 uses the three CLARK workloads.
+
+use sieve_genomics::synth::{
+    self, QueryPreset, ReferencePreset, SyntheticDataset,
+};
+use sieve_genomics::Kmer;
+
+/// The CPU kernel a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Kraken 2 (hybrid signature-bucket database).
+    Kraken2,
+    /// CLARK (hash-table database).
+    Clark,
+}
+
+impl Kernel {
+    /// Workload-name prefix (`K2` / `C`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Kraken2 => "K2",
+            Self::Clark => "C",
+        }
+    }
+}
+
+/// One evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// The software kernel.
+    pub kernel: Kernel,
+    /// The query file preset.
+    pub query: QueryPreset,
+    /// The reference database preset.
+    pub reference: ReferencePreset,
+}
+
+impl Workload {
+    /// The nine workloads on Figures 13/14's x-axis.
+    pub const FIG13: [Workload; 9] = [
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::HiSeqAccuracy,
+            reference: ReferencePreset::MiniKraken4,
+        },
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::MiSeqAccuracy,
+            reference: ReferencePreset::MiniKraken4,
+        },
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::SimBa5Accuracy,
+            reference: ReferencePreset::MiniKraken4,
+        },
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::HiSeqAccuracy,
+            reference: ReferencePreset::MiniKraken8,
+        },
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::MiSeqAccuracy,
+            reference: ReferencePreset::MiniKraken8,
+        },
+        Workload {
+            kernel: Kernel::Kraken2,
+            query: QueryPreset::SimBa5Accuracy,
+            reference: ReferencePreset::MiniKraken8,
+        },
+        Workload {
+            kernel: Kernel::Clark,
+            query: QueryPreset::HiSeqTiming,
+            reference: ReferencePreset::NcbiBacteria,
+        },
+        Workload {
+            kernel: Kernel::Clark,
+            query: QueryPreset::MiSeqTiming,
+            reference: ReferencePreset::NcbiBacteria,
+        },
+        Workload {
+            kernel: Kernel::Clark,
+            query: QueryPreset::SimBa5Timing,
+            reference: ReferencePreset::NcbiBacteria,
+        },
+    ];
+
+    /// The three GPU-comparison workloads of Figure 15.
+    pub const FIG15: [Workload; 3] = [
+        Self::FIG13[6],
+        Self::FIG13[7],
+        Self::FIG13[8],
+    ];
+
+    /// The `kernel.query.size` name used on the paper's x-axes
+    /// (e.g. `K2.HA.4`, `C.MT.BG`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "{}.{}.{}",
+            self.kernel.label(),
+            self.query.label(),
+            self.reference.label()
+        )
+    }
+
+    /// The modelled working-set size of this workload's reference database
+    /// at paper scale, bytes (4 GB / 8 GB / 6.24 GB).
+    #[must_use]
+    pub fn working_set_bytes(&self) -> u64 {
+        match self.reference {
+            ReferencePreset::MiniKraken4 => 4 << 30,
+            ReferencePreset::MiniKraken8 => 8 << 30,
+            ReferencePreset::NcbiBacteria => (624 << 30) / 100,
+        }
+    }
+}
+
+/// Scaling knobs for bench runs (see DESIGN.md §5 on scale invariance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchScale {
+    /// Multiplier on the reference presets' taxa count.
+    pub reference_taxa_multiplier: usize,
+    /// Reads generated per workload.
+    pub reads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchScale {
+    fn default() -> Self {
+        Self {
+            reference_taxa_multiplier: 1,
+            reads: 1_000,
+            seed: 0x51e3e,
+        }
+    }
+}
+
+/// A workload materialized at bench scale.
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    /// The workload description.
+    pub workload: Workload,
+    /// The synthetic reference dataset.
+    pub dataset: SyntheticDataset,
+    /// The query k-mer stream (extracted from simulated reads).
+    pub queries: Vec<Kmer>,
+}
+
+/// Builds a workload: synthesizes the reference preset, simulates reads of
+/// the query preset's length, and extracts the query k-mer stream.
+#[must_use]
+pub fn build(workload: Workload, scale: BenchScale) -> BuiltWorkload {
+    let (taxa, genome_len) = workload.reference.dimensions();
+    let dataset = synth::make_dataset_with(
+        taxa * scale.reference_taxa_multiplier,
+        genome_len,
+        31,
+        scale.seed ^ workload.reference.label().len() as u64,
+    );
+    let (_, read_len) = workload.query.paper_dimensions();
+    let (reads, _) = synth::simulate_reads(
+        &dataset,
+        synth::ReadSimConfig {
+            read_len,
+            ..synth::ReadSimConfig::default()
+        },
+        scale.reads,
+        scale.seed.wrapping_add(workload.query.label().as_bytes()[0].into()),
+    );
+    let queries = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    BuiltWorkload {
+        workload,
+        dataset,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figure_axes() {
+        assert_eq!(Workload::FIG13[0].name(), "K2.HA.4");
+        assert_eq!(Workload::FIG13[4].name(), "K2.MA.8");
+        assert_eq!(Workload::FIG13[7].name(), "C.MT.BG");
+        assert_eq!(Workload::FIG15[0].name(), "C.HT.BG");
+    }
+
+    #[test]
+    fn working_sets_match_reference_sizes() {
+        assert_eq!(Workload::FIG13[0].working_set_bytes(), 4 << 30);
+        assert_eq!(Workload::FIG13[3].working_set_bytes(), 8 << 30);
+        let bg = Workload::FIG13[6].working_set_bytes();
+        assert!(bg > 6 << 30 && bg < 7 << 30);
+    }
+
+    #[test]
+    fn build_produces_queries_of_expected_volume() {
+        let scale = BenchScale {
+            reads: 50,
+            ..BenchScale::default()
+        };
+        let built = build(Workload::FIG13[0], scale);
+        // 50 reads × (92 − 31 + 1) k-mers, minus N-containing windows.
+        assert!(built.queries.len() > 50 * 50);
+        assert!(built.queries.len() <= 50 * 62);
+        assert_eq!(built.dataset.k, 31);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let scale = BenchScale {
+            reads: 20,
+            ..BenchScale::default()
+        };
+        let a = build(Workload::FIG13[2], scale);
+        let b = build(Workload::FIG13[2], scale);
+        assert_eq!(a.queries, b.queries);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Sieve API of §IV-C: deploy (transpose + load) a database once, then
+//! query it for long periods, with amortization and thermal accounting.
+//!
+//! > "K-mer databases are relatively stable over time, so once a database
+//! > is loaded into the Sieve device, it can be used for long periods of
+//! > time … high reuse can be expected to amortize the cost of database
+//! > loading."
+
+use sieve_dram::TimePs;
+use sieve_genomics::{Kmer, TaxonId};
+
+use crate::config::{DeviceKind, SieveConfig};
+use crate::device::{RunOutput, SieveDevice};
+use crate::error::SieveError;
+use crate::load::{load_cost, LoadReport};
+use crate::thermal::{ThermalModel, ThermalVerdict};
+use crate::transport::Transport;
+
+/// A deployed Sieve device: transport-validated, loaded, and tracking
+/// amortization across query campaigns.
+///
+/// # Example
+///
+/// ```
+/// use sieve_core::{SieveApi, SieveConfig, Transport};
+/// use sieve_dram::Geometry;
+/// use sieve_genomics::synth;
+///
+/// let ds = synth::make_dataset_with(4, 2048, 31, 9);
+/// let config = SieveConfig::type1().with_geometry(Geometry::scaled_medium());
+/// let mut api = SieveApi::deploy(config, Transport::dimm(), ds.entries.clone())?;
+/// let queries: Vec<_> = ds.entries.iter().take(64).map(|(k, _)| *k).collect();
+/// let out = api.query(&queries)?;
+/// assert_eq!(out.report.hits, 64);
+/// assert!(api.amortized_load_overhead() > 0.0);
+/// # Ok::<(), sieve_core::SieveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SieveApi {
+    device: SieveDevice,
+    transport: Transport,
+    load_report: LoadReport,
+    thermal: ThermalModel,
+    query_time_ps: TimePs,
+    queries_served: u64,
+}
+
+impl SieveApi {
+    /// Deploys a device: validates that `transport` can power and feed the
+    /// design point, builds the layout, and accounts the one-time
+    /// transpose + load cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/capacity errors, and transport-validation
+    /// errors (e.g. Type-3 on a DIMM).
+    pub fn deploy(
+        mut config: SieveConfig,
+        transport: Transport,
+        entries: Vec<(Kmer, TaxonId)>,
+    ) -> Result<Self, SieveError> {
+        // PCIe transports also drive the per-batch dispatch model.
+        if let Transport::Pcie(link) = transport {
+            config.pcie = Some(link);
+        }
+        let peak = Self::peak_power_w(&config);
+        transport.validate(&config, peak)?;
+        let thermal = match transport {
+            Transport::Dimm { .. } => ThermalModel::dimm(),
+            Transport::Pcie(_) => ThermalModel::pcie_card(),
+        };
+        let device = SieveDevice::new(config, entries)?;
+        let load_report = load_cost(device.config(), device.layout(), &transport);
+        Ok(Self {
+            device,
+            transport,
+            load_report,
+            thermal,
+            query_time_ps: 0,
+            queries_served: 0,
+        })
+    }
+
+    /// Peak matching power of a design point, watts: concurrently active
+    /// matching units × (activation energy / row cycle) + background.
+    #[must_use]
+    pub fn peak_power_w(config: &SieveConfig) -> f64 {
+        let banks = config.geometry.total_banks() as f64;
+        let units_per_bank = match config.device {
+            DeviceKind::Type1 => 1.0,
+            // Type-2 is one serial stream per bank (plus relay SAs ≈ ×2).
+            DeviceKind::Type2 { .. } => 2.0,
+            DeviceKind::Type3 { salp } => f64::from(salp),
+        };
+        let act_w = config.energy.e_act as f64 * 1e-15
+            / (config.timing.row_cycle() as f64 * 1e-12);
+        let static_w = config.energy.static_nw_per_bank as f64 * 1e-9 * banks;
+        banks * units_per_bank * act_w + static_w
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &SieveDevice {
+        &self.device
+    }
+
+    /// The transport in use.
+    #[must_use]
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// The one-time transpose + load cost.
+    #[must_use]
+    pub fn load_report(&self) -> &LoadReport {
+        &self.load_report
+    }
+
+    /// Runs a query batch and accrues it toward amortization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (k mismatch).
+    pub fn query(&mut self, queries: &[Kmer]) -> Result<RunOutput, SieveError> {
+        let out = self.device.run(queries)?;
+        self.query_time_ps += out.report.makespan_ps;
+        self.queries_served += out.report.queries;
+        Ok(out)
+    }
+
+    /// Fraction of total wall time spent on the one-time load so far
+    /// (trends to 0 as the device is reused).
+    #[must_use]
+    pub fn amortized_load_overhead(&self) -> f64 {
+        let load = self.load_report.total_ps() as f64;
+        load / (load + self.query_time_ps as f64)
+    }
+
+    /// Queries served since deployment.
+    #[must_use]
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Thermal verdict at this design point's peak power.
+    #[must_use]
+    pub fn thermal_verdict(&self) -> ThermalVerdict {
+        self.thermal
+            .assess(Self::peak_power_w(self.device.config()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn entries() -> Vec<(Kmer, TaxonId)> {
+        synth::make_dataset_with(8, 2048, 31, 33).entries
+    }
+
+    #[test]
+    fn type1_deploys_on_dimm() {
+        let config = SieveConfig::type1().with_geometry(Geometry::scaled_medium());
+        let api = SieveApi::deploy(config, Transport::dimm(), entries()).unwrap();
+        assert_eq!(api.transport().label(), "DIMM");
+        assert!(api.load_report().image_bytes > 0);
+    }
+
+    #[test]
+    fn type3_requires_pcie() {
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        assert!(SieveApi::deploy(config.clone(), Transport::dimm(), entries()).is_err());
+        SieveApi::deploy(config, Transport::pcie_gen4_x16(), entries()).unwrap();
+    }
+
+    #[test]
+    fn pcie_transport_enables_dispatch_model() {
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let api = SieveApi::deploy(config, Transport::pcie_gen4_x16(), entries()).unwrap();
+        assert!(api.device().config().pcie.is_some());
+    }
+
+    #[test]
+    fn amortization_decreases_with_use() {
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let es = entries();
+        let queries: Vec<Kmer> = es.iter().step_by(3).map(|(k, _)| *k).collect();
+        let mut api = SieveApi::deploy(config, Transport::pcie_gen4_x16(), es).unwrap();
+        let before = api.amortized_load_overhead();
+        assert!((before - 1.0).abs() < 1e-12, "all load before first query");
+        api.query(&queries).unwrap();
+        let after_one = api.amortized_load_overhead();
+        assert!(after_one < before);
+        for _ in 0..5 {
+            api.query(&queries).unwrap();
+        }
+        assert!(api.amortized_load_overhead() < after_one);
+        assert_eq!(api.queries_served(), 6 * queries.len() as u64);
+    }
+
+    #[test]
+    fn peak_power_ordering_t1_t2_t3() {
+        let t1 = SieveApi::peak_power_w(&SieveConfig::type1());
+        let t2 = SieveApi::peak_power_w(&SieveConfig::type2(16));
+        let t3 = SieveApi::peak_power_w(&SieveConfig::type3(8));
+        assert!(t1 < t2 && t2 < t3, "{t1} {t2} {t3}");
+        // Paper scale: T3.8SA ≈ 40-45 W — PCIe-card territory.
+        assert!(t3 > 20.0 && t3 < 80.0, "t3 = {t3}");
+    }
+
+    #[test]
+    fn thermal_verdicts_are_nominal_on_intended_transports() {
+        let t1 = SieveApi::deploy(
+            SieveConfig::type1().with_geometry(Geometry::scaled_medium()),
+            Transport::dimm(),
+            entries(),
+        )
+        .unwrap();
+        assert_eq!(t1.thermal_verdict(), ThermalVerdict::Nominal);
+        let t3 = SieveApi::deploy(
+            SieveConfig::type3(8).with_geometry(Geometry::scaled_medium()),
+            Transport::pcie_gen4_x16(),
+            entries(),
+        )
+        .unwrap();
+        assert_eq!(t3.thermal_verdict(), ThermalVerdict::Nominal);
+    }
+}

@@ -1,0 +1,287 @@
+//! The public device model: load a reference set, run query batches,
+//! get functional results plus a timing/energy report.
+
+use sieve_genomics::{Kmer, TaxonId};
+
+use crate::config::{DeviceKind, SieveConfig};
+use crate::engine;
+use crate::error::SieveError;
+use crate::index::SubarrayIndex;
+use crate::layout::DeviceLayout;
+use crate::sched;
+use crate::stats::SimReport;
+
+/// Functional results and the simulation report of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Per-query payloads, in input order (`None` = miss).
+    pub results: Vec<Option<TaxonId>>,
+    /// Timing/energy report.
+    pub report: SimReport,
+}
+
+/// One query's resolved work, before scheduling.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueryWork {
+    /// Occupied-subarray index the query was routed to.
+    pub subarray: usize,
+    /// Region-1 rows this lookup activates.
+    pub rows: u32,
+    /// Whether it hit (payload retrieval follows).
+    pub hit: bool,
+}
+
+/// A loaded Sieve device.
+///
+/// # Example
+///
+/// ```
+/// use sieve_core::{SieveConfig, SieveDevice};
+/// use sieve_dram::Geometry;
+/// use sieve_genomics::synth;
+///
+/// let ds = synth::make_dataset_with(4, 2048, 31, 1);
+/// let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+/// let device = SieveDevice::new(config, ds.entries.clone())?;
+/// let queries: Vec<_> = ds.entries.iter().take(100).map(|(k, _)| *k).collect();
+/// let out = device.run(&queries)?;
+/// assert_eq!(out.report.hits, 100);
+/// assert!(out.results.iter().all(Option::is_some));
+/// # Ok::<(), sieve_core::SieveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SieveDevice {
+    config: SieveConfig,
+    layout: DeviceLayout,
+    index: Option<SubarrayIndex>,
+}
+
+impl SieveDevice {
+    /// Validates `config`, lays out `entries`, and builds the index table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, k-mismatch, and capacity errors from
+    /// [`DeviceLayout::build`].
+    pub fn new(config: SieveConfig, entries: Vec<(Kmer, TaxonId)>) -> Result<Self, SieveError> {
+        let layout = DeviceLayout::build(entries, &config)?;
+        let index = (!layout.is_empty()).then(|| SubarrayIndex::build(&layout));
+        Ok(Self {
+            config,
+            layout,
+            index,
+        })
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &SieveConfig {
+        &self.config
+    }
+
+    /// The data layout.
+    #[must_use]
+    pub fn layout(&self) -> &DeviceLayout {
+        &self.layout
+    }
+
+    /// The index table, if any data is loaded.
+    #[must_use]
+    pub fn index(&self) -> Option<&SubarrayIndex> {
+        self.index.as_ref()
+    }
+
+    /// Functional-only lookup (no timing), for spot checks and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::KMismatch`] for a query of the wrong k.
+    pub fn lookup(&self, query: Kmer) -> Result<Option<TaxonId>, SieveError> {
+        self.check_k(query)?;
+        let Some(index) = &self.index else {
+            return Ok(None);
+        };
+        let sa = self.layout.subarray(index.locate(query));
+        Ok(engine::lookup(&sa, query, self.config.etm_enabled, self.config.etm_flush_cycles)
+            .hit
+            .map(|(_, taxon)| taxon))
+    }
+
+    /// Runs a query batch: routes every query through the index table,
+    /// resolves it functionally, and schedules the work on the configured
+    /// design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SieveError::KMismatch`] if any query's k differs from the
+    /// loaded database's.
+    pub fn run(&self, queries: &[Kmer]) -> Result<RunOutput, SieveError> {
+        for q in queries {
+            self.check_k(*q)?;
+        }
+        let mut results = vec![None; queries.len()];
+        let mut work = Vec::with_capacity(queries.len());
+        let mut hits = 0u64;
+        if let Some(index) = &self.index {
+            for (i, q) in queries.iter().enumerate() {
+                let sub = index.locate(*q);
+                let sa = self.layout.subarray(sub);
+                let mut outcome = match self.config.device {
+                    DeviceKind::Type1 => {
+                        // Type-1 row counts come from per-batch ETM; the
+                        // scheduler recomputes them. Here we only need the
+                        // functional result.
+                        engine::lookup(&sa, *q, self.config.etm_enabled, 0)
+                    }
+                    _ => engine::lookup(
+                        &sa,
+                        *q,
+                        self.config.etm_enabled,
+                        self.config.etm_flush_cycles,
+                    ),
+                };
+                if let (Some(esp), None) = (self.config.esp_override, outcome.hit) {
+                    // Paper-ESP assumption: a miss terminates after at most
+                    // `esp` shared bits.
+                    let capped = outcome.max_lcp.min(esp as usize);
+                    let act = crate::etm::rows_activated(
+                        capped,
+                        2 * self.config.k,
+                        self.config.etm_enabled,
+                        self.config.etm_flush_cycles,
+                    );
+                    outcome.max_lcp = capped;
+                    outcome.rows = act.rows;
+                }
+                if let Some((_, taxon)) = outcome.hit {
+                    results[i] = Some(taxon);
+                    hits += 1;
+                }
+                work.push(QueryWork {
+                    subarray: sub,
+                    rows: outcome.rows,
+                    hit: outcome.hit.is_some(),
+                });
+            }
+        }
+        let report = match self.config.device {
+            DeviceKind::Type1 => sched::simulate_type1(&self.config, &self.layout, queries, &work),
+            _ => sched::simulate_type23(&self.config, &work),
+        };
+        debug_assert_eq!(report.hits, hits);
+        Ok(RunOutput { results, report })
+    }
+
+    fn check_k(&self, query: Kmer) -> Result<(), SieveError> {
+        if query.k() != self.config.k {
+            return Err(SieveError::KMismatch {
+                expected: self.config.k,
+                actual: query.k(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn dataset() -> synth::SyntheticDataset {
+        synth::make_dataset_with(8, 2048, 31, 13)
+    }
+
+    fn device(config: SieveConfig) -> SieveDevice {
+        SieveDevice::new(config.with_geometry(Geometry::scaled_medium()), dataset().entries)
+            .unwrap()
+    }
+
+    fn probes(ds: &synth::SyntheticDataset, n: usize) -> Vec<Kmer> {
+        let (reads, _) = synth::simulate_reads(ds, synth::ReadSimConfig::default(), n, 5);
+        reads
+            .iter()
+            .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+            .take(n * 10)
+            .collect()
+    }
+
+    #[test]
+    fn functional_results_match_sorted_db_on_all_types() {
+        let ds = dataset();
+        let queries = probes(&ds, 50);
+        let reference = sieve_genomics::db::SortedDb::from_entries(ds.entries.clone(), 31);
+        use sieve_genomics::db::KmerDatabase;
+        for config in [
+            SieveConfig::type1(),
+            SieveConfig::type2(4),
+            SieveConfig::type3(8),
+        ] {
+            let dev = device(config);
+            let out = dev.run(&queries).unwrap();
+            for (q, r) in queries.iter().zip(&out.results) {
+                assert_eq!(*r, reference.get(*q), "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn hits_counted_in_report() {
+        let ds = dataset();
+        let dev = device(SieveConfig::type3(8));
+        let present: Vec<Kmer> = ds.entries.iter().step_by(111).map(|(k, _)| *k).collect();
+        let out = dev.run(&present).unwrap();
+        assert_eq!(out.report.hits, present.len() as u64);
+        assert_eq!(out.report.queries, present.len() as u64);
+    }
+
+    #[test]
+    fn empty_device_misses_everything_in_zero_time() {
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let dev = SieveDevice::new(config, Vec::new()).unwrap();
+        let q = Kmer::from_u64(123, 31).unwrap();
+        assert_eq!(dev.lookup(q).unwrap(), None);
+        let out = dev.run(&[q]).unwrap();
+        assert_eq!(out.results, vec![None]);
+        assert_eq!(out.report.row_activations, 0);
+    }
+
+    #[test]
+    fn k_mismatch_rejected_everywhere() {
+        let dev = device(SieveConfig::type3(8));
+        let q21 = Kmer::from_u64(5, 21).unwrap();
+        assert!(dev.lookup(q21).is_err());
+        assert!(dev.run(&[q21]).is_err());
+    }
+
+    #[test]
+    fn lookup_agrees_with_run() {
+        let ds = dataset();
+        let dev = device(SieveConfig::type3(8));
+        let queries = probes(&ds, 30);
+        let out = dev.run(&queries).unwrap();
+        for (q, r) in queries.iter().zip(&out.results) {
+            assert_eq!(dev.lookup(*q).unwrap(), *r);
+        }
+    }
+
+    #[test]
+    fn etm_reduces_activations() {
+        let ds = dataset();
+        let queries = probes(&ds, 100);
+        let with = device(SieveConfig::type3(8)).run(&queries).unwrap();
+        let without = device(SieveConfig::type3(8).with_etm(false))
+            .run(&queries)
+            .unwrap();
+        assert!(
+            with.report.row_activations < without.report.row_activations / 2,
+            "ETM should prune most activations: {} vs {}",
+            with.report.row_activations,
+            without.report.row_activations
+        );
+        assert!(with.report.makespan_ps < without.report.makespan_ps);
+        // Functional results identical.
+        assert_eq!(with.results, without.results);
+    }
+}

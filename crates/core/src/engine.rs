@@ -1,0 +1,239 @@
+//! The fast functional matching engine.
+//!
+//! A Sieve lookup's timing is fully determined by, per subarray:
+//! whether the query is present (hit), and otherwise the **maximum LCP**
+//! (longest common prefix, in bits) between the query and any stored
+//! reference — the row at which the last latch dies (see [`crate::etm`]).
+//!
+//! Because each subarray stores a *sorted* slice of the reference set, the
+//! maximum LCP against the whole slice equals the maximum LCP against the
+//! two neighbours of the query's insertion point; and the maximum LCP
+//! against any contiguous rank range (an ETM segment, a Type-1 batch)
+//! equals the LCP against the range's element(s) nearest the insertion
+//! point. This makes exact functional simulation O(log n) per lookup —
+//! the bit-accurate engine in [`crate::bitsim`] verifies the equivalence.
+
+use sieve_genomics::{Kmer, TaxonId};
+
+use crate::etm::{rows_activated, RowActivity};
+use crate::layout::SubarrayView;
+
+/// Functional + row-count outcome of one lookup against one subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// On a hit: the matching reference's subarray-local rank and payload.
+    pub hit: Option<(usize, TaxonId)>,
+    /// Maximum LCP (bits) against the subarray's references.
+    pub max_lcp: usize,
+    /// Region-1 rows activated (per the ETM model).
+    pub rows: u32,
+}
+
+/// Looks up `query` in `subarray`, returning the functional outcome and the
+/// number of rows activated under the given ETM setting.
+///
+/// # Panics
+///
+/// Panics if `query.k()` differs from the stored k-mers' k.
+///
+/// # Example
+///
+/// ```
+/// use sieve_core::{DeviceLayout, SieveConfig, engine};
+/// use sieve_dram::Geometry;
+/// use sieve_genomics::synth;
+///
+/// let ds = synth::make_dataset_with(4, 1024, 31, 3);
+/// let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+/// let present = ds.entries[0].0;
+/// let layout = DeviceLayout::build(ds.entries, &config)?;
+/// let outcome = engine::lookup(&layout.subarray(0), present, true, 1);
+/// assert!(outcome.hit.is_some());
+/// assert_eq!(outcome.rows, 62); // hits always activate all 2k rows
+/// # Ok::<(), sieve_core::SieveError>(())
+/// ```
+#[must_use]
+pub fn lookup(subarray: &SubarrayView<'_>, query: Kmer, etm: bool, flush: u32) -> MatchOutcome {
+    let entries = subarray.entries();
+    let bit_len = query.bit_len();
+    if entries.is_empty() {
+        let RowActivity { rows, .. } = rows_activated(0, bit_len, etm, flush);
+        return MatchOutcome {
+            hit: None,
+            max_lcp: 0,
+            rows,
+        };
+    }
+    match entries.binary_search_by_key(&query.bits(), |(k, _)| k.bits()) {
+        Ok(rank) => {
+            let RowActivity { rows, .. } = rows_activated(bit_len, bit_len, etm, flush);
+            MatchOutcome {
+                hit: Some((rank, entries[rank].1)),
+                max_lcp: bit_len,
+                rows,
+            }
+        }
+        Err(ins) => {
+            let max_lcp = max_lcp_at_insertion(entries, ins, query);
+            let RowActivity { rows, .. } = rows_activated(max_lcp, bit_len, etm, flush);
+            MatchOutcome {
+                hit: None,
+                max_lcp,
+                rows,
+            }
+        }
+    }
+}
+
+/// Maximum LCP of `query` against a contiguous rank `range` of the
+/// subarray's sorted entries (an ETM segment or a Type-1 batch).
+/// Returns `None` for an empty range (no live latches to begin with).
+///
+/// A full-length LCP means the query *is* in the range (a hit for that
+/// range).
+#[must_use]
+pub fn max_lcp_in_range(
+    subarray: &SubarrayView<'_>,
+    range: std::ops::Range<usize>,
+    query: Kmer,
+) -> Option<usize> {
+    let entries = subarray.entries();
+    if range.is_empty() {
+        return None;
+    }
+    let slice = &entries[range.clone()];
+    match slice.binary_search_by_key(&query.bits(), |(k, _)| k.bits()) {
+        Ok(_) => Some(query.bit_len()),
+        Err(ins) => Some(max_lcp_at_insertion(slice, ins, query)),
+    }
+}
+
+/// Max LCP given the insertion point in a sorted slice: the nearest
+/// neighbour(s) achieve it. For sorted values `a < q < b`, any element left
+/// of `a` shares no longer a prefix with `q` than `a` does (and likewise to
+/// the right), because a longer shared prefix would sort it between `a`
+/// and `q`.
+fn max_lcp_at_insertion(entries: &[(Kmer, TaxonId)], ins: usize, query: Kmer) -> usize {
+    let mut best = 0;
+    if ins > 0 {
+        best = best.max(entries[ins - 1].0.lcp_bits(&query));
+    }
+    if ins < entries.len() {
+        best = best.max(entries[ins].0.lcp_bits(&query));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SieveConfig;
+    use crate::layout::DeviceLayout;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn test_layout() -> DeviceLayout {
+        let ds = synth::make_dataset_with(4, 2048, 31, 17);
+        let config = SieveConfig::type3(4).with_geometry(Geometry::scaled_medium());
+        DeviceLayout::build(ds.entries, &config).unwrap()
+    }
+
+    #[test]
+    fn stored_kmers_hit_with_correct_payload() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        for (rank, (kmer, taxon)) in sa.entries().iter().enumerate().step_by(97) {
+            let o = lookup(&sa, *kmer, true, 1);
+            assert_eq!(o.hit, Some((rank, *taxon)));
+            assert_eq!(o.rows, 62);
+            assert_eq!(o.max_lcp, 62);
+        }
+    }
+
+    #[test]
+    fn misses_match_brute_force_lcp() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        let mut rng_state = 0x12345u64;
+        for _ in 0..200 {
+            // Simple LCG for deterministic probes.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let probe = Kmer::from_u64(rng_state >> 2, 31).unwrap();
+            let brute = sa
+                .entries()
+                .iter()
+                .map(|(k, _)| k.lcp_bits(&probe))
+                .max()
+                .unwrap();
+            let o = lookup(&sa, probe, true, 1);
+            assert_eq!(o.max_lcp, brute);
+            if brute < 62 {
+                assert_eq!(o.hit, None);
+                assert_eq!(o.rows, (brute as u32 + 2).min(62));
+            }
+        }
+    }
+
+    #[test]
+    fn etm_off_activates_all_rows() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        let probe = Kmer::from_u64(0, 31).unwrap();
+        let o = lookup(&sa, probe, false, 1);
+        assert_eq!(o.rows, 62);
+    }
+
+    #[test]
+    fn empty_subarray_dies_immediately() {
+        let config = SieveConfig::type3(4).with_geometry(Geometry::scaled_medium());
+        let layout = DeviceLayout::build(Vec::new(), &config).unwrap();
+        assert_eq!(layout.occupied_subarrays(), 0);
+        let _ = layout; // empty layouts expose no subarray views
+    }
+
+    #[test]
+    fn range_lcp_matches_brute_force() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        let probes: Vec<Kmer> = sa
+            .entries()
+            .iter()
+            .step_by(131)
+            .map(|(k, _)| k.shifted(sieve_genomics::Base::G))
+            .collect();
+        for probe in probes {
+            for (start, end) in [(0usize, 64), (64, 128), (100, 1000), (0, sa.len())] {
+                let end = end.min(sa.len());
+                if start >= end {
+                    continue;
+                }
+                let brute = sa.entries()[start..end]
+                    .iter()
+                    .map(|(k, _)| k.lcp_bits(&probe))
+                    .max()
+                    .unwrap();
+                let fast = max_lcp_in_range(&sa, start..end, probe).unwrap();
+                assert_eq!(fast, brute, "range {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        let probe = Kmer::from_u64(1, 31).unwrap();
+        assert_eq!(max_lcp_in_range(&sa, 5..5, probe), None);
+    }
+
+    #[test]
+    fn range_hit_reports_full_length() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        let present = sa.entries()[10].0;
+        assert_eq!(max_lcp_in_range(&sa, 0..20, present), Some(62));
+        // And a range excluding it reports < 62.
+        let lcp = max_lcp_in_range(&sa, 20..sa.len(), present).unwrap();
+        assert!(lcp < 62);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the Sieve accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or loading a Sieve device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SieveError {
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig {
+        /// Which field is invalid.
+        field: &'static str,
+        /// Why.
+        reason: String,
+    },
+    /// The reference set does not fit in the configured device.
+    CapacityExceeded {
+        /// Reference k-mers to store.
+        needed_kmers: usize,
+        /// K-mers the device can hold.
+        capacity_kmers: usize,
+    },
+    /// A query's k does not match the loaded database's k.
+    KMismatch {
+        /// The k of the loaded database.
+        expected: usize,
+        /// The k of the query.
+        actual: usize,
+    },
+    /// Operation requires a loaded database but none was loaded.
+    NotLoaded,
+}
+
+impl fmt::Display for SieveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            Self::CapacityExceeded {
+                needed_kmers,
+                capacity_kmers,
+            } => write!(
+                f,
+                "reference set of {needed_kmers} k-mers exceeds device capacity of {capacity_kmers} k-mers"
+            ),
+            Self::KMismatch { expected, actual } => {
+                write!(f, "query k {actual} does not match database k {expected}")
+            }
+            Self::NotLoaded => write!(f, "no reference database loaded"),
+        }
+    }
+}
+
+impl Error for SieveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SieveError::CapacityExceeded {
+            needed_kmers: 100,
+            capacity_kmers: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SieveError>();
+    }
+}

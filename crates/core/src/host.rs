@@ -1,0 +1,366 @@
+//! The host-side pipeline (§IV-E): read scanning, k-mer generation,
+//! dispatch to the device, and post-processing of responses into per-read
+//! classifications.
+//!
+//! The paper pipelines pre-processing (k-mer generation, PCIe transfer) and
+//! post-processing (payload accumulation, classification) on the CPU with
+//! k-mer matching on Sieve, and finds Sieve is the pipeline's limiting
+//! stage; the host model therefore reports the device's makespan as the
+//! end-to-end time and tracks the host stages for sanity.
+
+use std::collections::HashMap;
+
+use sieve_genomics::{DnaSequence, Kmer, TaxonId};
+
+use crate::device::SieveDevice;
+use crate::error::SieveError;
+use crate::stats::SimReport;
+
+/// Per-read classification assembled from device responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Majority taxon over the read's k-mer hits, if any hit.
+    pub taxon: Option<TaxonId>,
+    /// K-mer hits for the read.
+    pub hit_kmers: usize,
+    /// K-mers the read produced.
+    pub total_kmers: usize,
+}
+
+/// Output of a host-pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Per-read classifications, in input order.
+    pub reads: Vec<ReadResult>,
+    /// The device's simulation report.
+    pub report: SimReport,
+}
+
+/// The host pipeline wrapping a loaded device.
+///
+/// # Example
+///
+/// ```
+/// use sieve_core::{HostPipeline, SieveConfig, SieveDevice};
+/// use sieve_dram::Geometry;
+/// use sieve_genomics::synth;
+///
+/// let ds = synth::make_dataset_with(4, 2048, 31, 1);
+/// let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+/// let device = SieveDevice::new(config, ds.entries.clone())?;
+/// let host = HostPipeline::new(device);
+/// let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 20, 3);
+/// let out = host.classify_reads(&reads)?;
+/// assert_eq!(out.reads.len(), 20);
+/// # Ok::<(), sieve_core::SieveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostPipeline {
+    device: SieveDevice,
+}
+
+impl HostPipeline {
+    /// Wraps a loaded device.
+    #[must_use]
+    pub fn new(device: SieveDevice) -> Self {
+        Self { device }
+    }
+
+    /// The wrapped device.
+    #[must_use]
+    pub fn device(&self) -> &SieveDevice {
+        &self.device
+    }
+
+    /// Extracts every valid k-mer from `reads`, tagged with its read index.
+    #[must_use]
+    pub fn extract_kmers(&self, reads: &[DnaSequence]) -> (Vec<Kmer>, Vec<u32>) {
+        let k = self.device.config().k;
+        let mut kmers = Vec::new();
+        let mut owners = Vec::new();
+        for (ri, read) in reads.iter().enumerate() {
+            for (_, kmer) in read.kmers(k) {
+                kmers.push(kmer);
+                owners.push(ri as u32);
+            }
+        }
+        (kmers, owners)
+    }
+
+    /// Classifies reads end to end: k-mer generation → device run →
+    /// per-read payload histograms → majority vote (Figure 2's loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (k mismatch).
+    pub fn classify_reads(&self, reads: &[DnaSequence]) -> Result<PipelineOutput, SieveError> {
+        let (kmers, owners) = self.extract_kmers(reads);
+        let run = self.device.run(&kmers)?;
+        // Responses arrive out of order in hardware; sequence ids let the
+        // host accumulate them per read — order does not matter for the
+        // histogram, which is why the paper needs no reorder buffer.
+        let mut totals = vec![0usize; reads.len()];
+        let mut hits = vec![0usize; reads.len()];
+        let mut histograms: Vec<HashMap<TaxonId, usize>> =
+            vec![HashMap::new(); reads.len()];
+        for (owner, result) in owners.iter().zip(&run.results) {
+            let ri = *owner as usize;
+            totals[ri] += 1;
+            if let Some(taxon) = result {
+                hits[ri] += 1;
+                *histograms[ri].entry(*taxon).or_insert(0) += 1;
+            }
+        }
+        let reads_out = (0..reads.len())
+            .map(|ri| {
+                let taxon = histograms[ri]
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(t, _)| *t);
+                ReadResult {
+                    taxon,
+                    hit_kmers: hits[ri],
+                    total_kmers: totals[ri],
+                }
+            })
+            .collect();
+        Ok(PipelineOutput {
+            reads: reads_out,
+            report: run.report,
+        })
+    }
+
+    /// Streaming classification: processes `reads` in chunks of
+    /// `chunk_reads`, bounding host-side memory (k-mer buffers, response
+    /// queues) the way a real driver drains the RRQ. Chunks execute back
+    /// to back, so the merged report's makespan is the sum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (k mismatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_reads == 0`.
+    pub fn classify_stream(
+        &self,
+        reads: &[DnaSequence],
+        chunk_reads: usize,
+    ) -> Result<PipelineOutput, SieveError> {
+        assert!(chunk_reads > 0, "need a positive chunk size");
+        let mut all_reads = Vec::with_capacity(reads.len());
+        let mut merged: Option<SimReport> = None;
+        for chunk in reads.chunks(chunk_reads) {
+            let out = self.classify_reads(chunk)?;
+            all_reads.extend(out.reads);
+            match &mut merged {
+                None => merged = Some(out.report),
+                Some(m) => m.accumulate(&out.report),
+            }
+        }
+        Ok(PipelineOutput {
+            reads: all_reads,
+            report: merged.unwrap_or_else(|| {
+                // No reads: synthesize an empty report via an empty run.
+                self.device
+                    .run(&[])
+                    .expect("empty run cannot fail")
+                    .report
+            }),
+        })
+    }
+
+    /// Classifies paired-end reads: mate 2 is reverse-complemented onto
+    /// the forward strand and both mates' k-mers vote in a single per-pair
+    /// histogram — the standard paired-end treatment in Kraken-family
+    /// tools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (k mismatch).
+    pub fn classify_pairs(
+        &self,
+        pairs: &[(DnaSequence, DnaSequence)],
+    ) -> Result<PipelineOutput, SieveError> {
+        let k = self.device.config().k;
+        let mut kmers = Vec::new();
+        let mut owners = Vec::new();
+        for (ri, (m1, m2)) in pairs.iter().enumerate() {
+            for (_, kmer) in m1.kmers(k) {
+                kmers.push(kmer);
+                owners.push(ri as u32);
+            }
+            for (_, kmer) in m2.reverse_complement().kmers(k) {
+                kmers.push(kmer);
+                owners.push(ri as u32);
+            }
+        }
+        let run = self.device.run(&kmers)?;
+        let mut totals = vec![0usize; pairs.len()];
+        let mut hits = vec![0usize; pairs.len()];
+        let mut histograms: Vec<HashMap<TaxonId, usize>> = vec![HashMap::new(); pairs.len()];
+        for (owner, result) in owners.iter().zip(&run.results) {
+            let ri = *owner as usize;
+            totals[ri] += 1;
+            if let Some(taxon) = result {
+                hits[ri] += 1;
+                *histograms[ri].entry(*taxon).or_insert(0) += 1;
+            }
+        }
+        let reads_out = (0..pairs.len())
+            .map(|ri| ReadResult {
+                taxon: histograms[ri]
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(t, _)| *t),
+                hit_kmers: hits[ri],
+                total_kmers: totals[ri],
+            })
+            .collect();
+        Ok(PipelineOutput {
+            reads: reads_out,
+            report: run.report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SieveConfig;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn pipeline() -> (synth::SyntheticDataset, HostPipeline) {
+        let ds = synth::make_dataset_with(8, 2048, 31, 55);
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let device = SieveDevice::new(config, ds.entries.clone()).unwrap();
+        (ds, HostPipeline::new(device))
+    }
+
+    #[test]
+    fn classification_matches_software_clark() {
+        let (ds, host) = pipeline();
+        let (reads, _) = synth::simulate_reads(
+            &ds,
+            synth::ReadSimConfig {
+                read_len: 100,
+                from_reference: 0.6,
+                error_rate: 0.01,
+                n_rate: 0.001,
+            },
+            40,
+            8,
+        );
+        let out = host.classify_reads(&reads).unwrap();
+        // Compare against the software classifier over the same DB.
+        let db = sieve_genomics::db::SortedDb::from_entries(ds.entries.clone(), 31);
+        let clark = sieve_genomics::classify::ClarkClassifier::new(&db);
+        for (read, result) in reads.iter().zip(&out.reads) {
+            let sw = clark.classify(read);
+            assert_eq!(result.hit_kmers, sw.hit_kmers, "hit count differs");
+            assert_eq!(result.total_kmers, sw.total_kmers);
+            // Majority taxon must agree when there is a unique maximum.
+            if let Some(top) = sw.histogram.first() {
+                let unique = sw.histogram.len() == 1 || sw.histogram[1].1 < top.1;
+                if unique {
+                    assert_eq!(result.taxon, Some(top.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_free_reads_classify_to_origin() {
+        let (ds, host) = pipeline();
+        let (reads, truth) = synth::simulate_reads(
+            &ds,
+            synth::ReadSimConfig {
+                read_len: 120,
+                from_reference: 1.0,
+                error_rate: 0.0,
+                n_rate: 0.0,
+            },
+            30,
+            99,
+        );
+        let out = host.classify_reads(&reads).unwrap();
+        let mut correct = 0;
+        for (result, t) in out.reads.iter().zip(&truth) {
+            // Every k-mer hits, so the read classifies; the winner is the
+            // origin species or (for conserved regions) its genus.
+            assert!(result.taxon.is_some());
+            assert_eq!(result.hit_kmers, result.total_kmers);
+            if result.taxon == *t {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 20, "only {correct}/30 reads recovered their origin");
+    }
+
+    #[test]
+    fn streaming_matches_batch_classification() {
+        let (ds, host) = pipeline();
+        let (reads, _) =
+            synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 23);
+        let batch = host.classify_reads(&reads).unwrap();
+        for chunk in [1usize, 7, 50, 1000] {
+            let streamed = host.classify_stream(&reads, chunk).unwrap();
+            assert_eq!(streamed.reads, batch.reads, "chunk {chunk}");
+            assert_eq!(streamed.report.queries, batch.report.queries);
+            assert_eq!(streamed.report.hits, batch.report.hits);
+            // Sequential chunks can only take longer than one big batch
+            // (less cross-read packing into 64-query device batches).
+            assert!(streamed.report.makespan_ps >= batch.report.makespan_ps);
+        }
+    }
+
+    #[test]
+    fn paired_classification_beats_single_end() {
+        let (ds, host) = pipeline();
+        let config = synth::ReadSimConfig {
+            read_len: 80,
+            from_reference: 1.0,
+            error_rate: 0.02,
+            n_rate: 0.0,
+        };
+        let (pairs, truth) = synth::simulate_paired_reads(&ds, config, 300, 40, 17);
+        let paired = host.classify_pairs(&pairs).unwrap();
+        // Single-end: mate 1 only.
+        let singles: Vec<_> = pairs.iter().map(|(m1, _)| m1.clone()).collect();
+        let single = host.classify_reads(&singles).unwrap();
+        let correct = |out: &crate::host::PipelineOutput| {
+            out.reads
+                .iter()
+                .zip(&truth)
+                .filter(|(r, t)| r.taxon.is_some() && r.taxon == **t)
+                .count()
+        };
+        // Two mates double the evidence: never worse, usually better.
+        assert!(correct(&paired) >= correct(&single));
+        // And the paired histogram covers both mates' k-mers.
+        assert!(
+            paired.reads[0].total_kmers > single.reads[0].total_kmers,
+            "pairs must contribute more k-mers"
+        );
+    }
+
+    #[test]
+    fn kmer_extraction_counts() {
+        let (_, host) = pipeline();
+        let reads: Vec<DnaSequence> = vec!["A".repeat(92).parse().unwrap()];
+        let (kmers, owners) = host.extract_kmers(&reads);
+        assert_eq!(kmers.len(), 92 - 31 + 1);
+        assert!(owners.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn report_propagates() {
+        let (ds, host) = pipeline();
+        let (reads, _) =
+            synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 10, 3);
+        let out = host.classify_reads(&reads).unwrap();
+        assert!(out.report.queries > 0);
+        assert!(out.report.makespan_ps > 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Database transposition and loading costs (§IV-C).
+//!
+//! The Sieve API supports three calls: *transpose* a conventional database
+//! into the column-wise format (host-side, one-time — the result can be
+//! stored), *load* it into the device, and *query*. Databases are stable
+//! over time, so load cost amortizes over long query campaigns; this
+//! module quantifies exactly that.
+
+use sieve_dram::TimePs;
+
+use crate::config::SieveConfig;
+use crate::layout::DeviceLayout;
+use crate::transport::Transport;
+
+/// Cost report for preparing and loading a reference database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Bytes of the transposed device image (Regions 1–3 of every occupied
+    /// subarray).
+    pub image_bytes: u64,
+    /// Host-side transposition time, ps (one-time; the image can be cached
+    /// on disk).
+    pub transpose_ps: TimePs,
+    /// Transfer time over the transport, ps.
+    pub transfer_ps: TimePs,
+    /// Device-side write time, ps (banks write in parallel).
+    pub write_ps: TimePs,
+    /// Write bursts issued.
+    pub write_bursts: u64,
+}
+
+impl LoadReport {
+    /// Total load latency (transfer and device writes overlap; transpose
+    /// is pipelined ahead), ps.
+    #[must_use]
+    pub fn total_ps(&self) -> TimePs {
+        self.transpose_ps + self.transfer_ps.max(self.write_ps)
+    }
+
+    /// Queries after which load cost drops below `fraction` of total time,
+    /// given a device throughput in queries/s.
+    #[must_use]
+    pub fn amortization_queries(&self, device_qps: f64, fraction: f64) -> u64 {
+        assert!(fraction > 0.0 && fraction < 1.0);
+        // load <= fraction × (load + n/qps)  ⇒  n >= load·(1-fraction)/fraction · qps
+        let load_s = self.total_ps() as f64 * 1e-12;
+        (load_s * (1.0 - fraction) / fraction * device_qps).ceil() as u64
+    }
+}
+
+/// Host transposition throughput: packing 2k bits of each k-mer into
+/// column-serial rows is a streaming transform; ~2 GB/s of image output on
+/// one core is conservative.
+const TRANSPOSE_BYTES_PER_S: u64 = 2_000_000_000;
+
+/// Estimates the cost of transposing and loading `layout` into a device of
+/// `config` over `transport`.
+#[must_use]
+pub fn load_cost(config: &SieveConfig, layout: &DeviceLayout, transport: &Transport) -> LoadReport {
+    let row_bytes = u64::from(config.geometry.cols_per_row) / 8;
+    let rows_per_subarray = u64::from(config.region1_rows())
+        + u64::from(config.region2_rows())
+        + u64::from(config.region3_rows());
+    let image_bytes = layout.occupied_subarrays() as u64 * rows_per_subarray * row_bytes;
+    let transpose_ps = image_bytes.saturating_mul(1_000_000) / (TRANSPOSE_BYTES_PER_S / 1_000_000);
+    let transfer_ps = transport.transfer_ps(image_bytes);
+    // Device writes: 8 bytes per burst (64-bit bank I/O), banks in parallel.
+    let banks = config.geometry.total_banks() as u64;
+    let write_bursts = image_bytes.div_ceil(8);
+    let bursts_per_bank = write_bursts.div_ceil(banks);
+    let write_ps = bursts_per_bank * config.timing.t_ccd;
+    LoadReport {
+        image_bytes,
+        transpose_ps,
+        transfer_ps,
+        write_ps,
+        write_bursts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn setup() -> (SieveConfig, DeviceLayout) {
+        let ds = synth::make_dataset_with(8, 4096, 31, 8);
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let layout = DeviceLayout::build(ds.entries, &config).unwrap();
+        (config, layout)
+    }
+
+    #[test]
+    fn image_covers_all_three_regions() {
+        let (config, layout) = setup();
+        let report = load_cost(&config, &layout, &Transport::pcie_gen4_x16());
+        let per_subarray = u64::from(
+            config.region1_rows() + config.region2_rows() + config.region3_rows(),
+        ) * 1024;
+        assert_eq!(
+            report.image_bytes,
+            layout.occupied_subarrays() as u64 * per_subarray
+        );
+        assert!(report.write_bursts > 0);
+    }
+
+    #[test]
+    fn load_time_is_dominated_by_slowest_stage() {
+        let (config, layout) = setup();
+        let r = load_cost(&config, &layout, &Transport::pcie_gen4_x16());
+        assert_eq!(r.total_ps(), r.transpose_ps + r.transfer_ps.max(r.write_ps));
+        assert!(r.total_ps() > 0);
+    }
+
+    #[test]
+    fn amortization_is_sane() {
+        let (config, layout) = setup();
+        let r = load_cost(&config, &layout, &Transport::pcie_gen4_x16());
+        // At 100 M q/s, reaching 1 % overhead takes ~99 load-times of
+        // queries.
+        let n = r.amortization_queries(1e8, 0.01);
+        let load_s = r.total_ps() as f64 * 1e-12;
+        let expected = (load_s * 99.0 * 1e8).ceil() as u64;
+        assert!(n.abs_diff(expected) <= 1, "{n} vs {expected}");
+        // More tolerant fraction → fewer queries needed.
+        assert!(r.amortization_queries(1e8, 0.5) < n);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let (config, layout) = setup();
+        let r = load_cost(&config, &layout, &Transport::dimm());
+        let _ = r.amortization_queries(1e8, 1.5);
+    }
+
+    #[test]
+    fn dimm_and_pcie_transfer_differ() {
+        let (config, layout) = setup();
+        let d = load_cost(&config, &layout, &Transport::dimm());
+        let p = load_cost(&config, &layout, &Transport::pcie_gen4_x16());
+        assert_eq!(d.image_bytes, p.image_bytes);
+        assert_ne!(d.transfer_ps, p.transfer_ps);
+    }
+}

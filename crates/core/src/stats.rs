@@ -1,0 +1,205 @@
+//! Simulation reports.
+
+use sieve_dram::{EnergyLedger, TimePs};
+
+/// The outcome of running a query batch through a Sieve device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The device label (`T1`, `T2.16CB`, `T3.8SA`).
+    pub device: String,
+    /// Queries processed.
+    pub queries: u64,
+    /// Queries that hit the reference set.
+    pub hits: u64,
+    /// End-to-end makespan, ps (including PCIe when modelled).
+    pub makespan_ps: TimePs,
+    /// Makespan without transport constraints (the "ideal dispatch" the
+    /// paper compares PCIe against).
+    pub ideal_makespan_ps: TimePs,
+    /// Energy by category.
+    pub energy: EnergyLedger,
+    /// Row activations issued: Region-1 matching rows plus the two
+    /// payload rows (offset + record) each hit retrieves.
+    pub row_activations: u64,
+    /// Row activations a no-ETM design would have issued (for the
+    /// ETM-savings metric).
+    pub rows_without_etm: u64,
+    /// Write bursts (query-batch replacement).
+    pub write_bursts: u64,
+    /// Read bursts (Type-1 batch streaming + payload reads).
+    pub read_bursts: u64,
+}
+
+impl SimReport {
+    /// Queries per second.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_ps == 0 {
+            return 0.0;
+        }
+        self.queries as f64 / (self.makespan_ps as f64 * 1e-12)
+    }
+
+    /// Total energy, joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_fj() as f64 * 1e-15
+    }
+
+    /// Energy per query, nanojoules.
+    #[must_use]
+    pub fn energy_per_query_nj(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.energy_j() * 1e9 / self.queries as f64
+    }
+
+    /// Fraction of row activations ETM pruned relative to a no-ETM design
+    /// (slightly negative for all-hit workloads, where payload rows add to
+    /// the mandatory full scans).
+    #[must_use]
+    pub fn etm_savings(&self) -> f64 {
+        if self.rows_without_etm == 0 {
+            return 0.0;
+        }
+        1.0 - self.row_activations as f64 / self.rows_without_etm as f64
+    }
+
+    /// Accumulates a subsequent run into this report: times add (the runs
+    /// execute back to back), energies and counters sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports come from different device labels.
+    pub fn accumulate(&mut self, other: &SimReport) {
+        assert_eq!(self.device, other.device, "cannot merge across devices");
+        self.queries += other.queries;
+        self.hits += other.hits;
+        self.makespan_ps += other.makespan_ps;
+        self.ideal_makespan_ps += other.ideal_makespan_ps;
+        self.energy.merge(&other.energy);
+        self.row_activations += other.row_activations;
+        self.rows_without_etm += other.rows_without_etm;
+        self.write_bursts += other.write_bursts;
+        self.read_bursts += other.read_bursts;
+    }
+
+    /// Relative transport overhead versus ideal dispatch
+    /// (`0.05` = PCIe added 5 %).
+    #[must_use]
+    pub fn transport_overhead(&self) -> f64 {
+        if self.ideal_makespan_ps == 0 {
+            return 0.0;
+        }
+        self.makespan_ps as f64 / self.ideal_makespan_ps as f64 - 1.0
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} queries ({} hits) in {:.3} ms | {:.2} Mq/s | {:.2} nJ/query | \
+             {} row activations (ETM pruned {:.1}%)",
+            self.device,
+            self.queries,
+            self.hits,
+            self.makespan_ps as f64 / 1e9,
+            self.throughput_qps() / 1e6,
+            self.energy_per_query_nj(),
+            self.row_activations,
+            100.0 * self.etm_savings(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            device: "T3.8SA".into(),
+            queries: 1_000,
+            hits: 10,
+            makespan_ps: 2_100_000_000, // 2.1 ms
+            ideal_makespan_ps: 2_000_000_000,
+            energy: EnergyLedger {
+                activation_fj: 1_000_000_000, // 1 µJ
+                ..EnergyLedger::new()
+            },
+            row_activations: 12_000,
+            rows_without_etm: 62_000,
+            write_bursts: 868,
+            read_bursts: 20,
+        }
+    }
+
+    #[test]
+    fn throughput_is_queries_over_time() {
+        let r = report();
+        let expected = 1_000.0 / 2.1e-3;
+        assert!((r.throughput_qps() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_query() {
+        let r = report();
+        // 1 µJ over 1000 queries = 1 nJ each.
+        assert!((r.energy_per_query_nj() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn etm_savings_fraction() {
+        let r = report();
+        assert!((r.etm_savings() - (1.0 - 12.0 / 62.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transport_overhead_is_five_percent() {
+        let r = report();
+        assert!((r.transport_overhead() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = report().to_string();
+        assert!(text.contains("T3.8SA"));
+        assert!(text.contains("1000 queries"));
+        assert!(text.contains("nJ/query"));
+    }
+
+    #[test]
+    fn accumulate_sums_runs() {
+        let mut a = report();
+        let b = report();
+        a.accumulate(&b);
+        assert_eq!(a.queries, 2_000);
+        assert_eq!(a.makespan_ps, 4_200_000_000);
+        assert_eq!(a.row_activations, 24_000);
+        assert_eq!(a.energy.activation_fj, 2_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn accumulate_rejects_mixed_devices() {
+        let mut a = report();
+        let mut b = report();
+        b.device = "T1".into();
+        a.accumulate(&b);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let mut r = report();
+        r.makespan_ps = 0;
+        r.ideal_makespan_ps = 0;
+        r.queries = 0;
+        r.rows_without_etm = 0;
+        assert_eq!(r.throughput_qps(), 0.0);
+        assert_eq!(r.energy_per_query_nj(), 0.0);
+        assert_eq!(r.etm_savings(), 0.0);
+        assert_eq!(r.transport_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Physical address decomposition (channel-less: rank/bank/subarray/row/
+//! column), used by trace tooling and the Type-1 batch math.
+
+use crate::error::GeometryError;
+use crate::geometry::{BankId, Geometry, SubarrayId};
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Address {
+    /// The subarray (which encodes rank/bank).
+    pub subarray: SubarrayId,
+    /// Row within the subarray.
+    pub row: u32,
+    /// Column (bit offset) within the row.
+    pub col: u32,
+}
+
+impl Address {
+    /// Decodes a flat bit index (0 .. capacity_bits) into an address,
+    /// row-major within subarrays, subarray-major within the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NotPowerOfTwo`] — reused as the generic
+    /// out-of-range signal — if `bit` exceeds the device capacity.
+    pub fn decode(geometry: &Geometry, bit: u64) -> Result<Self, GeometryError> {
+        let per_row = u64::from(geometry.cols_per_row);
+        let per_subarray = geometry.subarray_bits();
+        let total = per_subarray * geometry.total_subarrays() as u64;
+        if bit >= total {
+            return Err(GeometryError::NotPowerOfTwo {
+                dimension: "bit index",
+                value: u32::MAX,
+            });
+        }
+        let sub = (bit / per_subarray) as usize;
+        let within = bit % per_subarray;
+        Ok(Self {
+            subarray: geometry.subarray(sub),
+            row: (within / per_row) as u32,
+            col: (within % per_row) as u32,
+        })
+    }
+
+    /// Re-encodes the address into its flat bit index.
+    #[must_use]
+    pub fn encode(&self, geometry: &Geometry) -> u64 {
+        let per_row = u64::from(geometry.cols_per_row);
+        let per_subarray = geometry.subarray_bits();
+        self.subarray.flat_index(geometry) as u64 * per_subarray
+            + u64::from(self.row) * per_row
+            + u64::from(self.col)
+    }
+
+    /// The bank this address lives in.
+    #[must_use]
+    pub fn bank(&self) -> BankId {
+        self.subarray.bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let g = Geometry::scaled_small();
+        for bit in [
+            0u64,
+            1,
+            u64::from(g.cols_per_row) - 1,
+            u64::from(g.cols_per_row),
+            g.subarray_bits() - 1,
+            g.subarray_bits(),
+            g.subarray_bits() * g.total_subarrays() as u64 - 1,
+        ] {
+            let a = Address::decode(&g, bit).unwrap();
+            assert_eq!(a.encode(&g), bit, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = Geometry::scaled_small();
+        let total = g.subarray_bits() * g.total_subarrays() as u64;
+        assert!(Address::decode(&g, total).is_err());
+        assert!(Address::decode(&g, 0).is_ok());
+    }
+
+    #[test]
+    fn fields_decompose_correctly() {
+        let g = Geometry::scaled_small();
+        // Second subarray, third row, fifth column.
+        let bit = g.subarray_bits() + 2 * u64::from(g.cols_per_row) + 4;
+        let a = Address::decode(&g, bit).unwrap();
+        assert_eq!(a.subarray.flat_index(&g), 1);
+        assert_eq!(a.row, 2);
+        assert_eq!(a.col, 4);
+        assert_eq!(a.bank().index(), 0);
+    }
+}

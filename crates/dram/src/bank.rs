@@ -1,0 +1,179 @@
+//! Per-bank open-row state and busy-until accounting.
+
+use crate::command::DramCommand;
+use crate::energy::EnergyParams;
+use crate::timing::{TimePs, TimingParams};
+
+/// One bank's timeline: when it becomes free, which row is open, and how
+/// many commands of each kind it has executed.
+///
+/// Device models schedule work by asking a bank to execute a command *at or
+/// after* a given time; the bank serializes commands (a bank does one thing
+/// at a time) and reports the completion time.
+///
+/// # Example
+///
+/// ```
+/// use sieve_dram::{BankTimeline, DramCommand, TimingParams, EnergyParams};
+///
+/// let t = TimingParams::ddr4_paper();
+/// let e = EnergyParams::ddr4_paper();
+/// let mut bank = BankTimeline::new();
+/// let done1 = bank.execute(DramCommand::ActivatePrecharge, 0, &t, &e);
+/// let done2 = bank.execute(DramCommand::ActivatePrecharge, 0, &t, &e);
+/// assert_eq!(done2, 2 * done1); // serialized
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankTimeline {
+    busy_until: TimePs,
+    open_row: Option<u32>,
+    activations: u64,
+    reads: u64,
+    writes: u64,
+    energy_fj: u128,
+}
+
+impl BankTimeline {
+    /// A fresh, idle bank with no open row.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time at which the bank finishes its last scheduled command.
+    #[must_use]
+    pub fn busy_until(&self) -> TimePs {
+        self.busy_until
+    }
+
+    /// The currently open row, if the last command left one open.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Row activations executed (single- and multi-row).
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Read bursts executed.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write bursts executed.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Dynamic energy this bank has consumed, fJ.
+    #[must_use]
+    pub fn energy_fj(&self) -> u128 {
+        self.energy_fj
+    }
+
+    /// Schedules `cmd` at or after `earliest`, returns its completion time.
+    ///
+    /// Commands on one bank are strictly serialized: the command starts at
+    /// `max(earliest, busy_until())`.
+    pub fn execute(
+        &mut self,
+        cmd: DramCommand,
+        earliest: TimePs,
+        timing: &TimingParams,
+        energy: &EnergyParams,
+    ) -> TimePs {
+        let start = self.busy_until.max(earliest);
+        let done = start + cmd.latency(timing);
+        self.busy_until = done;
+        self.energy_fj += u128::from(cmd.energy(energy));
+        match cmd {
+            DramCommand::ActivatePrecharge | DramCommand::MultiRowActivate { .. } => {
+                self.activations += 1;
+                // Our activate is fused with precharge, so no row stays open.
+                self.open_row = None;
+            }
+            DramCommand::ReadBurst => self.reads += 1,
+            DramCommand::WriteBurst => self.writes += 1,
+        }
+        done
+    }
+
+    /// Records that `row` was left open by external logic (e.g. a Type-1
+    /// activation that streams batches before precharging).
+    pub fn set_open_row(&mut self, row: Option<u32>) {
+        self.open_row = row;
+    }
+
+    /// Pushes the bank's free time forward to at least `until` (used to
+    /// model occupancy by non-command work such as ETM flushes).
+    pub fn occupy_until(&mut self, until: TimePs) {
+        self.busy_until = self.busy_until.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TimingParams, EnergyParams) {
+        (TimingParams::ddr4_paper(), EnergyParams::ddr4_paper())
+    }
+
+    #[test]
+    fn commands_serialize_on_one_bank() {
+        let (t, e) = setup();
+        let mut bank = BankTimeline::new();
+        let d1 = bank.execute(DramCommand::ActivatePrecharge, 0, &t, &e);
+        let d2 = bank.execute(DramCommand::ReadBurst, 0, &t, &e);
+        assert_eq!(d1, t.row_cycle());
+        assert_eq!(d2, t.row_cycle() + t.t_ccd);
+    }
+
+    #[test]
+    fn earliest_constraint_respected() {
+        let (t, e) = setup();
+        let mut bank = BankTimeline::new();
+        let done = bank.execute(DramCommand::ActivatePrecharge, 1_000_000, &t, &e);
+        assert_eq!(done, 1_000_000 + t.row_cycle());
+    }
+
+    #[test]
+    fn counts_and_energy_accumulate() {
+        let (t, e) = setup();
+        let mut bank = BankTimeline::new();
+        bank.execute(DramCommand::ActivatePrecharge, 0, &t, &e);
+        bank.execute(DramCommand::ReadBurst, 0, &t, &e);
+        bank.execute(DramCommand::WriteBurst, 0, &t, &e);
+        assert_eq!(bank.activations(), 1);
+        assert_eq!(bank.reads(), 1);
+        assert_eq!(bank.writes(), 1);
+        assert_eq!(
+            bank.energy_fj(),
+            u128::from(e.e_act + e.e_rd + e.e_wr)
+        );
+    }
+
+    #[test]
+    fn occupy_until_only_moves_forward() {
+        let mut bank = BankTimeline::new();
+        bank.occupy_until(500);
+        assert_eq!(bank.busy_until(), 500);
+        bank.occupy_until(100);
+        assert_eq!(bank.busy_until(), 500);
+    }
+
+    #[test]
+    fn open_row_tracking() {
+        let (t, e) = setup();
+        let mut bank = BankTimeline::new();
+        bank.set_open_row(Some(7));
+        assert_eq!(bank.open_row(), Some(7));
+        bank.execute(DramCommand::ActivatePrecharge, 0, &t, &e);
+        assert_eq!(bank.open_row(), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! DRAM command vocabulary used by the device models.
+
+use crate::energy::EnergyParams;
+use crate::timing::{TimePs, TimingParams};
+
+/// The commands the Sieve device models issue.
+///
+/// `MultiRowActivate` exists only for the row-major in-situ baselines
+/// (Ambit/DRISA-style bulk bitwise ops); Sieve itself never issues it —
+/// that is the point of the column-major layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open one row into the row buffer (ACT … PRE window), then precharge.
+    /// This is Sieve's unit of matching work: one bit per column.
+    ActivatePrecharge,
+    /// Ambit-style activation raising `rows` word lines for a bulk
+    /// bitwise operation.
+    MultiRowActivate {
+        /// Word lines raised simultaneously (Ambit triple-row = 3).
+        rows: u32,
+    },
+    /// One 64-byte column read burst from an open row.
+    ReadBurst,
+    /// One 64-byte column write burst to an open row.
+    WriteBurst,
+}
+
+impl DramCommand {
+    /// Latency this command occupies its bank, ps.
+    #[must_use]
+    pub fn latency(&self, t: &TimingParams) -> TimePs {
+        match self {
+            Self::ActivatePrecharge => t.row_cycle(),
+            // Ambit's bulk AND from setup to completion: 8·tRAS + 4·tRP,
+            // independent of `rows` (the figure-4 sequence).
+            Self::MultiRowActivate { .. } => t.ambit_and_latency(),
+            Self::ReadBurst => t.t_ccd,
+            Self::WriteBurst => t.t_ccd,
+        }
+    }
+
+    /// Dynamic energy of this command, fJ.
+    #[must_use]
+    pub fn energy(&self, e: &EnergyParams) -> u64 {
+        match self {
+            Self::ActivatePrecharge => e.e_act,
+            Self::MultiRowActivate { rows } => e.multi_row_activation(*rows),
+            Self::ReadBurst => e.e_rd,
+            Self::WriteBurst => e.e_wr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activate_latency_is_row_cycle() {
+        let t = TimingParams::ddr4_paper();
+        assert_eq!(DramCommand::ActivatePrecharge.latency(&t), t.row_cycle());
+    }
+
+    #[test]
+    fn multi_row_latency_is_ambit_sequence() {
+        let t = TimingParams::ddr4_paper();
+        assert_eq!(
+            DramCommand::MultiRowActivate { rows: 3 }.latency(&t),
+            t.ambit_and_latency()
+        );
+    }
+
+    #[test]
+    fn multi_row_energy_exceeds_single() {
+        let e = EnergyParams::ddr4_paper();
+        let single = DramCommand::ActivatePrecharge.energy(&e);
+        let triple = DramCommand::MultiRowActivate { rows: 3 }.energy(&e);
+        assert!(triple > single);
+        assert_eq!(triple, e.multi_row_activation(3));
+    }
+
+    #[test]
+    fn bursts_use_ccd() {
+        let t = TimingParams::ddr4_paper();
+        assert_eq!(DramCommand::ReadBurst.latency(&t), t.t_ccd);
+        assert_eq!(DramCommand::WriteBurst.latency(&t), t.t_ccd);
+    }
+}

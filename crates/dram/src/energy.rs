@@ -1,0 +1,225 @@
+//! Per-command dynamic energy, static power, and the accounting ledger.
+//!
+//! Energies are integer **femtojoules** so that billions of events can be
+//! accumulated exactly in a `u64`/`u128` without floating-point drift.
+
+use crate::timing::TimePs;
+
+/// An energy amount in femtojoules (1 pJ = 1,000 fJ).
+pub type EnergyFj = u128;
+
+/// Femtojoules per picojoule.
+pub const FJ_PER_PJ: u64 = 1_000;
+
+/// Per-command dynamic energies and static power for one DRAM device.
+///
+/// The paper's energy argument hinges on three relationships, all encoded
+/// here:
+///
+/// * a single-row activation is the dominant dynamic cost (row opening
+///   dominates DRAM energy, §III);
+/// * each **additional** word line raised in a multi-row activation adds
+///   22 % of the activation energy (Ambit's measurement, quoted in §III) —
+///   see [`EnergyParams::multi_row_activation`];
+/// * Sieve's matchers add only ~6 % to each activation in Type-2/3
+///   (§VI-A) — applied by the accelerator model, not here.
+///
+/// # Example
+///
+/// ```
+/// use sieve_dram::EnergyParams;
+///
+/// let e = EnergyParams::ddr4_paper();
+/// // A triple-row activation costs 1 + 2·0.22 activations' worth.
+/// assert_eq!(e.multi_row_activation(3), e.e_act * 144 / 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnergyParams {
+    /// Energy of one single-row activation + restore + precharge, fJ.
+    pub e_act: u64,
+    /// Energy of one 64-byte read burst from an open row, fJ.
+    pub e_rd: u64,
+    /// Energy of one 64-byte write burst to an open row, fJ.
+    pub e_wr: u64,
+    /// Extra energy per additional word line in a multi-row activation,
+    /// in percent of `e_act` (the paper quotes 22 %).
+    pub multi_row_extra_pct: u64,
+    /// Static (background + refresh) power per bank, in nanowatts.
+    pub static_nw_per_bank: u64,
+}
+
+impl EnergyParams {
+    /// Preset consistent with Micron DDR4 power calculators: ~2 nJ per row
+    /// activation cycle of an 8,192-bit row, ~500 pJ per 64 B burst.
+    #[must_use]
+    pub fn ddr4_paper() -> Self {
+        Self {
+            e_act: 2_000 * FJ_PER_PJ,
+            e_rd: 500 * FJ_PER_PJ,
+            e_wr: 550 * FJ_PER_PJ,
+            multi_row_extra_pct: 22,
+            static_nw_per_bank: 12_000_000, // 12 mW per bank
+        }
+    }
+
+    /// Energy of an activation that raises `rows` word lines at once
+    /// (Ambit-style). One row costs `e_act`; each additional row adds
+    /// `multi_row_extra_pct` percent.
+    #[must_use]
+    pub fn multi_row_activation(&self, rows: u32) -> u64 {
+        assert!(rows >= 1, "must raise at least one word line");
+        self.e_act + self.e_act * self.multi_row_extra_pct * u64::from(rows - 1) / 100
+    }
+
+    /// Static energy burned by `banks` banks over `dur` picoseconds, fJ.
+    ///
+    /// `1 nW · 1 ps = 1e-21 J = 1e-6 fJ`, hence the `1e6` divisor.
+    #[must_use]
+    pub fn static_energy(&self, banks: usize, dur: TimePs) -> EnergyFj {
+        EnergyFj::from(self.static_nw_per_bank) * banks as EnergyFj * EnergyFj::from(dur)
+            / 1_000_000
+    }
+}
+
+impl EnergyParams {
+    /// HBM2-class energy: shorter wires cut per-activation energy roughly
+    /// in half; refresh/background power per bank is similar.
+    #[must_use]
+    pub fn hbm2() -> Self {
+        Self {
+            e_act: 1_000 * FJ_PER_PJ,
+            e_rd: 250 * FJ_PER_PJ,
+            e_wr: 300 * FJ_PER_PJ,
+            multi_row_extra_pct: 22,
+            static_nw_per_bank: 10_000_000,
+        }
+    }
+
+    /// ReRAM-class NVM energy: cheap reads, expensive writes, and no
+    /// refresh — background power drops to array leakage only.
+    #[must_use]
+    pub fn nvm_reram() -> Self {
+        Self {
+            e_act: 1_200 * FJ_PER_PJ,
+            e_rd: 300 * FJ_PER_PJ,
+            e_wr: 5_000 * FJ_PER_PJ,
+            multi_row_extra_pct: 22,
+            static_nw_per_bank: 2_000_000,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::ddr4_paper()
+    }
+}
+
+/// Accumulates dynamic energy by category plus static energy.
+///
+/// Categories mirror what the paper's evaluation breaks out: activations,
+/// column reads/writes, and "component" energy (matchers, ETM, column
+/// finder, SRAM buffer — charged by the accelerator model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyLedger {
+    /// Energy spent in row activations, fJ.
+    pub activation_fj: EnergyFj,
+    /// Energy spent in column read bursts, fJ.
+    pub read_fj: EnergyFj,
+    /// Energy spent in column write bursts, fJ.
+    pub write_fj: EnergyFj,
+    /// Energy spent in accelerator add-on components, fJ.
+    pub component_fj: EnergyFj,
+    /// Static/background energy, fJ.
+    pub static_fj: EnergyFj,
+}
+
+impl EnergyLedger {
+    /// A ledger with all categories at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accumulated energy, fJ.
+    #[must_use]
+    pub fn total_fj(&self) -> EnergyFj {
+        self.activation_fj + self.read_fj + self.write_fj + self.component_fj + self.static_fj
+    }
+
+    /// Total accumulated energy in millijoules (lossy, for reporting).
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.total_fj() as f64 / 1e12
+    }
+
+    /// Adds another ledger's totals into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.activation_fj += other.activation_fj;
+        self.read_fj += other.read_fj;
+        self.write_fj += other.write_fj;
+        self.component_fj += other.component_fj;
+        self.static_fj += other.static_fj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_row_matches_ambit_percentages() {
+        let e = EnergyParams::ddr4_paper();
+        assert_eq!(e.multi_row_activation(1), e.e_act);
+        assert_eq!(e.multi_row_activation(2), e.e_act * 122 / 100);
+        assert_eq!(e.multi_row_activation(3), e.e_act * 144 / 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_row_activation_panics() {
+        let _ = EnergyParams::ddr4_paper().multi_row_activation(0);
+    }
+
+    #[test]
+    fn static_energy_scales_linearly() {
+        let e = EnergyParams::ddr4_paper();
+        let one = e.static_energy(1, 1_000_000);
+        assert_eq!(e.static_energy(2, 1_000_000), 2 * one);
+        assert_eq!(e.static_energy(1, 2_000_000), 2 * one);
+        // 12 mW for 1 µs = 12 nJ = 12e6 fJ.
+        assert_eq!(one, 12_000_000);
+    }
+
+    #[test]
+    fn technology_presets_are_ordered() {
+        let ddr4 = EnergyParams::ddr4_paper();
+        let hbm = EnergyParams::hbm2();
+        let nvm = EnergyParams::nvm_reram();
+        assert!(hbm.e_act < ddr4.e_act);
+        assert!(nvm.e_wr > ddr4.e_wr, "NVM writes must be expensive");
+        assert!(nvm.static_nw_per_bank < ddr4.static_nw_per_bank);
+    }
+
+    #[test]
+    fn ledger_totals_and_merge() {
+        let mut a = EnergyLedger::new();
+        a.activation_fj = 10;
+        a.read_fj = 5;
+        let mut b = EnergyLedger::new();
+        b.write_fj = 3;
+        b.component_fj = 2;
+        b.static_fj = 1;
+        a.merge(&b);
+        assert_eq!(a.total_fj(), 21);
+    }
+
+    #[test]
+    fn total_mj_converts() {
+        let ledger = EnergyLedger {
+            activation_fj: 2_000_000_000_000, // 2e12 fJ = 2 mJ
+            ..EnergyLedger::new()
+        };
+        assert!((ledger.total_mj() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for the DRAM model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`crate::Geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Which dimension was invalid.
+        dimension: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { dimension, value } => write!(
+                f,
+                "geometry dimension `{dimension}` must be a nonzero power of two, got {value}"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_dimension() {
+        let e = GeometryError::NotPowerOfTwo {
+            dimension: "ranks",
+            value: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ranks") && msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GeometryError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! # sieve-dram
+//!
+//! A cycle-accounting DRAM device model, built as the substrate for the
+//! [Sieve] in-situ k-mer matching accelerator (ISCA 2021).
+//!
+//! The model is deliberately *not* a full command-bus scheduler like
+//! DRAMSim2. Sieve's access pattern is a long sequence of single-row
+//! activations inside one bank/subarray (one activation every row cycle,
+//! ~50 ns), so the shared command bus is never the bottleneck. What matters
+//! for reproducing the paper is:
+//!
+//! * **geometry** — how many ranks/banks/subarrays/rows/columns a device of
+//!   a given capacity has ([`Geometry`]),
+//! * **timing** — DDR4 core timing parameters and the derived row cycle and
+//!   multi-row-activation latencies ([`TimingParams`]),
+//! * **energy** — per-command dynamic energy and static power, accumulated
+//!   in an [`EnergyLedger`],
+//! * **bank state** — open-row tracking and busy-until accounting per bank
+//!   ([`BankTimeline`]), aggregated by [`DramModule`].
+//!
+//! All times are integer **picoseconds** ([`TimePs`]) and all energies
+//! integer **femtojoules** ([`EnergyFj`]) so that accounting is exact and
+//! deterministic across platforms.
+//!
+//! ## Example
+//!
+//! ```
+//! use sieve_dram::{DramModule, Geometry, TimingParams, EnergyParams};
+//!
+//! let geometry = Geometry::scaled_small();
+//! let mut module = DramModule::new(geometry, TimingParams::ddr4_paper(), EnergyParams::ddr4_paper());
+//! let bank = module.geometry().bank_ids().next().unwrap();
+//! let done = module.activate(bank, 0);
+//! assert_eq!(done, module.timing().row_cycle());
+//! assert_eq!(module.stats().activations, 1);
+//! ```
+//!
+//! [Sieve]: https://doi.org/10.1109/ISCA52012.2021.00022
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod address;
+mod bank;
+mod command;
+mod energy;
+mod error;
+mod geometry;
+mod module;
+mod stats;
+mod timing;
+pub mod trace;
+
+pub use address::Address;
+pub use bank::BankTimeline;
+pub use command::DramCommand;
+pub use energy::{EnergyFj, EnergyLedger, EnergyParams, FJ_PER_PJ};
+pub use error::GeometryError;
+pub use geometry::{BankId, Geometry, SubarrayId};
+pub use module::DramModule;
+pub use stats::DramStats;
+pub use timing::{TimePs, TimingParams, PS_PER_NS};

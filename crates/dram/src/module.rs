@@ -1,0 +1,189 @@
+//! A whole DRAM device: geometry + timing + energy + per-bank timelines.
+
+use crate::bank::BankTimeline;
+use crate::command::DramCommand;
+use crate::energy::EnergyParams;
+use crate::geometry::{BankId, Geometry};
+use crate::stats::DramStats;
+use crate::timing::{TimePs, TimingParams};
+
+/// A DRAM device with independent per-bank timelines.
+///
+/// This is the base layer the Sieve device models build on: they decide
+/// *which* commands to issue and *where* (data layout, batching, ETM), and
+/// the module accounts for *when* each bank finishes and how much energy
+/// was spent.
+///
+/// # Example
+///
+/// ```
+/// use sieve_dram::{DramModule, Geometry, TimingParams, EnergyParams, DramCommand};
+///
+/// let mut m = DramModule::new(
+///     Geometry::scaled_small(),
+///     TimingParams::ddr4_paper(),
+///     EnergyParams::ddr4_paper(),
+/// );
+/// let b0 = m.geometry().bank(0);
+/// let b1 = m.geometry().bank(1);
+/// // Different banks proceed in parallel.
+/// let d0 = m.execute(b0, DramCommand::ActivatePrecharge, 0);
+/// let d1 = m.execute(b1, DramCommand::ActivatePrecharge, 0);
+/// assert_eq!(d0, d1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModule {
+    geometry: Geometry,
+    timing: TimingParams,
+    energy: EnergyParams,
+    banks: Vec<BankTimeline>,
+}
+
+impl DramModule {
+    /// Creates an idle device.
+    #[must_use]
+    pub fn new(geometry: Geometry, timing: TimingParams, energy: EnergyParams) -> Self {
+        Self {
+            banks: vec![BankTimeline::new(); geometry.total_banks()],
+            geometry,
+            timing,
+            energy,
+        }
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing parameters.
+    #[must_use]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The energy parameters.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyParams {
+        &self.energy
+    }
+
+    /// Shared view of one bank's timeline.
+    #[must_use]
+    pub fn bank(&self, id: BankId) -> &BankTimeline {
+        &self.banks[id.index()]
+    }
+
+    /// Mutable view of one bank's timeline (for device models that do their
+    /// own fine-grained accounting, e.g. Type-1 batch streaming).
+    #[must_use]
+    pub fn bank_mut(&mut self, id: BankId) -> &mut BankTimeline {
+        &mut self.banks[id.index()]
+    }
+
+    /// Issues `cmd` on bank `id` at or after `earliest`; returns completion
+    /// time. Convenience for [`BankTimeline::execute`].
+    pub fn execute(&mut self, id: BankId, cmd: DramCommand, earliest: TimePs) -> TimePs {
+        let (timing, energy) = (self.timing, self.energy);
+        self.banks[id.index()].execute(cmd, earliest, &timing, &energy)
+    }
+
+    /// Shorthand: single-row activation (Sieve's unit of matching work).
+    pub fn activate(&mut self, id: BankId, earliest: TimePs) -> TimePs {
+        self.execute(id, DramCommand::ActivatePrecharge, earliest)
+    }
+
+    /// Aggregated statistics across all banks.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        let mut s = DramStats::default();
+        for b in &self.banks {
+            s.activations += b.activations();
+            s.reads += b.reads();
+            s.writes += b.writes();
+            s.dynamic_fj += b.energy_fj();
+            s.makespan_ps = s.makespan_ps.max(b.busy_until());
+        }
+        s
+    }
+
+    /// Static energy over the device makespan, fJ.
+    #[must_use]
+    pub fn static_energy_fj(&self) -> u128 {
+        self.energy
+            .static_energy(self.geometry.total_banks(), self.stats().makespan_ps)
+    }
+
+    /// Resets all bank timelines (keeps geometry/timing/energy).
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = BankTimeline::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> DramModule {
+        DramModule::new(
+            Geometry::scaled_small(),
+            TimingParams::ddr4_paper(),
+            EnergyParams::ddr4_paper(),
+        )
+    }
+
+    #[test]
+    fn banks_run_in_parallel() {
+        let mut m = module();
+        let row_cycle = m.timing().row_cycle();
+        for bank in m.geometry().bank_ids().collect::<Vec<_>>() {
+            let done = m.activate(bank, 0);
+            assert_eq!(done, row_cycle);
+        }
+        let stats = m.stats();
+        assert_eq!(stats.activations as usize, m.geometry().total_banks());
+        assert_eq!(stats.makespan_ps, row_cycle);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut m = module();
+        let b = m.geometry().bank(0);
+        m.activate(b, 0);
+        let done = m.activate(b, 0);
+        assert_eq!(done, 2 * m.timing().row_cycle());
+    }
+
+    #[test]
+    fn stats_aggregate_energy() {
+        let mut m = module();
+        let b = m.geometry().bank(0);
+        m.activate(b, 0);
+        m.execute(b, DramCommand::ReadBurst, 0);
+        let e = *m.energy();
+        assert_eq!(m.stats().dynamic_fj, u128::from(e.e_act + e.e_rd));
+    }
+
+    #[test]
+    fn reset_clears_timelines() {
+        let mut m = module();
+        let b = m.geometry().bank(0);
+        m.activate(b, 0);
+        m.reset();
+        assert_eq!(m.stats(), DramStats::default());
+    }
+
+    #[test]
+    fn static_energy_uses_makespan() {
+        let mut m = module();
+        let b = m.geometry().bank(0);
+        m.activate(b, 0);
+        let expected = m
+            .energy()
+            .static_energy(m.geometry().total_banks(), m.timing().row_cycle());
+        assert_eq!(m.static_energy_fj(), expected);
+    }
+}

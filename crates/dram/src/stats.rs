@@ -1,0 +1,52 @@
+//! Aggregated device statistics.
+
+use crate::energy::EnergyFj;
+use crate::timing::TimePs;
+
+/// Summary counters for a whole device, aggregated from its banks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Total row activations across all banks.
+    pub activations: u64,
+    /// Total read bursts.
+    pub reads: u64,
+    /// Total write bursts.
+    pub writes: u64,
+    /// Total dynamic energy, fJ.
+    pub dynamic_fj: EnergyFj,
+    /// Makespan: the latest completion time across all banks, ps.
+    pub makespan_ps: TimePs,
+}
+
+impl DramStats {
+    /// Average dynamic power over the makespan, in milliwatts.
+    /// Returns 0 if no time has elapsed.
+    #[must_use]
+    pub fn avg_dynamic_power_mw(&self) -> f64 {
+        if self.makespan_ps == 0 {
+            return 0.0;
+        }
+        // fJ / ps = 1e-15 J / 1e-12 s = 1e-3 W = 1 mW.
+        self.dynamic_fj as f64 / self.makespan_ps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let s = DramStats {
+            dynamic_fj: 50_000,
+            makespan_ps: 50_000,
+            ..DramStats::default()
+        };
+        assert!((s.avg_dynamic_power_mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_power() {
+        assert_eq!(DramStats::default().avg_dynamic_power_mw(), 0.0);
+    }
+}

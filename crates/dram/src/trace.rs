@@ -1,0 +1,289 @@
+//! Command traces and timing-legality validation.
+//!
+//! The paper's methodology used a trace-driven simulator with a
+//! DRAMSim2-based front end; this module plays the validation half of that
+//! role. Device schedulers can emit the command stream they *assume* (one
+//! `(time, bank, command)` triple per command), and [`TraceValidator`]
+//! checks it against the JEDEC-style constraints the timing model encodes:
+//!
+//! * same-bank spacing: a new activation must wait `tRC = tRAS + tRP`
+//!   after the previous one (our fused activate+precharge);
+//! * column commands require an activation in flight (`tRCD` met) and
+//!   respect `tCCD` spacing per bank;
+//! * the four-activation window (`tFAW`) per power domain (bank, for
+//!   Sieve's re-engineered delivery — see `TimingParams::t_faw`).
+
+use crate::command::DramCommand;
+use crate::geometry::BankId;
+use crate::timing::{TimePs, TimingParams};
+
+/// One scheduled command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Issue time, ps.
+    pub at: TimePs,
+    /// Target bank.
+    pub bank: BankId,
+    /// The command.
+    pub command: DramCommand,
+}
+
+/// An ordered command trace.
+#[derive(Debug, Clone, Default)]
+pub struct CommandTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl CommandTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a command.
+    pub fn push(&mut self, at: TimePs, bank: BankId, command: DramCommand) {
+        self.entries.push(TraceEntry { at, bank, command });
+    }
+
+    /// The recorded entries, sorted by issue time.
+    #[must_use]
+    pub fn sorted(&self) -> Vec<TraceEntry> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|e| e.at);
+        v
+    }
+
+    /// Number of commands recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A timing-constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending entry.
+    pub entry: TraceEntry,
+    /// Which constraint was violated.
+    pub constraint: &'static str,
+    /// Earliest legal issue time, ps.
+    pub earliest_legal: TimePs,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violated at {} ps on bank {} (earliest legal: {} ps)",
+            self.constraint,
+            self.entry.at,
+            self.entry.bank.index(),
+            self.earliest_legal
+        )
+    }
+}
+
+/// Validates command traces against a [`TimingParams`].
+#[derive(Debug, Clone)]
+pub struct TraceValidator {
+    timing: TimingParams,
+}
+
+impl TraceValidator {
+    /// A validator for the given timing parameters.
+    #[must_use]
+    pub fn new(timing: TimingParams) -> Self {
+        Self { timing }
+    }
+
+    /// Checks every constraint; returns all violations (empty = legal).
+    #[must_use]
+    pub fn validate(&self, trace: &CommandTrace) -> Vec<Violation> {
+        let entries = trace.sorted();
+        let t = &self.timing;
+        let mut violations = Vec::new();
+        // Per-bank state.
+        let mut last_act: std::collections::HashMap<usize, TimePs> = std::collections::HashMap::new();
+        let mut last_col: std::collections::HashMap<usize, TimePs> = std::collections::HashMap::new();
+        let mut act_window: std::collections::HashMap<usize, Vec<TimePs>> =
+            std::collections::HashMap::new();
+        for e in entries {
+            let bank = e.bank.index();
+            match e.command {
+                DramCommand::ActivatePrecharge | DramCommand::MultiRowActivate { .. } => {
+                    // tRC from the previous activation on this bank.
+                    if let Some(&prev) = last_act.get(&bank) {
+                        let legal = prev + t.row_cycle();
+                        if e.at < legal {
+                            violations.push(Violation {
+                                entry: e,
+                                constraint: "tRC (activate-to-activate, same bank)",
+                                earliest_legal: legal,
+                            });
+                        }
+                    }
+                    // tFAW: at most 4 activations per window per domain.
+                    let window = act_window.entry(bank).or_default();
+                    window.retain(|&start| e.at < start + t.t_faw);
+                    if window.len() >= 4 {
+                        let legal = window[window.len() - 4] + t.t_faw;
+                        violations.push(Violation {
+                            entry: e,
+                            constraint: "tFAW (four-activation window)",
+                            earliest_legal: legal,
+                        });
+                    }
+                    window.push(e.at);
+                    last_act.insert(bank, e.at);
+                }
+                DramCommand::ReadBurst | DramCommand::WriteBurst => {
+                    // Must have an open-enough row: tRCD after the last ACT.
+                    match last_act.get(&bank) {
+                        None => violations.push(Violation {
+                            entry: e,
+                            constraint: "column command with no prior activation",
+                            earliest_legal: 0,
+                        }),
+                        Some(&act) => {
+                            let legal = act + t.t_rcd;
+                            if e.at < legal {
+                                violations.push(Violation {
+                                    entry: e,
+                                    constraint: "tRCD (activate-to-column)",
+                                    earliest_legal: legal,
+                                });
+                            }
+                        }
+                    }
+                    // tCCD between column commands on one bank.
+                    if let Some(&prev) = last_col.get(&bank) {
+                        let legal = prev + t.t_ccd;
+                        if e.at < legal {
+                            violations.push(Violation {
+                                entry: e,
+                                constraint: "tCCD (column-to-column)",
+                                earliest_legal: legal,
+                            });
+                        }
+                    }
+                    last_col.insert(bank, e.at);
+                }
+            }
+        }
+        violations
+    }
+
+    /// Convenience: `true` when the trace is fully legal.
+    #[must_use]
+    pub fn is_legal(&self, trace: &CommandTrace) -> bool {
+        self.validate(trace).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(i: u32) -> BankId {
+        crate::geometry::Geometry::scaled_small().bank(i as usize)
+    }
+
+    fn validator() -> TraceValidator {
+        TraceValidator::new(TimingParams::ddr4_paper())
+    }
+
+    #[test]
+    fn empty_trace_is_legal() {
+        assert!(validator().is_legal(&CommandTrace::new()));
+    }
+
+    #[test]
+    fn back_to_back_row_cycles_are_legal() {
+        let t = TimingParams::ddr4_paper();
+        let mut trace = CommandTrace::new();
+        for i in 0..62u64 {
+            trace.push(i * t.row_cycle(), bank(0), DramCommand::ActivatePrecharge);
+        }
+        assert!(validator().is_legal(&trace), "Sieve's cadence must be legal");
+    }
+
+    #[test]
+    fn trc_violation_detected() {
+        let mut trace = CommandTrace::new();
+        trace.push(0, bank(0), DramCommand::ActivatePrecharge);
+        trace.push(10_000, bank(0), DramCommand::ActivatePrecharge); // < 50 ns
+        let v = validator().validate(&trace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].constraint.contains("tRC"));
+        assert_eq!(v[0].earliest_legal, 50_000);
+        assert!(v[0].to_string().contains("tRC"));
+    }
+
+    #[test]
+    fn different_banks_do_not_interact_on_trc() {
+        let mut trace = CommandTrace::new();
+        trace.push(0, bank(0), DramCommand::ActivatePrecharge);
+        trace.push(1_000, bank(1), DramCommand::ActivatePrecharge);
+        assert!(validator().is_legal(&trace));
+    }
+
+    #[test]
+    fn tfaw_violation_detected() {
+        // Five activations in 21 ns on one bank: the fifth violates.
+        let mut trace = CommandTrace::new();
+        for i in 0..5u64 {
+            trace.push(i * 4_000, bank(0), DramCommand::ActivatePrecharge);
+        }
+        let v = validator().validate(&trace);
+        assert!(
+            v.iter().any(|x| x.constraint.contains("tFAW")),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn column_without_activation_is_illegal() {
+        let mut trace = CommandTrace::new();
+        trace.push(0, bank(0), DramCommand::ReadBurst);
+        let v = validator().validate(&trace);
+        assert_eq!(v[0].constraint, "column command with no prior activation");
+    }
+
+    #[test]
+    fn type1_batch_stream_is_legal() {
+        // Type-1's per-row pattern: ACT, then 128 bursts spaced tCCD
+        // starting at tRCD, then the next ACT after the stream drains.
+        let t = TimingParams::ddr4_paper();
+        let mut trace = CommandTrace::new();
+        let mut now = 0u64;
+        for _row in 0..3 {
+            trace.push(now, bank(0), DramCommand::ActivatePrecharge);
+            let mut col = now + t.t_rcd;
+            for _batch in 0..128 {
+                trace.push(col, bank(0), DramCommand::ReadBurst);
+                col += t.t_ccd;
+            }
+            now = (col + t.t_rp).max(now + t.row_cycle());
+        }
+        assert!(validator().is_legal(&trace));
+    }
+
+    #[test]
+    fn tccd_violation_detected() {
+        let t = TimingParams::ddr4_paper();
+        let mut trace = CommandTrace::new();
+        trace.push(0, bank(0), DramCommand::ActivatePrecharge);
+        trace.push(t.t_rcd, bank(0), DramCommand::ReadBurst);
+        trace.push(t.t_rcd + 1_000, bank(0), DramCommand::ReadBurst); // < tCCD
+        let v = validator().validate(&trace);
+        assert!(v.iter().any(|x| x.constraint.contains("tCCD")));
+    }
+}

@@ -1,0 +1,158 @@
+//! Nucleotide bases and the paper's 2-bit encoding.
+
+use std::fmt;
+
+use crate::error::GenomicsError;
+
+/// A DNA nucleotide base.
+///
+/// The discriminants follow the encoding the paper uses (Figure 6:
+/// `A: 00, C: 01, T: 10, G: 11`), so [`Base::to_bits`] is a simple cast and
+/// packed k-mers order consistently with that encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine, encoded `00`.
+    A = 0b00,
+    /// Cytosine, encoded `01`.
+    C = 0b01,
+    /// Thymine, encoded `10`.
+    T = 0b10,
+    /// Guanine, encoded `11`.
+    G = 0b11,
+}
+
+impl Base {
+    /// All four bases in encoding order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::T, Base::G];
+
+    /// The 2-bit encoding of this base.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 2-bit value (only the low two bits are used).
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => Base::A,
+            0b01 => Base::C,
+            0b10 => Base::T,
+            _ => Base::G,
+        }
+    }
+
+    /// Parses an ASCII base letter (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomicsError::InvalidBase`] for anything other than
+    /// `A`/`C`/`G`/`T` — including the ambiguity code `N`, which callers
+    /// handle at the sequence level.
+    pub fn from_ascii(c: u8) -> Result<Self, GenomicsError> {
+        match c.to_ascii_uppercase() {
+            b'A' => Ok(Base::A),
+            b'C' => Ok(Base::C),
+            b'T' => Ok(Base::T),
+            b'G' => Ok(Base::G),
+            other => Err(GenomicsError::InvalidBase { byte: other }),
+        }
+    }
+
+    /// The ASCII letter for this base.
+    #[must_use]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::T => b'T',
+            Base::G => b'G',
+        }
+    }
+
+    /// Watson–Crick complement.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        match self {
+            Base::A => Base::T,
+            Base::T => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = GenomicsError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        if c.is_ascii() {
+            Base::from_ascii(c as u8)
+        } else {
+            Err(GenomicsError::InvalidBase { byte: b'?' })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_paper_figure_6() {
+        assert_eq!(Base::A.to_bits(), 0b00);
+        assert_eq!(Base::C.to_bits(), 0b01);
+        assert_eq!(Base::T.to_bits(), 0b10);
+        assert_eq!(Base::G.to_bits(), 0b11);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_bits(b.to_bits()), b);
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip_case_insensitive() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()).unwrap(), b);
+            assert_eq!(
+                Base::from_ascii(b.to_ascii().to_ascii_lowercase()).unwrap(),
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn n_is_rejected() {
+        assert!(Base::from_ascii(b'N').is_err());
+        assert!(Base::from_ascii(b'x').is_err());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn display_prints_letter() {
+        assert_eq!(Base::G.to_string(), "G");
+    }
+
+    #[test]
+    fn try_from_char() {
+        assert_eq!(Base::try_from('a').unwrap(), Base::A);
+        assert!(Base::try_from('é').is_err());
+    }
+}

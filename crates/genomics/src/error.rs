@@ -1,0 +1,79 @@
+//! Error types for the genomics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the genomics substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenomicsError {
+    /// A byte that is not a valid unambiguous DNA base.
+    InvalidBase {
+        /// The offending (upper-cased) byte.
+        byte: u8,
+    },
+    /// A k outside the supported range (1..=32 for packed 64-bit k-mers).
+    InvalidK {
+        /// The requested k.
+        k: usize,
+    },
+    /// Malformed FASTA input.
+    MalformedFasta {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Malformed FASTQ input.
+    MalformedFastq {
+        /// 1-based line number of the problem.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A taxon id referenced a node that does not exist in the taxonomy.
+    UnknownTaxon {
+        /// The missing taxon id.
+        taxon: u32,
+    },
+}
+
+impl fmt::Display for GenomicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBase { byte } => {
+                write!(f, "invalid DNA base byte 0x{byte:02x}")
+            }
+            Self::InvalidK { k } => {
+                write!(f, "k must be in 1..=32 for packed 64-bit k-mers, got {k}")
+            }
+            Self::MalformedFasta { line, reason } => {
+                write!(f, "malformed FASTA at line {line}: {reason}")
+            }
+            Self::MalformedFastq { line, reason } => {
+                write!(f, "malformed FASTQ at line {line}: {reason}")
+            }
+            Self::UnknownTaxon { taxon } => write!(f, "unknown taxon id {taxon}"),
+        }
+    }
+}
+
+impl Error for GenomicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(GenomicsError::InvalidBase { byte: b'N' }
+            .to_string()
+            .contains("0x4e"));
+        assert!(GenomicsError::InvalidK { k: 33 }.to_string().contains("33"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<GenomicsError>();
+    }
+}

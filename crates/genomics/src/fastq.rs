@@ -1,0 +1,152 @@
+//! Minimal FASTQ reader/writer.
+//!
+//! The paper's query workloads (Table II: `HiSeq_*.fa`, `MiSeq_*.fa`,
+//! `simBA5_*.fa`) are Illumina-style short-read files; our read simulator
+//! emits this format.
+
+use std::fmt::Write as _;
+
+use crate::error::GenomicsError;
+use crate::sequence::DnaSequence;
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read identifier (without the leading `@`).
+    pub id: String,
+    /// The read sequence.
+    pub sequence: DnaSequence,
+    /// Per-base Phred+33 quality string (same length as `sequence`).
+    pub quality: String,
+}
+
+/// Parses FASTQ text (strict 4-line records).
+///
+/// # Errors
+///
+/// Returns [`GenomicsError::MalformedFastq`] on truncated records, missing
+/// `@`/`+` markers, invalid sequence characters, or a quality string whose
+/// length differs from the sequence.
+///
+/// # Example
+///
+/// ```
+/// use sieve_genomics::fastq;
+///
+/// let reads = fastq::parse("@r1\nACGT\n+\nIIII\n")?;
+/// assert_eq!(reads[0].sequence.to_string(), "ACGT");
+/// # Ok::<(), sieve_genomics::GenomicsError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Vec<FastqRecord>, GenomicsError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut records = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        if i + 3 >= lines.len() {
+            return Err(GenomicsError::MalformedFastq {
+                line: i + 1,
+                reason: "truncated record (need 4 lines)".to_string(),
+            });
+        }
+        let id = lines[i]
+            .strip_prefix('@')
+            .ok_or_else(|| GenomicsError::MalformedFastq {
+                line: i + 1,
+                reason: "expected `@` header".to_string(),
+            })?
+            .trim()
+            .to_string();
+        let sequence = DnaSequence::from_bytes(lines[i + 1].trim_end().as_bytes())
+            .map_err(|e| GenomicsError::MalformedFastq {
+                line: i + 2,
+                reason: e.to_string(),
+            })?;
+        if !lines[i + 2].starts_with('+') {
+            return Err(GenomicsError::MalformedFastq {
+                line: i + 3,
+                reason: "expected `+` separator".to_string(),
+            });
+        }
+        let quality = lines[i + 3].trim_end().to_string();
+        if quality.len() != sequence.len() {
+            return Err(GenomicsError::MalformedFastq {
+                line: i + 4,
+                reason: format!(
+                    "quality length {} != sequence length {}",
+                    quality.len(),
+                    sequence.len()
+                ),
+            });
+        }
+        records.push(FastqRecord {
+            id,
+            sequence,
+            quality,
+        });
+        i += 4;
+    }
+    Ok(records)
+}
+
+/// Serializes records to FASTQ text.
+#[must_use]
+pub fn write(records: &[FastqRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, "@{}\n{}\n+\n{}", r.id, r.sequence, r.quality);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let rs = parse("@a\nACGT\n+\nIIII\n@b\nTT\n+\nII\n").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].sequence.to_string(), "TT");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(parse("@a\nACGT\n+\n").is_err());
+    }
+
+    #[test]
+    fn missing_at_rejected() {
+        assert!(parse("a\nACGT\n+\nIIII\n").is_err());
+    }
+
+    #[test]
+    fn missing_plus_rejected() {
+        assert!(parse("@a\nACGT\n-\nIIII\n").is_err());
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let err = parse("@a\nACGT\n+\nIII\n").unwrap_err();
+        assert!(err.to_string().contains("quality length"));
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let records = vec![FastqRecord {
+            id: "read/1".into(),
+            sequence: "ACGTN".parse().unwrap(),
+            quality: "IIII#".into(),
+        }];
+        assert_eq!(parse(&write(&records)).unwrap(), records);
+    }
+
+    #[test]
+    fn blank_lines_between_records_tolerated() {
+        let rs = parse("@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+}

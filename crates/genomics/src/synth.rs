@@ -1,0 +1,619 @@
+//! Seeded synthetic datasets standing in for the paper's real inputs.
+//!
+//! The paper evaluates with the MiniKraken 4 GB / 8 GB databases, the NCBI
+//! Bacteria reference (2,785 genomes, 6.24 GB), and six Illumina-style query
+//! files (Table II). Those artifacts are not redistributable here, so this
+//! module generates **seeded, deterministic** stand-ins that preserve the
+//! properties the evaluation depends on:
+//!
+//! * reference k-mer sets that are sparse in the 4^k space (so the Expected
+//!   Shared Prefix of a random query against the set is tiny — Figure 6),
+//! * query files with the paper's read lengths (92/157/100 bases) and a low
+//!   (~1 %) k-mer hit rate, the regime the paper reports for real data,
+//! * a taxonomy so classification (hit-majority / LCA) is meaningful.
+//!
+//! Scale: everything is scaled down by a configurable factor (default
+//! 1,000×) from the paper's sizes; DESIGN.md §5 explains why speedup ratios
+//! are scale-invariant in this simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::Base;
+use crate::db::{build_entries, DbOptions};
+use crate::kmer::Kmer;
+use crate::sequence::DnaSequence;
+use crate::taxonomy::{TaxonId, Taxonomy};
+
+/// Generates a uniformly random genome of `len` bases.
+#[must_use]
+pub fn random_genome(len: usize, rng: &mut StdRng) -> DnaSequence {
+    (0..len)
+        .map(|_| Base::from_bits(rng.gen_range(0..4u8)))
+        .collect()
+}
+
+/// Applies substitution errors at `rate` and turns a small fraction of
+/// positions into `N`, mimicking Illumina base-calling artifacts.
+#[must_use]
+pub fn corrupt(seq: &DnaSequence, rate: f64, n_rate: f64, rng: &mut StdRng) -> DnaSequence {
+    let mut out = DnaSequence::new();
+    for i in 0..seq.len() {
+        if rng.gen_bool(n_rate) {
+            out.push_ambiguous();
+        } else {
+            match seq.base(i) {
+                Some(b) if rng.gen_bool(rate) => {
+                    // Substitute with a different base.
+                    let mut nb = Base::from_bits(rng.gen_range(0..4u8));
+                    while nb == b {
+                        nb = Base::from_bits(rng.gen_range(0..4u8));
+                    }
+                    out.push(nb);
+                }
+                Some(b) => out.push(b),
+                None => out.push_ambiguous(),
+            }
+        }
+    }
+    out
+}
+
+/// The reference-database presets of §V, scaled down.
+///
+/// | Preset | Paper artifact | Scaled stand-in |
+/// |--------|----------------|-----------------|
+/// | `MiniKraken4` | MiniKraken 4 GB | 32 taxa × 8 kb |
+/// | `MiniKraken8` | MiniKraken 8 GB | 64 taxa × 8 kb |
+/// | `NcbiBacteria` | 2,785 genomes, 6.24 GB | 48 taxa × 8 kb |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReferencePreset {
+    /// Stand-in for the MiniKraken 4 GB database.
+    MiniKraken4,
+    /// Stand-in for the MiniKraken 8 GB database.
+    MiniKraken8,
+    /// Stand-in for the NCBI Bacteria reference genomes.
+    NcbiBacteria,
+}
+
+impl ReferencePreset {
+    /// `(taxa, genome_len)` for this preset at scale 1.
+    #[must_use]
+    pub fn dimensions(self) -> (usize, usize) {
+        match self {
+            Self::MiniKraken4 => (32, 8192),
+            Self::MiniKraken8 => (64, 8192),
+            Self::NcbiBacteria => (48, 8192),
+        }
+    }
+
+    /// Short label used in workload names (`4`, `8`, `BG`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::MiniKraken4 => "4",
+            Self::MiniKraken8 => "8",
+            Self::NcbiBacteria => "BG",
+        }
+    }
+}
+
+/// The query-file presets of Table II, scaled down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPreset {
+    /// `HiSeq_Accuracy.fa`: 10^4 sequences × 92 bases.
+    HiSeqAccuracy,
+    /// `MiSeq_Accuracy.fa`: 10^4 sequences × 157 bases.
+    MiSeqAccuracy,
+    /// `simBA5_Accuracy.fa`: 10^4 sequences × 100 bases.
+    SimBa5Accuracy,
+    /// `HiSeq_Timing.fa`: 10^8 sequences × 92 bases.
+    HiSeqTiming,
+    /// `MiSeq_Timing.fa`: 10^8 sequences × 157 bases.
+    MiSeqTiming,
+    /// `simBA5_Timing.fa`: 10^8 sequences × 100 bases.
+    SimBa5Timing,
+}
+
+impl QueryPreset {
+    /// All six presets, in Table II order.
+    pub const ALL: [QueryPreset; 6] = [
+        QueryPreset::HiSeqAccuracy,
+        QueryPreset::MiSeqAccuracy,
+        QueryPreset::SimBa5Accuracy,
+        QueryPreset::HiSeqTiming,
+        QueryPreset::MiSeqTiming,
+        QueryPreset::SimBa5Timing,
+    ];
+
+    /// `(paper sequence count, read length)`.
+    #[must_use]
+    pub fn paper_dimensions(self) -> (u64, usize) {
+        match self {
+            Self::HiSeqAccuracy => (10_000, 92),
+            Self::MiSeqAccuracy => (10_000, 157),
+            Self::SimBa5Accuracy => (10_000, 100),
+            Self::HiSeqTiming => (100_000_000, 92),
+            Self::MiSeqTiming => (100_000_000, 157),
+            Self::SimBa5Timing => (100_000_000, 100),
+        }
+    }
+
+    /// The Table II file-name stem.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HiSeqAccuracy => "HiSeq_Accuracy.fa",
+            Self::MiSeqAccuracy => "MiSeq_Accuracy.fa",
+            Self::SimBa5Accuracy => "simBA5_Accuracy.fa",
+            Self::HiSeqTiming => "HiSeq_Timing.fa",
+            Self::MiSeqTiming => "MiSeq_Timing.fa",
+            Self::SimBa5Timing => "simBA5_Timing.fa",
+        }
+    }
+
+    /// Short label used in workload names (`HA`, `MT`, …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::HiSeqAccuracy => "HA",
+            Self::MiSeqAccuracy => "MA",
+            Self::SimBa5Accuracy => "SA",
+            Self::HiSeqTiming => "HT",
+            Self::MiSeqTiming => "MT",
+            Self::SimBa5Timing => "ST",
+        }
+    }
+
+    /// Sequence count after dividing the paper's count by `scale_divisor`
+    /// (minimum 64 so small scales still exercise batching).
+    #[must_use]
+    pub fn scaled_count(self, scale_divisor: u64) -> usize {
+        let (n, _) = self.paper_dimensions();
+        (n / scale_divisor.max(1)).max(64) as usize
+    }
+}
+
+/// A fully built synthetic dataset: taxonomy, genomes, and the sorted
+/// reference entry list.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The taxonomy tree (genus → species structure).
+    pub taxonomy: Taxonomy,
+    /// Labelled genomes.
+    pub genomes: Vec<(TaxonId, DnaSequence)>,
+    /// Sorted, deduplicated reference k-mer entries.
+    pub entries: Vec<(Kmer, TaxonId)>,
+    /// The k used.
+    pub k: usize,
+}
+
+/// Builds a synthetic reference dataset for `preset` with k-mer length `k`.
+///
+/// Genomes are grouped into genera of four species; species within a genus
+/// are 3 %-mutated copies of a genus ancestor, so LCA-based classification
+/// has real structure to find.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `1..=32` (checked by the entry builder).
+#[must_use]
+pub fn make_dataset(preset: ReferencePreset, k: usize, seed: u64) -> SyntheticDataset {
+    let (taxa, genome_len) = preset.dimensions();
+    make_dataset_with(taxa, genome_len, k, seed)
+}
+
+/// Builds a synthetic dataset with explicit dimensions (see [`make_dataset`]).
+///
+/// # Panics
+///
+/// Panics if `taxa` is 0 or `k` invalid.
+#[must_use]
+pub fn make_dataset_with(
+    taxa: usize,
+    genome_len: usize,
+    k: usize,
+    seed: u64,
+) -> SyntheticDataset {
+    assert!(taxa > 0, "need at least one taxon");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut taxonomy = Taxonomy::new();
+    let mut genomes = Vec::with_capacity(taxa);
+    let genera = taxa.div_ceil(4);
+    for g in 0..genera {
+        let genus = taxonomy
+            .add_child(TaxonId::ROOT, format!("genus-{g}"))
+            .expect("root exists");
+        let ancestor = random_genome(genome_len, &mut rng);
+        for s in 0..4 {
+            if genomes.len() == taxa {
+                break;
+            }
+            let species = taxonomy
+                .add_child(genus, format!("species-{g}-{s}"))
+                .expect("genus exists");
+            let genome = corrupt(&ancestor, 0.03, 0.0, &mut rng);
+            genomes.push((species, genome));
+        }
+    }
+    let entries = build_entries(
+        &genomes,
+        DbOptions { k, ..DbOptions::default() },
+        Some(&taxonomy),
+    )
+    .expect("k validated by caller");
+    SyntheticDataset {
+        taxonomy,
+        genomes,
+        entries,
+        k,
+    }
+}
+
+/// Read-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadSimConfig {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Fraction of reads sampled from reference genomes (the rest are
+    /// random — organisms absent from the database).
+    pub from_reference: f64,
+    /// Per-base substitution error rate for sampled reads.
+    pub error_rate: f64,
+    /// Per-base probability of an `N` call.
+    pub n_rate: f64,
+}
+
+impl Default for ReadSimConfig {
+    fn default() -> Self {
+        // These rates land the ~1 % k-mer hit rate the paper reports for
+        // real metagenomic samples (most reads are novel; sampled reads
+        // carry errors that break most 31-mers).
+        Self {
+            read_len: 100,
+            from_reference: 0.02,
+            error_rate: 0.02,
+            n_rate: 0.001,
+        }
+    }
+}
+
+/// Simulates a set of reads against `dataset`'s genomes.
+///
+/// Returns `(reads, true_taxa)` where `true_taxa[i]` is `Some(taxon)` for
+/// reads sampled from a genome and `None` for random (novel) reads.
+///
+/// # Panics
+///
+/// Panics if `read_len` exceeds every genome length or `count == 0`.
+#[must_use]
+pub fn simulate_reads(
+    dataset: &SyntheticDataset,
+    config: ReadSimConfig,
+    count: usize,
+    seed: u64,
+) -> (Vec<DnaSequence>, Vec<Option<TaxonId>>) {
+    assert!(count > 0, "need at least one read");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reads = Vec::with_capacity(count);
+    let mut truth = Vec::with_capacity(count);
+    for _ in 0..count {
+        if rng.gen_bool(config.from_reference) {
+            let (taxon, genome) = &dataset.genomes[rng.gen_range(0..dataset.genomes.len())];
+            assert!(
+                genome.len() >= config.read_len,
+                "read length {} exceeds genome length {}",
+                config.read_len,
+                genome.len()
+            );
+            let start = rng.gen_range(0..=genome.len() - config.read_len);
+            let window = genome.slice(start, config.read_len);
+            reads.push(corrupt(&window, config.error_rate, config.n_rate, &mut rng));
+            truth.push(Some(*taxon));
+        } else {
+            reads.push(random_genome(config.read_len, &mut rng));
+            truth.push(None);
+        }
+    }
+    (reads, truth)
+}
+
+/// Generates an Illumina-style quality string: high Phred scores early,
+/// degrading toward the 3′ end (the dominant Illumina error pattern).
+#[must_use]
+pub fn quality_string(len: usize, rng: &mut StdRng) -> String {
+    (0..len)
+        .map(|i| {
+            // Mean Phred drifts from ~38 down to ~22 across the read.
+            let mean = 38.0 - 16.0 * i as f64 / len.max(1) as f64;
+            let q = (mean + rng.gen_range(-4.0..4.0)).clamp(2.0, 41.0) as u8;
+            (q + 33) as char // Phred+33
+        })
+        .collect()
+}
+
+/// Per-base error probability from a Phred+33 quality character.
+#[must_use]
+pub fn phred_error_prob(q: char) -> f64 {
+    let phred = (q as u8).saturating_sub(33);
+    10f64.powf(-f64::from(phred) / 10.0)
+}
+
+/// Applies quality-driven substitution errors: each base flips with the
+/// probability its quality character encodes.
+#[must_use]
+pub fn corrupt_by_quality(
+    seq: &DnaSequence,
+    quality: &str,
+    rng: &mut StdRng,
+) -> DnaSequence {
+    assert_eq!(seq.len(), quality.len(), "quality length mismatch");
+    let mut out = DnaSequence::new();
+    for (i, q) in quality.chars().enumerate() {
+        match seq.base(i) {
+            Some(b) if rng.gen_bool(phred_error_prob(q).min(0.75)) => {
+                let mut nb = Base::from_bits(rng.gen_range(0..4u8));
+                while nb == b {
+                    nb = Base::from_bits(rng.gen_range(0..4u8));
+                }
+                out.push(nb);
+            }
+            Some(b) => out.push(b),
+            None => out.push_ambiguous(),
+        }
+    }
+    out
+}
+
+/// Simulates paired-end reads: an insert of `insert_len` is sampled from a
+/// genome; mate 1 reads its 5′ end forward, mate 2 reads its 3′ end on the
+/// reverse-complement strand (standard FR orientation).
+///
+/// Returns `((mate1, mate2) pairs, true origins)`.
+///
+/// # Panics
+///
+/// Panics if `insert_len < config.read_len`, any genome is shorter than
+/// the insert, or `count == 0`.
+#[must_use]
+pub fn simulate_paired_reads(
+    dataset: &SyntheticDataset,
+    config: ReadSimConfig,
+    insert_len: usize,
+    count: usize,
+    seed: u64,
+) -> (Vec<(DnaSequence, DnaSequence)>, Vec<Option<TaxonId>>) {
+    assert!(count > 0, "need at least one pair");
+    assert!(
+        insert_len >= config.read_len,
+        "insert ({insert_len}) must cover a read ({})",
+        config.read_len
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(count);
+    let mut truth = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (insert, origin) = if rng.gen_bool(config.from_reference) {
+            let (taxon, genome) = &dataset.genomes[rng.gen_range(0..dataset.genomes.len())];
+            assert!(
+                genome.len() >= insert_len,
+                "insert length {insert_len} exceeds genome length {}",
+                genome.len()
+            );
+            let start = rng.gen_range(0..=genome.len() - insert_len);
+            (genome.slice(start, insert_len), Some(*taxon))
+        } else {
+            (random_genome(insert_len, &mut rng), None)
+        };
+        let mate1 = corrupt(
+            &insert.slice(0, config.read_len),
+            config.error_rate,
+            config.n_rate,
+            &mut rng,
+        );
+        let mate2 = corrupt(
+            &insert
+                .slice(insert_len - config.read_len, config.read_len)
+                .reverse_complement(),
+            config.error_rate,
+            config.n_rate,
+            &mut rng,
+        );
+        pairs.push((mate1, mate2));
+        truth.push(origin);
+    }
+    (pairs, truth)
+}
+
+/// Generates a Table II query file (scaled) against `dataset`.
+#[must_use]
+pub fn make_queries(
+    dataset: &SyntheticDataset,
+    preset: QueryPreset,
+    scale_divisor: u64,
+    seed: u64,
+) -> (Vec<DnaSequence>, Vec<Option<TaxonId>>) {
+    let (_, read_len) = preset.paper_dimensions();
+    let config = ReadSimConfig {
+        read_len,
+        ..ReadSimConfig::default()
+    };
+    simulate_reads(dataset, config, preset.scaled_count(scale_divisor), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{KmerDatabase, SortedDb};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = make_dataset(ReferencePreset::MiniKraken4, 11, 42);
+        let b = make_dataset(ReferencePreset::MiniKraken4, 11, 42);
+        assert_eq!(a.entries, b.entries);
+        let c = make_dataset(ReferencePreset::MiniKraken4, 11, 43);
+        assert_ne!(a.entries, c.entries);
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let ds = make_dataset_with(8, 2048, 15, 7);
+        assert_eq!(ds.genomes.len(), 8);
+        assert!(ds.entries.len() > 8_000, "got {}", ds.entries.len());
+        // Genus structure: 8 species → 2 genera → taxonomy has
+        // 1 root + 2 genera + 8 species.
+        assert_eq!(ds.taxonomy.len(), 11);
+    }
+
+    #[test]
+    fn species_in_genus_share_kmers() {
+        // 3 % mutation leaves many shared k-mers, which must be labelled
+        // with the genus (LCA), not a species.
+        let ds = make_dataset_with(4, 2048, 9, 11);
+        let genus_labelled = ds
+            .entries
+            .iter()
+            .filter(|(_, t)| ds.taxonomy.depth(*t).unwrap() == 1)
+            .count();
+        assert!(genus_labelled > 0, "no LCA-labelled k-mers");
+    }
+
+    #[test]
+    fn read_truth_tracks_origin() {
+        let ds = make_dataset_with(4, 1024, 13, 3);
+        let (reads, truth) = simulate_reads(
+            &ds,
+            ReadSimConfig {
+                read_len: 80,
+                from_reference: 1.0,
+                error_rate: 0.0,
+                n_rate: 0.0,
+            },
+            50,
+            9,
+        );
+        assert_eq!(reads.len(), 50);
+        assert!(truth.iter().all(Option::is_some));
+        // Error-free sampled reads: every k-mer hits the database.
+        let db = SortedDb::from_entries(ds.entries.clone(), 13);
+        for read in &reads {
+            for (_, kmer) in read.kmers(13) {
+                assert!(db.get(kmer).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_gives_low_hit_rate() {
+        let ds = make_dataset_with(16, 4096, 31, 5);
+        let (reads, _) = simulate_reads(&ds, ReadSimConfig::default(), 300, 6);
+        let db = SortedDb::from_entries(ds.entries.clone(), 31);
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for read in &reads {
+            for (_, kmer) in read.kmers(31) {
+                total += 1;
+                if db.get(kmer).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        assert!(
+            rate > 0.001 && rate < 0.12,
+            "hit rate {rate} outside the paper's low-hit-rate regime"
+        );
+    }
+
+    #[test]
+    fn query_presets_scale() {
+        assert_eq!(QueryPreset::HiSeqTiming.scaled_count(1_000_000), 100);
+        assert_eq!(QueryPreset::HiSeqAccuracy.scaled_count(1), 10_000);
+        // Floor kicks in.
+        assert_eq!(QueryPreset::HiSeqAccuracy.scaled_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn paired_reads_are_fr_oriented() {
+        let ds = make_dataset_with(4, 1024, 13, 3);
+        let config = ReadSimConfig {
+            read_len: 80,
+            from_reference: 1.0,
+            error_rate: 0.0,
+            n_rate: 0.0,
+        };
+        let (pairs, truth) = simulate_paired_reads(&ds, config, 200, 20, 9);
+        assert_eq!(pairs.len(), 20);
+        assert!(truth.iter().all(Option::is_some));
+        // Error-free FR pairs: both mates' k-mers (mate 2 re-complemented)
+        // must hit the origin genome's k-mer set.
+        let db = crate::db::SortedDb::from_entries(ds.entries.clone(), 13);
+        use crate::db::KmerDatabase;
+        for (m1, m2) in &pairs {
+            for (_, k) in m1.kmers(13) {
+                assert!(db.get(k).is_some(), "mate1 k-mer must hit");
+            }
+            for (_, k) in m2.reverse_complement().kmers(13) {
+                assert!(db.get(k).is_some(), "rc(mate2) k-mer must hit");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover a read")]
+    fn short_insert_panics() {
+        let ds = make_dataset_with(2, 512, 13, 3);
+        let config = ReadSimConfig {
+            read_len: 80,
+            ..ReadSimConfig::default()
+        };
+        let _ = simulate_paired_reads(&ds, config, 50, 1, 1);
+    }
+
+    #[test]
+    fn quality_degrades_toward_read_end() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = quality_string(100, &mut rng);
+        assert_eq!(q.len(), 100);
+        let head: f64 = q.chars().take(20).map(phred_error_prob).sum::<f64>() / 20.0;
+        let tail: f64 = q.chars().rev().take(20).map(phred_error_prob).sum::<f64>() / 20.0;
+        assert!(tail > head, "3' end must be noisier: {head:.5} vs {tail:.5}");
+        // Phred 40 ('I') ≈ 1e-4.
+        assert!((phred_error_prob('I') - 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quality_driven_errors_track_quality() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_genome(2_000, &mut rng);
+        let perfect = "I".repeat(2_000); // Phred 40 ≈ no errors
+        let awful = "#".repeat(2_000); // Phred 2 ≈ 63 % error
+        let clean = corrupt_by_quality(&g, &perfect, &mut rng);
+        let noisy = corrupt_by_quality(&g, &awful, &mut rng);
+        let diff = |a: &DnaSequence, b: &DnaSequence| {
+            a.as_bytes()
+                .iter()
+                .zip(b.as_bytes())
+                .filter(|(x, y)| x != y)
+                .count()
+        };
+        assert!(diff(&g, &clean) < 5);
+        assert!(diff(&g, &noisy) > 800);
+    }
+
+    #[test]
+    fn corrupt_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_genome(500, &mut rng);
+        let c = corrupt(&g, 0.5, 0.01, &mut rng);
+        assert_eq!(c.len(), g.len());
+        assert_ne!(c, g);
+    }
+
+    #[test]
+    fn labels_cover_fig13_axis() {
+        // Workload naming used across Figures 13–15: kernel.query.size.
+        assert_eq!(QueryPreset::HiSeqAccuracy.label(), "HA");
+        assert_eq!(ReferencePreset::NcbiBacteria.label(), "BG");
+    }
+}

@@ -1,0 +1,66 @@
+//! Deploy a Sieve device through the §IV-C API — transport validation,
+//! one-time database transposition + load, then repeated query campaigns
+//! that amortize the load cost.
+//!
+//! Run with: `cargo run --example deploy_and_amortize --release`
+
+use sieve::core::{SieveApi, SieveConfig, Transport};
+use sieve::dram::Geometry;
+use sieve::genomics::synth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = synth::make_dataset_with(16, 8192, 31, 321);
+    let geometry = Geometry::new(1, 2, 128, 512, 8192)?;
+
+    // Type-3 on a DIMM is rejected (power delivery, §IV-C)…
+    let dimm_attempt = SieveApi::deploy(
+        SieveConfig::type3(8).with_geometry(geometry),
+        Transport::dimm(),
+        dataset.entries.clone(),
+    );
+    println!("Type-3 on DIMM: {}", dimm_attempt.err().map(|e| e.to_string()).unwrap_or_default());
+
+    // …so deploy it on PCIe 4.0 x16.
+    let mut api = SieveApi::deploy(
+        SieveConfig::type3(8).with_geometry(geometry),
+        Transport::pcie_gen4_x16(),
+        dataset.entries.clone(),
+    )?;
+    let load = *api.load_report();
+    println!(
+        "\ndeployed on {}: image {:.1} MB, transpose {:.2} ms, load {:.2} ms",
+        api.transport().label(),
+        load.image_bytes as f64 / 1e6,
+        load.transpose_ps as f64 / 1e9,
+        load.total_ps() as f64 / 1e9,
+    );
+    println!(
+        "peak power {:.1} W → thermal: {:?}",
+        SieveApi::peak_power_w(api.device().config()),
+        api.thermal_verdict()
+    );
+
+    // Query campaigns: the one-time load cost fades.
+    let (reads, _) = synth::simulate_reads(&dataset, synth::ReadSimConfig::default(), 400, 5);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    println!("\ncampaign  queries served  load share of total time");
+    for campaign in 1..=5 {
+        api.query(&queries)?;
+        println!(
+            "{campaign:>8}  {:>14}  {:>23.2}%",
+            api.queries_served(),
+            100.0 * api.amortized_load_overhead()
+        );
+    }
+    println!(
+        "\nqueries to reach 1% load overhead at current throughput: {:.2e}",
+        load.amortization_queries(
+            api.device().config().geometry.total_banks() as f64 * 1e6,
+            0.01
+        ) as f64
+    );
+    Ok(())
+}

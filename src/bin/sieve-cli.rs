@@ -1,0 +1,280 @@
+//! `sieve-cli` — drive the Sieve simulator from FASTA/FASTQ files on disk.
+//!
+//! ```text
+//! sieve-cli make-data  --out DIR [--taxa 8] [--genome-len 4096] [--reads 200]
+//!                      [--read-len 100] [--seed 42]
+//! sieve-cli classify   --reference ref.fasta --reads reads.fastq
+//!                      [--device t3:8|t2:16|t1] [--k 31] [--limit 10]
+//! sieve-cli simulate   --reference ref.fasta --reads reads.fastq
+//!                      [--device t3:8] [--k 31] [--etm on|off]
+//! ```
+//!
+//! Reference FASTA headers carry taxon labels as `taxon:<id>`; `make-data`
+//! writes files in exactly that convention.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sieve::core::{HostPipeline, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::db::{build_entries, DbOptions};
+use sieve::genomics::{fasta, fastq, synth, DnaSequence, TaxonId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("make-data") => make_data(&args[1..]),
+        Some("classify") => run_pipeline(&args[1..], true),
+        Some("simulate") => run_pipeline(&args[1..], false),
+        Some("--help" | "-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sieve-cli — Sieve in-DRAM k-mer matching simulator
+
+USAGE:
+  sieve-cli make-data --out DIR [--taxa N] [--genome-len L] [--reads R]
+                      [--read-len RL] [--seed S]
+  sieve-cli classify  --reference FASTA --reads FASTQ [--device t1|t2:N|t3:N]
+                      [--k K] [--limit N]
+  sieve-cli simulate  --reference FASTA --reads FASTQ [--device t1|t2:N|t3:N]
+                      [--k K] [--etm on|off]
+";
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected `--flag`, got `{key}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `--{key}` needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("invalid --{key} `{v}`: {e}").into()),
+        None => Ok(default),
+    }
+}
+
+fn make_data(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let flags = parse_flags(args)?;
+    let out: PathBuf = flags
+        .get("out")
+        .ok_or("make-data requires --out DIR")?
+        .into();
+    let taxa = flag(&flags, "taxa", 8usize)?;
+    let genome_len = flag(&flags, "genome-len", 4096usize)?;
+    let reads = flag(&flags, "reads", 200usize)?;
+    let read_len = flag(&flags, "read-len", 100usize)?;
+    let seed = flag(&flags, "seed", 42u64)?;
+
+    let dataset = synth::make_dataset_with(taxa, genome_len, 31, seed);
+    fs::create_dir_all(&out)?;
+
+    let records: Vec<fasta::FastaRecord> = dataset
+        .genomes
+        .iter()
+        .map(|(taxon, seq)| fasta::FastaRecord {
+            id: format!(
+                "taxon:{} {}",
+                taxon.0,
+                dataset.taxonomy.name(*taxon).unwrap_or("unnamed")
+            ),
+            sequence: seq.clone(),
+        })
+        .collect();
+    fs::write(out.join("reference.fasta"), fasta::write(&records))?;
+
+    // A demo-friendly mix: half the reads from reference organisms (so
+    // classification has something to find), half novel.
+    let (read_seqs, truth) = synth::simulate_reads(
+        &dataset,
+        synth::ReadSimConfig {
+            read_len,
+            from_reference: 0.5,
+            error_rate: 0.01,
+            ..synth::ReadSimConfig::default()
+        },
+        reads,
+        seed.wrapping_add(1),
+    );
+    let fq: Vec<fastq::FastqRecord> = read_seqs
+        .iter()
+        .zip(&truth)
+        .enumerate()
+        .map(|(i, (seq, t))| fastq::FastqRecord {
+            id: match t {
+                Some(taxon) => format!("read-{i} origin=taxon:{}", taxon.0),
+                None => format!("read-{i} origin=novel"),
+            },
+            quality: "I".repeat(seq.len()),
+            sequence: seq.clone(),
+        })
+        .collect();
+    fs::write(out.join("reads.fastq"), fastq::write(&fq))?;
+    println!(
+        "wrote {} ({} genomes) and {} ({} reads)",
+        out.join("reference.fasta").display(),
+        records.len(),
+        out.join("reads.fastq").display(),
+        fq.len()
+    );
+
+    // Dataset report: composition + k-mer spectrum of the reference.
+    let rstats = sieve::genomics::stats::read_set_stats(&read_seqs);
+    println!(
+        "reads: mean length {:.1}, GC {:.1}%, N rate {:.3}%",
+        rstats.mean_len,
+        100.0 * rstats.gc_content,
+        100.0 * rstats.n_rate
+    );
+    let mut counter = sieve::genomics::counting::KmerCounter::new(31)?;
+    for (_, genome) in &dataset.genomes {
+        counter.add_sequence(genome);
+    }
+    let spectrum = counter.spectrum();
+    let singletons = spectrum
+        .iter()
+        .find(|(m, _)| *m == 1)
+        .map_or(0, |(_, n)| *n);
+    println!(
+        "reference 31-mers: {} distinct of {} total; {} singletons ({:.1}%)",
+        counter.distinct(),
+        counter.total(),
+        singletons,
+        100.0 * singletons as f64 / counter.distinct().max(1) as f64
+    );
+    Ok(())
+}
+
+/// Parses `t1`, `t2:16`, `t3:8`.
+fn parse_device(spec: &str) -> Result<SieveConfig, Box<dyn Error>> {
+    let (kind, param) = match spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (spec, None),
+    };
+    match (kind, param) {
+        ("t1", None) => Ok(SieveConfig::type1()),
+        ("t2", Some(p)) => Ok(SieveConfig::type2(p.parse()?)),
+        ("t3", Some(p)) => Ok(SieveConfig::type3(p.parse()?)),
+        _ => Err(format!("invalid --device `{spec}` (use t1, t2:N, or t3:N)").into()),
+    }
+}
+
+fn load_reference(
+    path: &str,
+    k: usize,
+) -> Result<Vec<(sieve::genomics::Kmer, TaxonId)>, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let records = fasta::parse(&text)?;
+    let genomes: Vec<(TaxonId, DnaSequence)> = records
+        .into_iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            let taxon = rec
+                .id
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix("taxon:"))
+                .and_then(|t| t.parse().ok())
+                .map_or(TaxonId(i as u32 + 1), TaxonId);
+            (taxon, rec.sequence)
+        })
+        .collect();
+    Ok(build_entries(
+        &genomes,
+        DbOptions {
+            k,
+            ..DbOptions::default()
+        },
+        None,
+    )?)
+}
+
+fn run_pipeline(args: &[String], per_read: bool) -> Result<(), Box<dyn Error>> {
+    let flags = parse_flags(args)?;
+    let reference = flags
+        .get("reference")
+        .ok_or("requires --reference FASTA")?;
+    let reads_path = flags.get("reads").ok_or("requires --reads FASTQ")?;
+    let k = flag(&flags, "k", 31usize)?;
+    let limit = flag(&flags, "limit", 10usize)?;
+    let device_spec = flags.get("device").map_or("t3:8", String::as_str);
+    let etm = flags.get("etm").map_or(true, |v| v != "off");
+
+    let entries = load_reference(reference, k)?;
+    let reads: Vec<DnaSequence> = fastq::parse(&fs::read_to_string(reads_path)?)?
+        .into_iter()
+        .map(|r| r.sequence)
+        .collect();
+
+    let config = parse_device(device_spec)?
+        .with_geometry(Geometry::scaled_medium())
+        .with_k(k)
+        .with_etm(etm);
+    let device = SieveDevice::new(config, entries)?;
+    let host = HostPipeline::new(device);
+    let out = host.classify_reads(&reads)?;
+
+    if per_read {
+        for (i, r) in out.reads.iter().take(limit).enumerate() {
+            let label = r
+                .taxon
+                .map_or("unclassified".to_string(), |t| t.to_string());
+            println!(
+                "read {i}: {label} ({}/{} k-mers hit)",
+                r.hit_kmers, r.total_kmers
+            );
+        }
+        if out.reads.len() > limit {
+            println!("… ({} more reads; raise --limit to see them)", out.reads.len() - limit);
+        }
+    }
+    let classified = out.reads.iter().filter(|r| r.taxon.is_some()).count();
+    println!(
+        "\n{} | {} reads, {classified} classified | {} k-mer queries, {} hits",
+        out.report.device,
+        out.reads.len(),
+        out.report.queries,
+        out.report.hits
+    );
+    println!(
+        "makespan {:.2} ms | {:.2} M queries/s | {:.2} nJ/query | ETM pruned {:.1}% of rows",
+        out.report.makespan_ps as f64 / 1e9,
+        out.report.throughput_qps() / 1e6,
+        out.report.energy_per_query_nj(),
+        100.0 * out.report.etm_savings()
+    );
+    Ok(())
+}

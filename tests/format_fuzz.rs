@@ -1,0 +1,88 @@
+//! Property tests for the file formats: arbitrary records must round-trip
+//! through write → parse, and the parsers must reject malformed inputs
+//! without panicking.
+
+use proptest::prelude::*;
+use sieve::genomics::{fasta, fastq, DnaSequence};
+
+fn dna_body() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!['A', 'C', 'G', 'T', 'N']), 1..300)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+fn record_id() -> impl Strategy<Value = String> {
+    // Printable, newline-free ids (headers are single lines).
+    "[a-zA-Z0-9_.:|-]{1,40}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fasta_round_trips(
+        records in prop::collection::vec((record_id(), dna_body()), 1..10)
+    ) {
+        let original: Vec<fasta::FastaRecord> = records
+            .into_iter()
+            .map(|(id, body)| fasta::FastaRecord {
+                id,
+                sequence: body.parse::<DnaSequence>().expect("valid alphabet"),
+            })
+            .collect();
+        let text = fasta::write(&original);
+        let parsed = fasta::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn fastq_round_trips(
+        records in prop::collection::vec((record_id(), dna_body()), 1..10)
+    ) {
+        let original: Vec<fastq::FastqRecord> = records
+            .into_iter()
+            .map(|(id, body)| {
+                let len = body.len();
+                fastq::FastqRecord {
+                    id,
+                    sequence: body.parse::<DnaSequence>().expect("valid alphabet"),
+                    quality: "I".repeat(len),
+                }
+            })
+            .collect();
+        let text = fastq::write(&original);
+        let parsed = fastq::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn fasta_parser_never_panics(text in "\\PC{0,400}") {
+        // Arbitrary printable garbage: must return Ok or Err, not panic.
+        let _ = fasta::parse(&text);
+    }
+
+    #[test]
+    fn fastq_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = fastq::parse(&text);
+    }
+
+    #[test]
+    fn sequence_parser_rejects_or_accepts_consistently(text in "\\PC{0,120}") {
+        match text.parse::<DnaSequence>() {
+            Ok(seq) => {
+                // Accepted → upper-cased alphabet only, display round-trips.
+                prop_assert!(seq
+                    .as_bytes()
+                    .iter()
+                    .all(|b| matches!(b, b'A' | b'C' | b'G' | b'T' | b'N')));
+                let again: DnaSequence = seq.to_string().parse().expect("round trip");
+                prop_assert_eq!(again, seq);
+            }
+            Err(_) => {
+                // Rejected → some byte is outside the alphabet.
+                prop_assert!(text
+                    .bytes()
+                    .any(|b| !matches!(b.to_ascii_uppercase(), b'A' | b'C' | b'G' | b'T' | b'N')));
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full path from FASTA text through
+//! the genomics substrate, the Sieve device, and the host pipeline.
+
+use sieve::core::{HostPipeline, PcieConfig, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::db::{KmerDatabase, SortedDb};
+use sieve::genomics::{fasta, fastq, synth, DnaSequence};
+
+fn dataset() -> synth::SyntheticDataset {
+    synth::make_dataset_with(8, 4096, 31, 4242)
+}
+
+#[test]
+fn fasta_to_device_round_trip() {
+    // Serialize the synthetic genomes as FASTA, re-parse them, rebuild the
+    // database, and verify the device agrees with the software DB.
+    let ds = dataset();
+    let records: Vec<fasta::FastaRecord> = ds
+        .genomes
+        .iter()
+        .map(|(taxon, seq)| fasta::FastaRecord {
+            id: format!("taxon-{}", taxon.0),
+            sequence: seq.clone(),
+        })
+        .collect();
+    let text = fasta::write(&records);
+    let parsed = fasta::parse(&text).expect("round trip");
+    assert_eq!(parsed.len(), ds.genomes.len());
+
+    let rebuilt: Vec<(sieve::genomics::TaxonId, DnaSequence)> = parsed
+        .into_iter()
+        .zip(&ds.genomes)
+        .map(|(rec, (taxon, _))| (*taxon, rec.sequence))
+        .collect();
+    let entries = sieve::genomics::db::build_entries(
+        &rebuilt,
+        sieve::genomics::db::DbOptions {
+            k: 31,
+            ..Default::default()
+        },
+        Some(&ds.taxonomy),
+    )
+    .expect("valid k");
+    assert_eq!(entries, ds.entries);
+}
+
+#[test]
+fn all_three_devices_agree_with_software_db() {
+    let ds = dataset();
+    let reference = SortedDb::from_entries(ds.entries.clone(), 31);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 60, 5);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    for config in [
+        SieveConfig::type1(),
+        SieveConfig::type2(16),
+        SieveConfig::type3(8),
+    ] {
+        let device = SieveDevice::new(
+            config.with_geometry(Geometry::scaled_medium()),
+            ds.entries.clone(),
+        )
+        .expect("fits");
+        let out = device.run(&queries).expect("valid queries");
+        for (q, got) in queries.iter().zip(&out.results) {
+            assert_eq!(*got, reference.get(*q), "{q}");
+        }
+        assert_eq!(
+            out.report.hits,
+            out.results.iter().filter(|r| r.is_some()).count() as u64
+        );
+    }
+}
+
+#[test]
+fn fastq_reads_classify_through_pipeline() {
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(
+        &ds,
+        synth::ReadSimConfig {
+            read_len: 92,
+            from_reference: 0.7,
+            error_rate: 0.01,
+            n_rate: 0.001,
+        },
+        50,
+        6,
+    );
+    // Round-trip the sample through FASTQ (as a sequencer would deliver it).
+    let records: Vec<fastq::FastqRecord> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, seq)| fastq::FastqRecord {
+            id: format!("read-{i}"),
+            quality: "I".repeat(seq.len()),
+            sequence: seq.clone(),
+        })
+        .collect();
+    let parsed = fastq::parse(&fastq::write(&records)).expect("round trip");
+    let reads_back: Vec<DnaSequence> = parsed.into_iter().map(|r| r.sequence).collect();
+
+    let device = SieveDevice::new(
+        SieveConfig::type3(8).with_geometry(Geometry::scaled_medium()),
+        ds.entries.clone(),
+    )
+    .expect("fits");
+    let host = HostPipeline::new(device);
+    let out = host.classify_reads(&reads_back).expect("pipeline runs");
+    let classified = out.reads.iter().filter(|r| r.taxon.is_some()).count();
+    assert!(
+        classified >= 25,
+        "most reference-derived reads must classify, got {classified}/50"
+    );
+}
+
+#[test]
+fn pcie_and_ideal_dispatch_agree_functionally() {
+    let ds = dataset();
+    let queries: Vec<_> = ds.entries.iter().step_by(37).map(|(k, _)| *k).collect();
+    let ideal = SieveDevice::new(
+        SieveConfig::type3(8).with_geometry(Geometry::scaled_medium()),
+        ds.entries.clone(),
+    )
+    .unwrap()
+    .run(&queries)
+    .unwrap();
+    let pcie = SieveDevice::new(
+        SieveConfig::type3(8)
+            .with_geometry(Geometry::scaled_medium())
+            .with_pcie(PcieConfig::gen4_x16()),
+        ds.entries.clone(),
+    )
+    .unwrap()
+    .run(&queries)
+    .unwrap();
+    assert_eq!(ideal.results, pcie.results);
+    assert!(pcie.report.makespan_ps > ideal.report.makespan_ps);
+    assert_eq!(pcie.report.ideal_makespan_ps, ideal.report.makespan_ps);
+}
+
+#[test]
+fn capacity_scaling_increases_throughput() {
+    // The headline scalability claim: more ranks/banks → proportionally
+    // more matching throughput for a device-filling workload.
+    // Large enough that every bank keeps all `salp` slots busy in both
+    // geometries (~100 occupied subarrays).
+    let ds = synth::make_dataset_with(96, 8192, 31, 11);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 200, 12);
+    let queries: Vec<_> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    let small = Geometry::new(1, 2, 128, 512, 8192).unwrap();
+    let big = Geometry::new(1, 8, 128, 512, 8192).unwrap();
+    let run = |g: Geometry| {
+        SieveDevice::new(SieveConfig::type3(8).with_geometry(g), ds.entries.clone())
+            .unwrap()
+            .run(&queries)
+            .unwrap()
+            .report
+    };
+    let t_small = run(small);
+    let t_big = run(big);
+    let ratio = t_small.makespan_ps as f64 / t_big.makespan_ps as f64;
+    assert!(
+        ratio > 2.0,
+        "4x the banks should give substantially more throughput, got {ratio:.2}x"
+    );
+}

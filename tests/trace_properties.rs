@@ -1,0 +1,75 @@
+//! Property tests for the DRAM command-trace validator: schedules built
+//! respecting the constraints always validate; compressing any schedule
+//! below its constraint spacing always produces the matching violation.
+
+use proptest::prelude::*;
+use sieve::dram::trace::{CommandTrace, TraceValidator};
+use sieve::dram::{DramCommand, Geometry, TimingParams};
+
+fn validator() -> TraceValidator {
+    TraceValidator::new(TimingParams::ddr4_paper())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn legally_spaced_activations_always_validate(
+        gaps in prop::collection::vec(0u64..100_000, 1..40),
+        bank_picks in prop::collection::vec(0usize..4, 1..40),
+    ) {
+        // Build a per-bank schedule where each bank's activations are at
+        // least a row cycle apart (and tFAW is satisfied because one
+        // activation per ≥50 ns can never exceed 4 per 21 ns).
+        let g = Geometry::scaled_medium();
+        let t = TimingParams::ddr4_paper();
+        let mut trace = CommandTrace::new();
+        let mut per_bank_next = [0u64; 4];
+        for (gap, b) in gaps.iter().zip(&bank_picks) {
+            let at = per_bank_next[*b];
+            trace.push(at, g.bank(*b), DramCommand::ActivatePrecharge);
+            per_bank_next[*b] = at + t.row_cycle() + gap;
+        }
+        prop_assert!(validator().is_legal(&trace));
+    }
+
+    #[test]
+    fn compressed_activations_always_violate_trc(
+        n in 2usize..20,
+        shortfall in 1u64..49_999,
+    ) {
+        // Spacing strictly below tRC on one bank must trip the validator.
+        let g = Geometry::scaled_medium();
+        let t = TimingParams::ddr4_paper();
+        let spacing = t.row_cycle() - shortfall.min(t.row_cycle() - 1);
+        let mut trace = CommandTrace::new();
+        for i in 0..n as u64 {
+            trace.push(i * spacing, g.bank(0), DramCommand::ActivatePrecharge);
+        }
+        let violations = validator().validate(&trace);
+        prop_assert!(!violations.is_empty());
+        prop_assert!(violations.iter().any(|v| v.constraint.contains("tRC")));
+    }
+
+    #[test]
+    fn column_bursts_respect_rcd_and_ccd(
+        bursts in 1usize..30,
+        jitter in 0u64..5_000,
+    ) {
+        let g = Geometry::scaled_medium();
+        let t = TimingParams::ddr4_paper();
+        let mut trace = CommandTrace::new();
+        trace.push(0, g.bank(0), DramCommand::ActivatePrecharge);
+        let mut col = t.t_rcd + jitter;
+        for _ in 0..bursts {
+            trace.push(col, g.bank(0), DramCommand::ReadBurst);
+            col += t.t_ccd + jitter;
+        }
+        prop_assert!(validator().is_legal(&trace));
+        // And pulling the first burst before tRCD breaks it.
+        let mut early = CommandTrace::new();
+        early.push(0, g.bank(0), DramCommand::ActivatePrecharge);
+        early.push(t.t_rcd - 1, g.bank(0), DramCommand::ReadBurst);
+        prop_assert!(!validator().is_legal(&early));
+    }
+}
