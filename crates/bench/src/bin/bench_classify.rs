@@ -1,0 +1,134 @@
+//! Host classification throughput across simulator thread counts, on a
+//! seeded 10,000-read workload. Prints a table; with `--json` also
+//! writes machine-readable results to `results/BENCH_classify.json`
+//! (reads/sec per thread count, speedup over the sequential run, and the
+//! host's core count — speedup beyond the physical cores cannot appear,
+//! so record both).
+
+use std::time::Instant;
+
+use sieve_bench::table::Table;
+use sieve_core::{HostPipeline, SieveConfig, SieveDevice};
+use sieve_dram::Geometry;
+use sieve_genomics::synth;
+
+const READS: usize = 10_000;
+const REPS: usize = 5;
+
+struct Measurement {
+    threads: usize,
+    reads_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    let ds = synth::make_dataset_with(16, 8192, 31, 1001);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), READS, 1002);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("classify throughput: {READS} reads, best of {REPS} runs, {cores} host core(s)\n");
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+    }
+    thread_counts.sort_unstable();
+
+    let hosts: Vec<HostPipeline> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let device = SieveDevice::new(
+                SieveConfig::type3(8)
+                    .with_geometry(Geometry::scaled_medium())
+                    .with_threads(threads),
+                ds.entries.clone(),
+            )
+            .expect("dataset fits the scaled geometry");
+            HostPipeline::new(device)
+        })
+        .collect();
+
+    // Interleave the repetitions (rep-major, not thread-count-major) so
+    // slow drift in the host's clock or scheduler hits every thread count
+    // equally instead of biasing whichever count runs first.
+    // Warm-up pass: untimed, and doubles as the bit-identical check —
+    // parallel output must match the sequential output exactly.
+    let mut reference: Option<Vec<sieve_core::ReadResult>> = None;
+    for (i, host) in hosts.iter().enumerate() {
+        let run = host.classify_reads(&reads).expect("valid workload");
+        match &reference {
+            None => reference = Some(run.reads),
+            Some(expected) => {
+                assert_eq!(
+                    &run.reads, expected,
+                    "threads={} diverged",
+                    thread_counts[i]
+                );
+            }
+        }
+    }
+
+    let mut best = vec![f64::INFINITY; thread_counts.len()];
+    for _ in 0..REPS {
+        for (i, host) in hosts.iter().enumerate() {
+            let start = Instant::now();
+            host.classify_reads(&reads).expect("valid workload");
+            best[i] = best[i].min(start.elapsed().as_secs_f64());
+        }
+    }
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let reads_per_sec = READS as f64 / best[i];
+        let speedup = measurements
+            .first()
+            .map_or(1.0, |base: &Measurement| reads_per_sec / base.reads_per_sec);
+        measurements.push(Measurement {
+            threads,
+            reads_per_sec,
+            speedup,
+        });
+    }
+
+    let mut t = Table::new(["threads", "reads/sec", "speedup vs 1 thread"]);
+    for m in &measurements {
+        t.row([
+            m.threads.to_string(),
+            format!("{:.0}", m.reads_per_sec),
+            format!("{:.2}x", m.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if emit_json {
+        let path = "results/BENCH_classify.json";
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(path, render_json(cores, &measurements))
+            .expect("write results/BENCH_classify.json");
+        println!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON (the workspace builds offline, without serde).
+fn render_json(cores: usize, measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"classify_throughput\",\n");
+    s.push_str(&format!("  \"reads\": {READS},\n"));
+    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str("  \"device\": \"T3.8SA\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"reads_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}}}{}\n",
+            m.threads,
+            m.reads_per_sec,
+            m.speedup,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

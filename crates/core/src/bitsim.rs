@@ -78,9 +78,9 @@ impl BitAccurateSubarray {
             ref_mask[col / 64] |= 1u64 << (col % 64);
             rank_of_col[col] = Some(rank);
             taxa.push(*taxon);
-            for j in 0..bit_len {
+            for (j, row) in rows.iter_mut().enumerate() {
                 if kmer.bit(j) {
-                    rows[j][col / 64] |= 1u64 << (col % 64);
+                    row[col / 64] |= 1u64 << (col % 64);
                 }
             }
         }
@@ -212,7 +212,7 @@ impl BitAccurateSubarray {
             {
                 *latch &= !(row_word ^ qbit);
                 *latch &= !sz; // stuck-at-zero never matches
-                *latch |= so & /* only where a matcher exists at all */ u64::MAX;
+                *latch |= *so; // stuck-at-one always matches
                 alive |= *latch;
             }
             rows_done = j + 1;
@@ -263,7 +263,10 @@ impl BitAccurateSubarray {
     #[must_use]
     pub fn segment_death_rows(&self, query: Kmer, segment_len: usize) -> Vec<Option<usize>> {
         assert_eq!(query.bit_len(), self.bit_len, "query k mismatch");
-        assert!(segment_len > 0 && segment_len % 64 == 0, "segment_len must be a positive multiple of 64");
+        assert!(
+            segment_len > 0 && segment_len.is_multiple_of(64),
+            "segment_len must be a positive multiple of 64"
+        );
         let segments = self.cols / segment_len;
         let words_per_seg = segment_len / 64;
         let mut deaths: Vec<Option<usize>> = (0..segments)

@@ -101,6 +101,13 @@ pub struct SieveConfig {
     /// where the maximum shared prefix grows as log2 of the database size.
     /// See EXPERIMENTS.md (Figure 13) for the effect of this assumption.
     pub esp_override: Option<u32>,
+    /// Simulator worker threads for sharded runs: `0` (the default) uses
+    /// all available parallelism, `1` runs fully sequentially, `n` uses
+    /// exactly `n` workers. This is a *simulator* knob, not a modeled
+    /// device parameter: queries are sharded by destination subarray,
+    /// matched per shard, and reduced deterministically, so the output
+    /// is bit-identical for every value (see DESIGN.md §6).
+    pub threads: usize,
 }
 
 impl SieveConfig {
@@ -141,6 +148,7 @@ impl SieveConfig {
             hop_delay_ps: 4_000,
             pcie: None,
             esp_override: None,
+            threads: 0,
         }
     }
 
@@ -177,6 +185,15 @@ impl SieveConfig {
     #[must_use]
     pub fn with_esp_override(mut self, bits: u32) -> Self {
         self.esp_override = Some(bits);
+        self
+    }
+
+    /// Sets the simulator worker-thread count (builder style): `0` = all
+    /// available parallelism, `1` = sequential. Output is bit-identical
+    /// for every value (see [`SieveConfig::threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -270,7 +287,9 @@ impl SieveConfig {
                 reason: "group wider than the row buffer".to_string(),
             });
         }
-        if self.etm_segment_len == 0 || self.geometry.cols_per_row % self.etm_segment_len != 0 {
+        if self.etm_segment_len == 0
+            || !self.geometry.cols_per_row.is_multiple_of(self.etm_segment_len)
+        {
             return Err(SieveError::InvalidConfig {
                 field: "etm_segment_len",
                 reason: "segments must evenly divide the row width".to_string(),
@@ -290,7 +309,7 @@ impl SieveConfig {
             DeviceKind::Type2 { compute_buffers } => {
                 if compute_buffers == 0
                     || compute_buffers > self.geometry.subarrays_per_bank
-                    || self.geometry.subarrays_per_bank % compute_buffers != 0
+                    || !self.geometry.subarrays_per_bank.is_multiple_of(compute_buffers)
                 {
                     return Err(SieveError::InvalidConfig {
                         field: "compute_buffers",
@@ -393,9 +412,11 @@ mod tests {
         let c = SieveConfig::type2(4)
             .with_geometry(Geometry::scaled_medium())
             .with_k(21)
-            .with_etm(false);
+            .with_etm(false)
+            .with_threads(2);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
+        assert_eq!(c.threads, 2);
         c.validate().unwrap();
     }
 }

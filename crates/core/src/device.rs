@@ -8,7 +8,9 @@ use crate::engine;
 use crate::error::SieveError;
 use crate::index::SubarrayIndex;
 use crate::layout::DeviceLayout;
+use crate::par;
 use crate::sched;
+use crate::shard::ShardPlan;
 use crate::stats::SimReport;
 
 /// Functional results and the simulation report of one run.
@@ -20,15 +22,23 @@ pub struct RunOutput {
     pub report: SimReport,
 }
 
-/// One query's resolved work, before scheduling.
-#[derive(Debug, Clone, Copy)]
+/// One query's resolved work, before scheduling. The destination
+/// subarray lives in the shard plan, not here.
+#[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct QueryWork {
-    /// Occupied-subarray index the query was routed to.
-    pub subarray: usize,
     /// Region-1 rows this lookup activates.
     pub rows: u32,
     /// Whether it hit (payload retrieval follows).
     pub hit: bool,
+}
+
+/// One shard's resolved output: the per-query results (tagged with input
+/// indices for the deterministic scatter) and the subarray's aggregate
+/// load for the schedulers.
+struct ShardOutcome {
+    subarray: usize,
+    load: sched::SubLoad,
+    resolved: Vec<(u32, Option<TaxonId>, QueryWork)>,
 }
 
 /// A loaded Sieve device.
@@ -108,8 +118,14 @@ impl SieveDevice {
     }
 
     /// Runs a query batch: routes every query through the index table,
-    /// resolves it functionally, and schedules the work on the configured
-    /// design point.
+    /// shards the batch by destination subarray, resolves each shard
+    /// functionally on a worker thread, and schedules the merged work on
+    /// the configured design point.
+    ///
+    /// The shard → reduce structure is deterministic: per-query results
+    /// are scattered back by input index and every merged quantity is an
+    /// integer sum, so the output is bit-identical for any
+    /// [`SieveConfig::threads`] setting.
     ///
     /// # Errors
     ///
@@ -119,57 +135,88 @@ impl SieveDevice {
         for q in queries {
             self.check_k(*q)?;
         }
+        let threads = par::effective_threads(self.config.threads);
         let mut results = vec![None; queries.len()];
-        let mut work = Vec::with_capacity(queries.len());
+        let mut work = Vec::new();
+        let mut loads: Vec<sched::SubLoad> = Vec::new();
         let mut hits = 0u64;
-        if let Some(index) = &self.index {
-            for (i, q) in queries.iter().enumerate() {
-                let sub = index.locate(*q);
-                let sa = self.layout.subarray(sub);
-                let mut outcome = match self.config.device {
-                    DeviceKind::Type1 => {
-                        // Type-1 row counts come from per-batch ETM; the
-                        // scheduler recomputes them. Here we only need the
-                        // functional result.
-                        engine::lookup(&sa, *q, self.config.etm_enabled, 0)
+        let plan = match &self.index {
+            Some(index) => ShardPlan::build(index, queries, threads),
+            None => ShardPlan::empty(),
+        };
+        if self.index.is_some() {
+            work = vec![QueryWork::default(); queries.len()];
+            loads = vec![sched::SubLoad::default(); plan.subarray_span()];
+            let outcomes = par::map_indexed(threads, plan.shard_count(), |s| {
+                self.match_shard(&plan, queries, s)
+            });
+            for outcome in outcomes {
+                loads[outcome.subarray] = outcome.load;
+                for (i, taxon, w) in outcome.resolved {
+                    if let Some(t) = taxon {
+                        results[i as usize] = Some(t);
+                        hits += 1;
                     }
-                    _ => engine::lookup(
-                        &sa,
-                        *q,
-                        self.config.etm_enabled,
-                        self.config.etm_flush_cycles,
-                    ),
-                };
-                if let (Some(esp), None) = (self.config.esp_override, outcome.hit) {
-                    // Paper-ESP assumption: a miss terminates after at most
-                    // `esp` shared bits.
-                    let capped = outcome.max_lcp.min(esp as usize);
-                    let act = crate::etm::rows_activated(
-                        capped,
-                        2 * self.config.k,
-                        self.config.etm_enabled,
-                        self.config.etm_flush_cycles,
-                    );
-                    outcome.max_lcp = capped;
-                    outcome.rows = act.rows;
+                    work[i as usize] = w;
                 }
-                if let Some((_, taxon)) = outcome.hit {
-                    results[i] = Some(taxon);
-                    hits += 1;
-                }
-                work.push(QueryWork {
-                    subarray: sub,
-                    rows: outcome.rows,
-                    hit: outcome.hit.is_some(),
-                });
             }
         }
         let report = match self.config.device {
-            DeviceKind::Type1 => sched::simulate_type1(&self.config, &self.layout, queries, &work),
-            _ => sched::simulate_type23(&self.config, &work),
+            DeviceKind::Type1 => {
+                sched::simulate_type1(&self.config, &self.layout, queries, &work, &plan, threads)
+            }
+            _ => sched::simulate_type23(&self.config, &loads),
         };
         debug_assert_eq!(report.hits, hits);
         Ok(RunOutput { results, report })
+    }
+
+    /// Resolves one shard: walks the destination subarray's sorted
+    /// entries with a merge cursor over the shard's sorted queries,
+    /// producing per-query work plus the subarray's aggregate load.
+    fn match_shard(&self, plan: &ShardPlan, queries: &[Kmer], s: usize) -> ShardOutcome {
+        let (subarray, idxs) = plan.shard(s);
+        let mut cursor = engine::MergeCursor::new(self.layout.subarray(subarray));
+        let mut load = sched::SubLoad::default();
+        let mut resolved = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            let q = queries[i as usize];
+            let mut outcome = match self.config.device {
+                DeviceKind::Type1 => {
+                    // Type-1 row counts come from per-batch ETM; the
+                    // scheduler recomputes them. Here we only need the
+                    // functional result.
+                    cursor.lookup(q, self.config.etm_enabled, 0)
+                }
+                _ => cursor.lookup(q, self.config.etm_enabled, self.config.etm_flush_cycles),
+            };
+            if let (Some(esp), None) = (self.config.esp_override, outcome.hit) {
+                // Paper-ESP assumption: a miss terminates after at most
+                // `esp` shared bits.
+                let capped = outcome.max_lcp.min(esp as usize);
+                let act = crate::etm::rows_activated(
+                    capped,
+                    2 * self.config.k,
+                    self.config.etm_enabled,
+                    self.config.etm_flush_cycles,
+                );
+                outcome.max_lcp = capped;
+                outcome.rows = act.rows;
+            }
+            let w = QueryWork {
+                rows: outcome.rows,
+                hit: outcome.hit.is_some(),
+            };
+            load.queries += 1;
+            load.rows += u64::from(w.rows);
+            load.hits += u64::from(w.hit);
+            resolved.push((i, outcome.hit.map(|(_, taxon)| taxon), w));
+        }
+        ShardOutcome {
+            subarray,
+            load,
+            resolved,
+        }
     }
 
     fn check_k(&self, query: Kmer) -> Result<(), SieveError> {

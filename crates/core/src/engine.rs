@@ -108,6 +108,107 @@ pub fn max_lcp_in_range(
     }
 }
 
+/// Forward-only lookup cursor over one subarray's sorted entries.
+///
+/// For queries presented in non-decreasing bit order (as the shard plan
+/// guarantees), each lookup resumes the scan from the previous query's
+/// insertion point — galloping forward, then binary-searching the final
+/// window — which costs O(log gap) instead of O(log n) per query and
+/// touches neighbouring cache lines for consecutive queries. Every
+/// outcome is identical to [`lookup`] on the same subarray: the stored
+/// entries are deduplicated, so the leftmost match the cursor finds is
+/// the same rank a binary search reports.
+#[derive(Debug)]
+pub struct MergeCursor<'a> {
+    subarray: SubarrayView<'a>,
+    /// Insertion point of the previous query: every entry before it
+    /// sorts strictly below every query seen so far.
+    pos: usize,
+    /// Previous query bits, to enforce the non-decreasing contract.
+    last_bits: Option<u64>,
+}
+
+impl<'a> MergeCursor<'a> {
+    /// A cursor positioned at the start of `subarray`.
+    #[must_use]
+    pub fn new(subarray: SubarrayView<'a>) -> Self {
+        Self {
+            subarray,
+            pos: 0,
+            last_bits: None,
+        }
+    }
+
+    /// Looks up `query`, which must not sort below any earlier query on
+    /// this cursor. Equivalent to [`lookup`]`(subarray, query, etm, flush)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.k()` differs from the stored k-mers' k, or (in
+    /// debug builds) if queries arrive out of order.
+    pub fn lookup(&mut self, query: Kmer, etm: bool, flush: u32) -> MatchOutcome {
+        let entries = self.subarray.entries();
+        let bit_len = query.bit_len();
+        if entries.is_empty() {
+            let RowActivity { rows, .. } = rows_activated(0, bit_len, etm, flush);
+            return MatchOutcome {
+                hit: None,
+                max_lcp: 0,
+                rows,
+            };
+        }
+        let target = query.bits();
+        debug_assert!(
+            self.last_bits.is_none_or(|prev| prev <= target),
+            "merge cursor requires non-decreasing queries"
+        );
+        self.last_bits = Some(target);
+        let ins = lower_bound_from(entries, self.pos, target);
+        self.pos = ins;
+        if ins < entries.len() && entries[ins].0.bits() == target {
+            let RowActivity { rows, .. } = rows_activated(bit_len, bit_len, etm, flush);
+            MatchOutcome {
+                hit: Some((ins, entries[ins].1)),
+                max_lcp: bit_len,
+                rows,
+            }
+        } else {
+            let max_lcp = max_lcp_at_insertion(entries, ins, query);
+            let RowActivity { rows, .. } = rows_activated(max_lcp, bit_len, etm, flush);
+            MatchOutcome {
+                hit: None,
+                max_lcp,
+                rows,
+            }
+        }
+    }
+}
+
+/// First index `>= from` whose entry sorts at or above `target` — the
+/// insertion point of `target` in the whole slice, given that every entry
+/// before `from` sorts strictly below it. Gallops forward from `from`,
+/// then binary-searches the bracketed window, so the cost is logarithmic
+/// in the distance advanced rather than in the slice length.
+fn lower_bound_from(entries: &[(Kmer, TaxonId)], from: usize, target: u64) -> usize {
+    if from >= entries.len() || entries[from].0.bits() >= target {
+        return from;
+    }
+    // Invariant: entries[prev] < target; probe exponentially further.
+    let mut prev = from;
+    let mut step = 1usize;
+    loop {
+        let probe = prev.saturating_add(step);
+        if probe >= entries.len() {
+            return prev + 1 + entries[prev + 1..].partition_point(|(k, _)| k.bits() < target);
+        }
+        if entries[probe].0.bits() >= target {
+            return prev + 1 + entries[prev + 1..probe].partition_point(|(k, _)| k.bits() < target);
+        }
+        prev = probe;
+        step <<= 1;
+    }
+}
+
 /// Max LCP given the insertion point in a sorted slice: the nearest
 /// neighbour(s) achieve it. For sorted values `a < q < b`, any element left
 /// of `a` shares no longer a prefix with `q` than `a` does (and likewise to
@@ -224,6 +325,35 @@ mod tests {
         let sa = layout.subarray(0);
         let probe = Kmer::from_u64(1, 31).unwrap();
         assert_eq!(max_lcp_in_range(&sa, 5..5, probe), None);
+    }
+
+    #[test]
+    fn merge_cursor_matches_binary_search_lookup() {
+        let layout = test_layout();
+        let sa = layout.subarray(0);
+        // Mix of present k-mers, near-misses, duplicates, and extremes,
+        // sorted as the shard plan would present them.
+        let mut probes: Vec<Kmer> = sa.entries().iter().step_by(53).map(|(k, _)| *k).collect();
+        probes.extend(
+            sa.entries()
+                .iter()
+                .step_by(71)
+                .map(|(k, _)| k.shifted(sieve_genomics::Base::T)),
+        );
+        probes.push(Kmer::from_u64(0, 31).unwrap());
+        probes.push(Kmer::from_u64(u64::MAX >> 2, 31).unwrap());
+        probes.push(probes[0]);
+        probes.sort_unstable_by_key(Kmer::bits);
+        for (etm, flush) in [(true, 1), (true, 0), (false, 1)] {
+            let mut cursor = MergeCursor::new(sa);
+            for probe in &probes {
+                assert_eq!(
+                    cursor.lookup(*probe, etm, flush),
+                    lookup(&sa, *probe, etm, flush),
+                    "probe {probe} etm={etm} flush={flush}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,6 @@
 //! stage; the host model therefore reports the device's makespan as the
 //! end-to-end time and tracks the host stages for sanity.
 
-use std::collections::HashMap;
-
 use sieve_genomics::{DnaSequence, Kmer, TaxonId};
 
 use crate::device::SieveDevice;
@@ -75,20 +73,38 @@ impl HostPipeline {
     /// Extracts every valid k-mer from `reads`, tagged with its read index.
     #[must_use]
     pub fn extract_kmers(&self, reads: &[DnaSequence]) -> (Vec<Kmer>, Vec<u32>) {
-        let k = self.device.config().k;
         let mut kmers = Vec::new();
         let mut owners = Vec::new();
+        self.extract_kmers_into(reads, &mut kmers, &mut owners);
+        (kmers, owners)
+    }
+
+    /// Appends `reads`' k-mers and owner tags into caller-owned buffers,
+    /// reserving exact worst-case capacity up front (windows containing
+    /// `N` are skipped, so the reservation is an upper bound).
+    fn extract_kmers_into(
+        &self,
+        reads: &[DnaSequence],
+        kmers: &mut Vec<Kmer>,
+        owners: &mut Vec<u32>,
+    ) {
+        let k = self.device.config().k;
+        let upper: usize = reads
+            .iter()
+            .map(|r| (r.len() + 1).saturating_sub(k))
+            .sum();
+        kmers.reserve(upper);
+        owners.reserve(upper);
         for (ri, read) in reads.iter().enumerate() {
             for (_, kmer) in read.kmers(k) {
                 kmers.push(kmer);
                 owners.push(ri as u32);
             }
         }
-        (kmers, owners)
     }
 
     /// Classifies reads end to end: k-mer generation → device run →
-    /// per-read payload histograms → majority vote (Figure 2's loop).
+    /// per-read majority vote (Figure 2's loop).
     ///
     /// # Errors
     ///
@@ -96,36 +112,8 @@ impl HostPipeline {
     pub fn classify_reads(&self, reads: &[DnaSequence]) -> Result<PipelineOutput, SieveError> {
         let (kmers, owners) = self.extract_kmers(reads);
         let run = self.device.run(&kmers)?;
-        // Responses arrive out of order in hardware; sequence ids let the
-        // host accumulate them per read — order does not matter for the
-        // histogram, which is why the paper needs no reorder buffer.
-        let mut totals = vec![0usize; reads.len()];
-        let mut hits = vec![0usize; reads.len()];
-        let mut histograms: Vec<HashMap<TaxonId, usize>> =
-            vec![HashMap::new(); reads.len()];
-        for (owner, result) in owners.iter().zip(&run.results) {
-            let ri = *owner as usize;
-            totals[ri] += 1;
-            if let Some(taxon) = result {
-                hits[ri] += 1;
-                *histograms[ri].entry(*taxon).or_insert(0) += 1;
-            }
-        }
-        let reads_out = (0..reads.len())
-            .map(|ri| {
-                let taxon = histograms[ri]
-                    .iter()
-                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-                    .map(|(t, _)| *t);
-                ReadResult {
-                    taxon,
-                    hit_kmers: hits[ri],
-                    total_kmers: totals[ri],
-                }
-            })
-            .collect();
         Ok(PipelineOutput {
-            reads: reads_out,
+            reads: vote_reads(reads.len(), &owners, &run.results),
             report: run.report,
         })
     }
@@ -150,12 +138,19 @@ impl HostPipeline {
         assert!(chunk_reads > 0, "need a positive chunk size");
         let mut all_reads = Vec::with_capacity(reads.len());
         let mut merged: Option<SimReport> = None;
+        // The k-mer and owner buffers are reused across chunks, so the
+        // steady state allocates nothing on the host side.
+        let mut kmers = Vec::new();
+        let mut owners = Vec::new();
         for chunk in reads.chunks(chunk_reads) {
-            let out = self.classify_reads(chunk)?;
-            all_reads.extend(out.reads);
+            kmers.clear();
+            owners.clear();
+            self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+            let run = self.device.run(&kmers)?;
+            all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
             match &mut merged {
-                None => merged = Some(out.report),
-                Some(m) => m.accumulate(&out.report),
+                None => merged = Some(run.report),
+                Some(m) => m.accumulate(&run.report),
             }
         }
         Ok(PipelineOutput {
@@ -183,8 +178,14 @@ impl HostPipeline {
         pairs: &[(DnaSequence, DnaSequence)],
     ) -> Result<PipelineOutput, SieveError> {
         let k = self.device.config().k;
-        let mut kmers = Vec::new();
-        let mut owners = Vec::new();
+        let upper: usize = pairs
+            .iter()
+            .map(|(m1, m2)| {
+                (m1.len() + 1).saturating_sub(k) + (m2.len() + 1).saturating_sub(k)
+            })
+            .sum();
+        let mut kmers = Vec::with_capacity(upper);
+        let mut owners = Vec::with_capacity(upper);
         for (ri, (m1, m2)) in pairs.iter().enumerate() {
             for (_, kmer) in m1.kmers(k) {
                 kmers.push(kmer);
@@ -196,32 +197,58 @@ impl HostPipeline {
             }
         }
         let run = self.device.run(&kmers)?;
-        let mut totals = vec![0usize; pairs.len()];
-        let mut hits = vec![0usize; pairs.len()];
-        let mut histograms: Vec<HashMap<TaxonId, usize>> = vec![HashMap::new(); pairs.len()];
-        for (owner, result) in owners.iter().zip(&run.results) {
-            let ri = *owner as usize;
-            totals[ri] += 1;
-            if let Some(taxon) = result {
-                hits[ri] += 1;
-                *histograms[ri].entry(*taxon).or_insert(0) += 1;
-            }
-        }
-        let reads_out = (0..pairs.len())
-            .map(|ri| ReadResult {
-                taxon: histograms[ri]
-                    .iter()
-                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-                    .map(|(t, _)| *t),
-                hit_kmers: hits[ri],
-                total_kmers: totals[ri],
-            })
-            .collect();
         Ok(PipelineOutput {
-            reads: reads_out,
+            reads: vote_reads(pairs.len(), &owners, &run.results),
             report: run.report,
         })
     }
+}
+
+/// Majority vote over each read's k-mer responses.
+///
+/// Responses arrive out of order in hardware; sequence ids let the host
+/// accumulate them per read — order does not matter for the vote, which
+/// is why the paper needs no reorder buffer. Here `owners` is
+/// non-decreasing (k-mers are generated read by read), so each read's
+/// responses form one contiguous run: the hit taxa of a run are gathered
+/// into a reused scratch buffer, sorted, and the winner read off the
+/// longest streak — most votes, ties to the lowest taxon id, exactly the
+/// rule the per-read `HashMap` histograms applied, without any per-read
+/// allocation.
+fn vote_reads(n_reads: usize, owners: &[u32], results: &[Option<TaxonId>]) -> Vec<ReadResult> {
+    debug_assert_eq!(owners.len(), results.len());
+    debug_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    let mut out = Vec::with_capacity(n_reads);
+    let mut scratch: Vec<TaxonId> = Vec::new();
+    let mut pos = 0usize;
+    for ri in 0..n_reads {
+        let start = pos;
+        while pos < owners.len() && owners[pos] as usize == ri {
+            pos += 1;
+        }
+        scratch.clear();
+        scratch.extend(results[start..pos].iter().flatten());
+        scratch.sort_unstable();
+        let mut best: Option<(usize, TaxonId)> = None;
+        let mut run_start = 0usize;
+        for j in 0..scratch.len() {
+            if j + 1 == scratch.len() || scratch[j + 1] != scratch[j] {
+                let count = j + 1 - run_start;
+                // Streaks come out in ascending taxon order, so a strict
+                // comparison implements "ties to the lowest taxon".
+                if best.is_none_or(|(c, _)| count > c) {
+                    best = Some((count, scratch[j]));
+                }
+                run_start = j + 1;
+            }
+        }
+        out.push(ReadResult {
+            taxon: best.map(|(_, taxon)| taxon),
+            hit_kmers: scratch.len(),
+            total_kmers: pos - start,
+        });
+    }
+    out
 }
 
 #[cfg(test)]

@@ -64,8 +64,10 @@ mod host;
 mod index;
 mod layout;
 pub mod load;
+mod par;
 mod pcie;
 mod sched;
+mod shard;
 mod stats;
 pub mod thermal;
 mod transport;

@@ -26,14 +26,19 @@ use crate::energy_model::ComponentEnergies;
 use crate::engine;
 use crate::etm;
 use crate::layout::DeviceLayout;
+use crate::par;
+use crate::shard::ShardPlan;
 use crate::stats::SimReport;
 
-/// Per-subarray aggregated work.
+/// Per-subarray aggregated work, produced shard-by-shard by the matchers.
 #[derive(Debug, Clone, Copy, Default)]
-struct SubLoad {
-    queries: u64,
-    rows: u64,
-    hits: u64,
+pub(crate) struct SubLoad {
+    /// Queries routed to the subarray.
+    pub queries: u64,
+    /// Region-1 rows its lookups activate.
+    pub rows: u64,
+    /// Hits among its queries.
+    pub hits: u64,
 }
 
 /// Time to retrieve one payload: activate the Region-2 offset row and the
@@ -42,18 +47,30 @@ fn payload_time(config: &SieveConfig) -> TimePs {
     2 * config.timing.row_cycle() + 2 * config.timing.t_ccd
 }
 
+/// Whole-run counters accumulated by a scheduler, consumed by [`finalize`].
+struct RunTotals {
+    queries: u64,
+    hits: u64,
+    row_activations: u64,
+    write_bursts: u64,
+    read_bursts: u64,
+}
+
 /// Finalizes a report: static energy, PCIe constraints.
 fn finalize(
     config: &SieveConfig,
     mut energy: EnergyLedger,
     ideal_makespan: TimePs,
     makespan_with_dispatch: TimePs,
-    queries: u64,
-    hits: u64,
-    row_activations: u64,
-    write_bursts: u64,
-    read_bursts: u64,
+    totals: RunTotals,
 ) -> SimReport {
+    let RunTotals {
+        queries,
+        hits,
+        row_activations,
+        write_bursts,
+        read_bursts,
+    } = totals;
     let makespan = match &config.pcie {
         Some(link) if queries > 0 => {
             let input_end = link.request_ready_ps(queries - 1);
@@ -98,18 +115,12 @@ fn lpt_makespan(mut loads: Vec<TimePs>, slots: usize) -> TimePs {
     bins.into_iter().max().unwrap_or(0)
 }
 
-/// Schedules Type-2/3 work.
-pub(crate) fn simulate_type23(config: &SieveConfig, work: &[QueryWork]) -> SimReport {
+/// Schedules Type-2/3 work from per-subarray loads (index = occupied
+/// subarray id; unoccupied gaps carry zero queries). The loads table is
+/// built by the sharded matchers; iteration below is in subarray order,
+/// so the schedule is independent of how the shards were executed.
+pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimReport {
     let comp = ComponentEnergies::paper();
-    let n_sub = work.iter().map(|w| w.subarray + 1).max().unwrap_or(0);
-    let mut loads = vec![SubLoad::default(); n_sub];
-    for w in work {
-        let l = &mut loads[w.subarray];
-        l.queries += 1;
-        l.rows += u64::from(w.rows);
-        l.hits += u64::from(w.hit);
-    }
-
     let banks = config.geometry.total_banks();
     let row_cycle = config.timing.row_cycle();
     let queries_per_batch = u64::from(config.queries_per_group);
@@ -235,58 +246,74 @@ pub(crate) fn simulate_type23(config: &SieveConfig, work: &[QueryWork]) -> SimRe
     let ideal = makespan_of(&bank_serial, &bank_sub_loads);
     let busy_with_dispatch = makespan_of(&bank_serial_pcie, &bank_sub_loads_pcie);
 
-    let queries = work.len() as u64;
-    let hits = work.iter().filter(|w| w.hit).count() as u64;
+    let queries = loads.iter().map(|l| l.queries).sum();
+    let hits = loads.iter().map(|l| l.hits).sum();
     finalize(
         config,
         energy,
         ideal,
         busy_with_dispatch,
-        queries,
-        hits,
-        row_activations,
-        write_bursts,
-        read_bursts,
+        RunTotals {
+            queries,
+            hits,
+            row_activations,
+            write_bursts,
+            read_bursts,
+        },
     )
 }
 
-/// Schedules Type-1 work: per-bank serial matcher array, batch-granular ETM.
-pub(crate) fn simulate_type1(
+/// One shard's Type-1 contribution: integer partials whose merge order
+/// cannot affect the totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct Type1Partial {
+    subarray: usize,
+    busy: TimePs,
+    row_activations: u64,
+    read_bursts: u64,
+    activation_fj: u128,
+    read_fj: u128,
+    component_fj: u128,
+}
+
+/// Accounts one shard of Type-1 queries against its subarray: the batch →
+/// rank-range map is computed once per shard, and the per-query histogram
+/// buffers are reused across the shard's queries.
+fn type1_shard(
     config: &SieveConfig,
     layout: &DeviceLayout,
     queries: &[sieve_genomics::Kmer],
     work: &[QueryWork],
-) -> SimReport {
+    subarray: usize,
+    idxs: &[u32],
+) -> Type1Partial {
     let comp = ComponentEnergies::paper();
-    let banks = config.geometry.total_banks();
     let timing = &config.timing;
     let row_cycle = timing.row_cycle();
     let bit_len = config.region1_rows() as usize;
     let batch_bits = 64u32;
     let batches_per_row = (config.geometry.cols_per_row / batch_bits) as usize;
 
-    let mut energy = EnergyLedger::new();
-    let mut row_activations = 0u64;
-    let mut read_bursts = 0u64;
-    let mut bank_busy = vec![0u64; banks];
+    let sa = layout.subarray(subarray);
+    let ranges: Vec<std::ops::Range<usize>> = (0..batches_per_row)
+        .map(|b| sa.ranks_in_cols(b as u32 * batch_bits, (b as u32 + 1) * batch_bits))
+        .collect();
 
-    // Cache each subarray's batch → rank-range map.
-    let mut range_cache: std::collections::HashMap<usize, Vec<std::ops::Range<usize>>> =
-        std::collections::HashMap::new();
-
-    for (q, w) in queries.iter().zip(work) {
-        let sa = layout.subarray(w.subarray);
-        let ranges = range_cache.entry(w.subarray).or_insert_with(|| {
-            (0..batches_per_row)
-                .map(|b| sa.ranks_in_cols(b as u32 * batch_bits, (b as u32 + 1) * batch_bits))
-                .collect()
-        });
+    let mut p = Type1Partial {
+        subarray,
+        ..Type1Partial::default()
+    };
+    let mut alive_rows_hist = vec![0u32; bit_len + 1];
+    let mut live_suffix = vec![0u32; bit_len + 2];
+    for &i in idxs {
+        let q = &queries[i as usize];
+        let w = &work[i as usize];
         // Rows each batch stays live: max LCP within the batch + 1
         // (the batch must be compared on its death row), capped at 2k.
         // `alive[d]` counts batches live through exactly d rows.
-        let mut alive_rows_hist = vec![0u32; bit_len + 1];
+        alive_rows_hist.fill(0);
         let mut rows_needed = 0usize;
-        for range in ranges.iter() {
+        for range in &ranges {
             if let Some(mut lcp) = engine::max_lcp_in_range(&sa, range.clone(), *q) {
                 if let Some(esp) = config.esp_override {
                     if lcp < bit_len {
@@ -302,7 +329,7 @@ pub(crate) fn simulate_type1(
             rows_needed = bit_len;
         }
         // live(t) = batches whose live_rows > t.
-        let mut live_suffix = vec![0u32; bit_len + 2];
+        live_suffix[bit_len + 1] = 0;
         for d in (0..=bit_len).rev() {
             live_suffix[d] = live_suffix[d + 1] + alive_rows_hist[d];
         }
@@ -322,17 +349,48 @@ pub(crate) fn simulate_type1(
         if w.hit {
             query_time += payload_time(config);
             query_reads += 2;
-            row_activations += 2;
-            energy.activation_fj += 2 * u128::from(config.energy.e_act);
+            p.row_activations += 2;
+            p.activation_fj += 2 * u128::from(config.energy.e_act);
         }
-        row_activations += rows_needed as u64;
-        read_bursts += query_reads;
-        energy.activation_fj += rows_needed as u128 * u128::from(config.energy.e_act);
-        energy.read_fj += u128::from(query_reads) * u128::from(config.energy.e_rd);
+        p.row_activations += rows_needed as u64;
+        p.read_bursts += query_reads;
+        p.activation_fj += rows_needed as u128 * u128::from(config.energy.e_act);
+        p.read_fj += u128::from(query_reads) * u128::from(config.energy.e_rd);
         // Matcher array + registers + SRAM buffer per batch comparison.
-        energy.component_fj += u128::from(query_reads) * u128::from(comp.t1_batch_fj);
+        p.component_fj += u128::from(query_reads) * u128::from(comp.t1_batch_fj);
+        p.busy += query_time;
+    }
+    p
+}
 
-        bank_busy[w.subarray % banks] += query_time;
+/// Schedules Type-1 work: per-bank serial matcher array, batch-granular
+/// ETM. Shards fan out over worker threads; the reduce below only sums
+/// integers per bank, so the report is bit-identical for any `threads`.
+pub(crate) fn simulate_type1(
+    config: &SieveConfig,
+    layout: &DeviceLayout,
+    queries: &[sieve_genomics::Kmer],
+    work: &[QueryWork],
+    plan: &ShardPlan,
+    threads: usize,
+) -> SimReport {
+    let banks = config.geometry.total_banks();
+    let partials = par::map_indexed(threads, plan.shard_count(), |s| {
+        let (subarray, idxs) = plan.shard(s);
+        type1_shard(config, layout, queries, work, subarray, idxs)
+    });
+
+    let mut energy = EnergyLedger::new();
+    let mut row_activations = 0u64;
+    let mut read_bursts = 0u64;
+    let mut bank_busy = vec![0u64; banks];
+    for p in &partials {
+        bank_busy[p.subarray % banks] += p.busy;
+        row_activations += p.row_activations;
+        read_bursts += p.read_bursts;
+        energy.activation_fj += p.activation_fj;
+        energy.read_fj += p.read_fj;
+        energy.component_fj += p.component_fj;
     }
 
     let ideal = bank_busy
@@ -347,11 +405,13 @@ pub(crate) fn simulate_type1(
         energy,
         ideal,
         ideal,
-        queries_n,
-        hits,
-        row_activations,
-        0,
-        read_bursts,
+        RunTotals {
+            queries: queries_n,
+            hits,
+            row_activations,
+            write_bursts: 0,
+            read_bursts,
+        },
     )
 }
 

@@ -1,0 +1,189 @@
+//! Query sharding for the parallel simulation core.
+//!
+//! A run shards its query batch by destination subarray — the same
+//! sorted-partition routing the index table performs in hardware — so
+//! that each shard can be matched and its timeline accounted
+//! independently on a worker thread. The reduce step scatters per-query
+//! results back by input index and merges per-shard resource loads with
+//! integer sums, so the run's output is bit-identical for every thread
+//! count.
+
+use sieve_genomics::Kmer;
+
+use crate::index::SubarrayIndex;
+use crate::par;
+
+/// Queries bucketed by destination (occupied) subarray.
+///
+/// Within a shard, query indices are ordered by `(k-mer bits, input
+/// index)`: the matcher can then walk the subarray's sorted entries with
+/// a forward-only merge cursor ([`crate::engine::MergeCursor`]) instead
+/// of an independent binary search per query.
+#[derive(Debug, Default)]
+pub(crate) struct ShardPlan {
+    /// Query indices, grouped by shard, sorted within each shard.
+    order: Vec<u32>,
+    /// Shard `s` covers `order[starts[s]..starts[s + 1]]`.
+    starts: Vec<usize>,
+    /// Destination subarray of each shard, strictly ascending.
+    subarrays: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// The plan of an empty device: no routing, zero shards.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Routes `queries` through `index` and buckets them by subarray.
+    ///
+    /// Routing fans out over contiguous chunks (concatenation preserves
+    /// input order), bucketing is a counting sort (stable), and the
+    /// per-shard sort key is total, so the plan is a pure function of
+    /// the inputs regardless of `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch exceeds `u32::MAX` queries (the host pipeline
+    /// tags k-mers with `u32` read ids under the same bound).
+    pub fn build(index: &SubarrayIndex, queries: &[Kmer], threads: usize) -> Self {
+        let n = queries.len();
+        assert!(u32::try_from(n).is_ok(), "query batch exceeds u32 indexing");
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let chunks = n.div_ceil(chunk);
+        let routed_chunks: Vec<Vec<u32>> = par::map_indexed(threads, chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            queries[lo..hi]
+                .iter()
+                .map(|q| index.locate(*q) as u32)
+                .collect()
+        });
+
+        // Counting sort by subarray: offsets from per-subarray counts,
+        // then a stable scatter of query indices into shard order.
+        let routed: Vec<u32> = routed_chunks.concat();
+        let n_sub = routed.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+        let mut counts = vec![0u32; n_sub];
+        for &s in &routed {
+            counts[s as usize] += 1;
+        }
+        let mut subarrays = Vec::new();
+        let mut starts = vec![0usize];
+        let mut offsets = vec![0u32; n_sub];
+        let mut total = 0u32;
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                offsets[s] = total;
+                total += c;
+                subarrays.push(s as u32);
+                starts.push(total as usize);
+            }
+        }
+        let mut order = vec![0u32; n];
+        for (i, &s) in routed.iter().enumerate() {
+            let slot = &mut offsets[s as usize];
+            order[*slot as usize] = i as u32;
+            *slot += 1;
+        }
+
+        // Sort each shard by (k-mer bits, input index) for the merge
+        // cursor; workers own disjoint sub-slices of `order`.
+        let mut slices: Vec<&mut [u32]> = Vec::with_capacity(subarrays.len());
+        let mut rest = order.as_mut_slice();
+        for s in 0..subarrays.len() {
+            let (head, tail) = rest.split_at_mut(starts[s + 1] - starts[s]);
+            slices.push(head);
+            rest = tail;
+        }
+        par::for_each_mut(threads, &mut slices, |shard| {
+            shard.sort_unstable_by_key(|&i| (queries[i as usize].bits(), i));
+        });
+
+        Self {
+            order,
+            starts,
+            subarrays,
+        }
+    }
+
+    /// Number of shards (= occupied subarrays that received queries).
+    pub fn shard_count(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Shard `s`: its destination subarray and its sorted query indices.
+    pub fn shard(&self, s: usize) -> (usize, &[u32]) {
+        (
+            self.subarrays[s] as usize,
+            &self.order[self.starts[s]..self.starts[s + 1]],
+        )
+    }
+
+    /// One past the highest routed subarray (the length a per-subarray
+    /// load table needs).
+    pub fn subarray_span(&self) -> usize {
+        self.subarrays.last().map_or(0, |&s| s as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SieveConfig;
+    use crate::layout::DeviceLayout;
+    use sieve_dram::Geometry;
+    use sieve_genomics::synth;
+
+    fn plan_inputs() -> (SubarrayIndex, Vec<Kmer>) {
+        let ds = synth::make_dataset_with(8, 2048, 31, 5);
+        let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+        let layout = DeviceLayout::build(ds.entries.clone(), &config).unwrap();
+        let index = SubarrayIndex::build(&layout);
+        let queries: Vec<Kmer> = ds.entries.iter().step_by(17).map(|(k, _)| *k).collect();
+        (index, queries)
+    }
+
+    #[test]
+    fn plan_is_thread_count_independent() {
+        let (index, queries) = plan_inputs();
+        let base = ShardPlan::build(&index, &queries, 1);
+        for threads in [2, 3, 8] {
+            let plan = ShardPlan::build(&index, &queries, threads);
+            assert_eq!(plan.order, base.order);
+            assert_eq!(plan.starts, base.starts);
+            assert_eq!(plan.subarrays, base.subarrays);
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_query_exactly_once() {
+        let (index, queries) = plan_inputs();
+        let plan = ShardPlan::build(&index, &queries, 4);
+        let mut seen = vec![false; queries.len()];
+        for s in 0..plan.shard_count() {
+            let (sub, idxs) = plan.shard(s);
+            assert!(sub < plan.subarray_span());
+            for window in idxs.windows(2) {
+                let a = queries[window[0] as usize].bits();
+                let b = queries[window[1] as usize].bits();
+                assert!(a <= b, "shard not sorted by k-mer bits");
+            }
+            for &i in idxs {
+                assert_eq!(index.locate(queries[i as usize]), sub);
+                assert!(!seen[i as usize], "query routed twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn empty_inputs_make_empty_plans() {
+        let (index, _) = plan_inputs();
+        let plan = ShardPlan::build(&index, &[], 4);
+        assert_eq!(plan.shard_count(), 0);
+        assert_eq!(plan.subarray_span(), 0);
+        assert_eq!(ShardPlan::empty().shard_count(), 0);
+    }
+}

@@ -86,10 +86,7 @@ pub fn event_driven_type3_makespan(
         let mut sub_free: Vec<TimePs> = vec![0; queues.len()];
         // Tokens become free at these times.
         let mut tokens: BinaryHeap<Reverse<TimePs>> = (0..salp).map(|_| Reverse(0)).collect();
-        loop {
-            let Some(Reverse(token_free)) = tokens.pop() else {
-                break;
-            };
+        while let Some(Reverse(token_free)) = tokens.pop() {
             // Among subarrays with work, start as early as possible;
             // tie-break toward the most remaining work (longest-chain
             // heuristic, mirroring the aggregate LPT).

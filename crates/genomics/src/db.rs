@@ -176,7 +176,6 @@ impl SortedDb {
     }
 
     /// Index of `kmer` if present, else the insertion point.
-    #[must_use]
     pub fn find(&self, kmer: Kmer) -> Result<usize, usize> {
         self.entries
             .binary_search_by_key(&kmer.bits(), |(k, _)| k.bits())
@@ -253,7 +252,7 @@ impl HybridDb {
                 (Self::signature_of(*kmer, m), kmer.bits(), *taxon)
             })
             .collect();
-        storage.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        storage.sort_by_key(|e| (e.0, e.1));
         storage.dedup_by_key(|e| (e.0, e.1));
         let mut buckets = HashMap::new();
         let mut i = 0;

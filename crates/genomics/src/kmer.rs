@@ -277,7 +277,7 @@ mod tests {
 
     #[test]
     fn shifted_works_at_max_k() {
-        let s: String = std::iter::repeat('A').take(32).collect();
+        let s: String = "A".repeat(32);
         let k: Kmer = s.parse().unwrap();
         let shifted = k.shifted(Base::G);
         assert_eq!(shifted.k(), 32);
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn empty_and_oversized_rejected() {
         assert!(Kmer::from_bases(std::iter::empty()).is_err());
-        assert!(Kmer::from_bases(std::iter::repeat(Base::A).take(33)).is_err());
+        assert!(Kmer::from_bases(std::iter::repeat_n(Base::A, 33)).is_err());
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl DnaSequence {
     ///
     /// Panics if `k` is 0 or greater than 32.
     pub fn kmers(&self, k: usize) -> Kmers<'_> {
-        assert!(k >= 1 && k <= crate::kmer::MAX_K, "k must be in 1..=32");
+        assert!((1..=crate::kmer::MAX_K).contains(&k), "k must be in 1..=32");
         Kmers {
             seq: &self.data,
             k,

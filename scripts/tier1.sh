@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lint-clean core crates.
+# Run from the repository root: ./scripts/tier1.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== tier1: cargo clippy (-D warnings) =="
+cargo clippy -p sieve-core -p sieve-genomics -p sieve-bench --all-targets -- -D warnings
+
+echo "== tier1: OK =="

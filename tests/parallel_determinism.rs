@@ -1,0 +1,150 @@
+//! Determinism of the sharded parallel simulation core (DESIGN.md §6):
+//! for every `threads` setting — sequential, moderate, oversubscribed —
+//! a run's functional results and its full timing/energy report must be
+//! bit-identical to the sequential run's.
+
+use proptest::prelude::*;
+use sieve::core::{HostPipeline, PipelineOutput, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::{synth, DnaSequence, Kmer};
+
+/// Includes 1 (the sequential reference), the container's typical core
+/// counts, and an oversubscribed setting (more workers than shards is
+/// common for small batches).
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn dataset() -> synth::SyntheticDataset {
+    synth::make_dataset_with(8, 2048, 31, 4242)
+}
+
+fn device(config: SieveConfig, threads: usize, ds: &synth::SyntheticDataset) -> SieveDevice {
+    SieveDevice::new(
+        config
+            .with_geometry(Geometry::scaled_medium())
+            .with_threads(threads),
+        ds.entries.clone(),
+    )
+    .expect("dataset fits the scaled geometry")
+}
+
+fn assert_same_pipeline(a: &PipelineOutput, b: &PipelineOutput, context: &str) {
+    assert_eq!(a.reads, b.reads, "{context}: per-read results diverged");
+    assert_eq!(a.report, b.report, "{context}: reports diverged");
+}
+
+#[test]
+fn seeded_workload_runs_identically_on_every_design() {
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 60, 7);
+    let queries: Vec<Kmer> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    for config in [
+        SieveConfig::type1(),
+        SieveConfig::type2(8),
+        SieveConfig::type3(8),
+        SieveConfig::type3(8).with_etm(false),
+        SieveConfig::type3(8).with_esp_override(10),
+    ] {
+        let base = device(config.clone(), 1, &ds).run(&queries).unwrap();
+        for threads in &THREAD_SWEEP[1..] {
+            let out = device(config.clone(), *threads, &ds).run(&queries).unwrap();
+            assert_eq!(
+                out.results,
+                base.results,
+                "{} threads={threads}: functional results diverged",
+                config.device.label()
+            );
+            assert_eq!(
+                out.report,
+                base.report,
+                "{} threads={threads}: report diverged",
+                config.device.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_pipeline_is_identical_across_thread_counts() {
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 23);
+    let (pairs, _) = synth::simulate_paired_reads(&ds, synth::ReadSimConfig::default(), 200, 25, 29);
+    let base = HostPipeline::new(device(SieveConfig::type3(8), 1, &ds));
+    let base_reads = base.classify_reads(&reads).unwrap();
+    let base_stream = base.classify_stream(&reads, 9).unwrap();
+    let base_pairs = base.classify_pairs(&pairs).unwrap();
+    for threads in &THREAD_SWEEP[1..] {
+        let host = HostPipeline::new(device(SieveConfig::type3(8), *threads, &ds));
+        assert_same_pipeline(
+            &host.classify_reads(&reads).unwrap(),
+            &base_reads,
+            "classify_reads",
+        );
+        assert_same_pipeline(
+            &host.classify_stream(&reads, 9).unwrap(),
+            &base_stream,
+            "classify_stream",
+        );
+        assert_same_pipeline(
+            &host.classify_pairs(&pairs).unwrap(),
+            &base_pairs,
+            "classify_pairs",
+        );
+    }
+}
+
+#[test]
+fn degenerate_batches_are_identical_across_thread_counts() {
+    let ds = dataset();
+    let one = ds.entries[0].0;
+    // Empty batch, single query, and a batch of one repeated k-mer (a
+    // single shard, so every worker but one idles).
+    for queries in [Vec::new(), vec![one], vec![one; 257]] {
+        let base = device(SieveConfig::type3(8), 1, &ds).run(&queries).unwrap();
+        for threads in &THREAD_SWEEP[1..] {
+            let out = device(SieveConfig::type3(8), *threads, &ds)
+                .run(&queries)
+                .unwrap();
+            assert_eq!(out.results, base.results);
+            assert_eq!(out.report, base.report);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_read_sets_classify_identically(raw in prop::collection::vec("[ACGTN]{0,120}", 0..16)) {
+        let ds = dataset();
+        let reads: Vec<DnaSequence> = raw.iter().map(|s| s.parse().unwrap()).collect();
+        let base = HostPipeline::new(device(SieveConfig::type3(8), 1, &ds))
+            .classify_reads(&reads)
+            .unwrap();
+        for threads in [3usize, 8] {
+            let out = HostPipeline::new(device(SieveConfig::type3(8), threads, &ds))
+                .classify_reads(&reads)
+                .unwrap();
+            assert_same_pipeline(&out, &base, "random reads");
+        }
+    }
+
+    #[test]
+    fn random_query_batches_run_identically(raw in prop::collection::vec(any::<u64>(), 0..400)) {
+        let ds = dataset();
+        let queries: Vec<Kmer> = raw
+            .iter()
+            .map(|&bits| Kmer::from_u64(bits >> 2, 31).unwrap())
+            .collect();
+        for config in [SieveConfig::type1(), SieveConfig::type3(8)] {
+            let base = device(config.clone(), 1, &ds).run(&queries).unwrap();
+            for threads in [4usize, 8] {
+                let out = device(config.clone(), threads, &ds).run(&queries).unwrap();
+                prop_assert_eq!(&out.results, &base.results);
+                prop_assert_eq!(&out.report, &base.report);
+            }
+        }
+    }
+}
