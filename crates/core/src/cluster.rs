@@ -12,6 +12,7 @@ use sieve_genomics::{Kmer, TaxonId};
 
 use crate::config::SieveConfig;
 use crate::error::SieveError;
+use crate::obs;
 use crate::stats::SimReport;
 
 /// Several Sieve devices sharding one reference set.
@@ -117,6 +118,9 @@ impl SieveCluster {
     ///
     /// Propagates device errors (k mismatch).
     pub fn run(&self, queries: &[Kmer]) -> Result<ClusterRun, SieveError> {
+        let rec = obs::global();
+        rec.add(obs::CounterId::ClusterRuns, 1);
+        let _span = rec.span("cluster.run");
         // Split queries by device, remembering original positions.
         let mut per_device: Vec<Vec<Kmer>> = vec![Vec::new(); self.devices.len()];
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.devices.len()];
@@ -132,6 +136,11 @@ impl SieveCluster {
         let mut energy = 0u128;
         for ((device, qs), pos) in self.devices.iter().zip(&per_device).zip(&positions) {
             let out = device.run(qs)?;
+            // Per-device skew: how unevenly the boundary table spread the
+            // batch, and how unbalanced the resulting makespans are.
+            rec.add(obs::CounterId::ClusterDeviceRuns, 1);
+            rec.record(obs::HistId::ClusterDeviceQueries, qs.len() as u64);
+            rec.record(obs::HistId::ClusterDeviceMakespanPs, out.report.makespan_ps);
             for (p, r) in pos.iter().zip(&out.results) {
                 results[*p] = *r;
             }

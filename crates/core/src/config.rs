@@ -261,6 +261,23 @@ impl SieveConfig {
         }
     }
 
+    /// Time to replace one 64-query batch in a subarray, ps: every
+    /// Region-1 row is opened once (`t_rcd`), one 64-bit write per
+    /// pattern group streams into the query columns (`t_ccd` each), and
+    /// the row is closed (`t_rp`) — floored by the row cycle.
+    ///
+    /// This is the **single source** of the batch-setup formula: both the
+    /// aggregate scheduler and the event-driven cross-check
+    /// ([`crate::xcheck::setup_per_batch`]) call it, so they cannot drift.
+    #[must_use]
+    pub fn batch_setup_ps(&self) -> TimePs {
+        u64::from(self.region1_rows())
+            * (self.timing.t_rcd
+                + u64::from(self.groups_per_subarray()) * self.timing.t_ccd
+                + self.timing.t_rp)
+                .max(self.timing.row_cycle())
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors

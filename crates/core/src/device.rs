@@ -8,6 +8,7 @@ use crate::engine;
 use crate::error::SieveError;
 use crate::index::SubarrayIndex;
 use crate::layout::DeviceLayout;
+use crate::obs;
 use crate::par;
 use crate::sched;
 use crate::shard::ShardPlan;
@@ -135,22 +136,34 @@ impl SieveDevice {
         for q in queries {
             self.check_k(*q)?;
         }
+        let rec = obs::global();
+        rec.add(obs::CounterId::DeviceRuns, 1);
         let threads = par::effective_threads(self.config.threads);
         let mut results = vec![None; queries.len()];
         let mut work = Vec::new();
         let mut loads: Vec<sched::SubLoad> = Vec::new();
         let mut hits = 0u64;
-        let plan = match &self.index {
-            Some(index) => ShardPlan::build(index, queries, threads),
-            None => ShardPlan::empty(),
+        let plan = {
+            let _span = rec.span("device.plan");
+            match &self.index {
+                Some(index) => ShardPlan::build(index, queries, threads),
+                None => ShardPlan::empty(),
+            }
         };
         if self.index.is_some() {
             work = vec![QueryWork::default(); queries.len()];
             loads = vec![sched::SubLoad::default(); plan.subarray_span()];
-            let outcomes = par::map_indexed(threads, plan.shard_count(), |s| {
-                self.match_shard(&plan, queries, s)
-            });
+            let outcomes = {
+                let _span = rec.span("device.match");
+                par::map_indexed(threads, plan.shard_count(), |s| {
+                    self.match_shard(&plan, queries, s)
+                })
+            };
+            let _span = rec.span("device.reduce");
+            rec.add(obs::CounterId::MatchShards, outcomes.len() as u64);
             for outcome in outcomes {
+                rec.add(obs::CounterId::MatchQueries, outcome.load.queries);
+                rec.add(obs::CounterId::MatchHits, outcome.load.hits);
                 loads[outcome.subarray] = outcome.load;
                 for (i, taxon, w) in outcome.resolved {
                     if let Some(t) = taxon {
@@ -176,6 +189,16 @@ impl SieveDevice {
     /// producing per-query work plus the subarray's aggregate load.
     fn match_shard(&self, plan: &ShardPlan, queries: &[Kmer], s: usize) -> ShardOutcome {
         let (subarray, idxs) = plan.shard(s);
+        let rec = obs::global();
+        // Captured once per shard: the per-query hot loop then bumps one
+        // slot of a direct-indexed count array (row counts are small —
+        // at most 2k plus flush cycles; the histogram fallback only
+        // exists for configs that could exceed the array) or skips
+        // entirely, folded into a local histogram and merged in one step
+        // below — the deterministic-reduce shape at ~1ns per query.
+        let observing = rec.is_enabled();
+        let mut rows_hist = obs::LocalHistogram::new();
+        let mut small_rows = [0u32; 256];
         let mut cursor = engine::MergeCursor::new(self.layout.subarray(subarray));
         let mut load = sched::SubLoad::default();
         let mut resolved = Vec::with_capacity(idxs.len());
@@ -210,7 +233,22 @@ impl SieveDevice {
             load.queries += 1;
             load.rows += u64::from(w.rows);
             load.hits += u64::from(w.hit);
+            if observing {
+                let rows = u64::from(w.rows);
+                if let Some(slot) = small_rows.get_mut(rows as usize) {
+                    *slot += 1;
+                } else {
+                    rows_hist.record(rows);
+                }
+            }
             resolved.push((i, outcome.hit.map(|(_, taxon)| taxon), w));
+        }
+        if observing {
+            for (rows, &n) in small_rows.iter().enumerate() {
+                rows_hist.record_n(rows as u64, u64::from(n));
+            }
+            rec.merge_local(obs::HistId::EtmRowsActivated, &rows_hist);
+            rec.record(obs::HistId::ShardQueries, idxs.len() as u64);
         }
         ShardOutcome {
             subarray,

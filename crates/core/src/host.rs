@@ -12,6 +12,7 @@ use sieve_genomics::{DnaSequence, Kmer, TaxonId};
 
 use crate::device::SieveDevice;
 use crate::error::SieveError;
+use crate::obs;
 use crate::stats::SimReport;
 
 /// Per-read classification assembled from device responses.
@@ -110,8 +111,18 @@ impl HostPipeline {
     ///
     /// Propagates device errors (k mismatch).
     pub fn classify_reads(&self, reads: &[DnaSequence]) -> Result<PipelineOutput, SieveError> {
-        let (kmers, owners) = self.extract_kmers(reads);
-        let run = self.device.run(&kmers)?;
+        let rec = obs::global();
+        rec.add(obs::CounterId::HostReads, reads.len() as u64);
+        let (kmers, owners) = {
+            let _span = rec.span("host.extract");
+            self.extract_kmers(reads)
+        };
+        rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
+        let run = {
+            let _span = rec.span("host.device");
+            self.device.run(&kmers)?
+        };
+        let _span = rec.span("host.vote");
         Ok(PipelineOutput {
             reads: vote_reads(reads.len(), &owners, &run.results),
             report: run.report,
@@ -136,6 +147,8 @@ impl HostPipeline {
         chunk_reads: usize,
     ) -> Result<PipelineOutput, SieveError> {
         assert!(chunk_reads > 0, "need a positive chunk size");
+        let rec = obs::global();
+        rec.add(obs::CounterId::HostReads, reads.len() as u64);
         let mut all_reads = Vec::with_capacity(reads.len());
         let mut merged: Option<SimReport> = None;
         // The k-mer and owner buffers are reused across chunks, so the
@@ -143,9 +156,13 @@ impl HostPipeline {
         let mut kmers = Vec::new();
         let mut owners = Vec::new();
         for chunk in reads.chunks(chunk_reads) {
+            let _span = rec.span("host.chunk");
             kmers.clear();
             owners.clear();
             self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+            rec.add(obs::CounterId::HostChunks, 1);
+            rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
+            rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
             let run = self.device.run(&kmers)?;
             all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
             match &mut merged {

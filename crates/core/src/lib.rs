@@ -64,6 +64,7 @@ mod host;
 mod index;
 mod layout;
 pub mod load;
+pub mod obs;
 mod par;
 mod pcie;
 mod sched;

@@ -26,6 +26,7 @@ use crate::energy_model::ComponentEnergies;
 use crate::engine;
 use crate::etm;
 use crate::layout::DeviceLayout;
+use crate::obs;
 use crate::par;
 use crate::shard::ShardPlan;
 use crate::stats::SimReport;
@@ -75,10 +76,18 @@ fn finalize(
         Some(link) if queries > 0 => {
             let input_end = link.request_ready_ps(queries - 1);
             let response_end = link.response_drain_ps(queries, link.request_bytes);
-            makespan_with_dispatch
+            let total = makespan_with_dispatch
                 .max(input_end)
                 .max(response_end)
-                + link.base_latency_ps
+                + link.base_latency_ps;
+            // How much the link (packetization, queueing, drain) stretched
+            // the run beyond ideal dispatch — pure model time, so the
+            // histogram stays deterministic.
+            obs::global().record(
+                obs::HistId::DispatchStallPs,
+                total.saturating_sub(ideal_makespan),
+            );
+            total
         }
         _ => ideal_makespan,
     };
@@ -126,12 +135,9 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
     let queries_per_batch = u64::from(config.queries_per_group);
     let writes_per_batch = u64::from(config.batch_replacement_writes());
     // Replacing a 64-query batch opens each Region-1 row once and streams
-    // one 64-bit write per pattern group into the query columns.
-    let setup_per_batch = u64::from(config.region1_rows())
-        * (config.timing.t_rcd
-            + u64::from(config.groups_per_subarray()) * config.timing.t_ccd
-            + config.timing.t_rp)
-            .max(row_cycle);
+    // one 64-bit write per pattern group into the query columns; the
+    // shared formula also backs xcheck::setup_per_batch.
+    let setup_per_batch = config.batch_setup_ps();
     let hit_extra = etm::hit_identify_ps(config.etm_segments(), &config.timing)
         + payload_time(config);
 
@@ -139,6 +145,7 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
     let mut row_activations = 0u64;
     let mut write_bursts = 0u64;
     let mut read_bursts = 0u64;
+    let mut total_batches = 0u64;
     // Type-3: per bank, the busy time of each occupied subarray (scheduled
     // onto `salp` slots). Type-2: per bank, one serial stream — relaying a
     // row to a compute buffer monopolizes the bank's bitline/sense-amp
@@ -191,6 +198,7 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
         };
         let per_row_extra = hops * config.hop_delay_ps;
         let batches = l.queries.div_ceil(queries_per_batch);
+        total_batches += batches;
         let setup = batches * setup_per_batch;
         let busy = setup + l.rows * (row_cycle + per_row_extra) + l.hits * hit_extra;
         let busy_pcie = busy + batches * batch_overhead;
@@ -246,6 +254,7 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
     let ideal = makespan_of(&bank_serial, &bank_sub_loads);
     let busy_with_dispatch = makespan_of(&bank_serial_pcie, &bank_sub_loads_pcie);
 
+    obs::global().add(obs::CounterId::SchedBatches, total_batches);
     let queries = loads.iter().map(|l| l.queries).sum();
     let hits = loads.iter().map(|l| l.hits).sum();
     finalize(

@@ -11,6 +11,7 @@
 use sieve_genomics::Kmer;
 
 use crate::index::SubarrayIndex;
+use crate::obs;
 use crate::par;
 
 /// Queries bucketed by destination (occupied) subarray.
@@ -51,14 +52,17 @@ impl ShardPlan {
         assert!(u32::try_from(n).is_ok(), "query batch exceeds u32 indexing");
         let chunk = n.div_ceil(threads.max(1)).max(1);
         let chunks = n.div_ceil(chunk);
-        let routed_chunks: Vec<Vec<u32>> = par::map_indexed(threads, chunks, |c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            queries[lo..hi]
-                .iter()
-                .map(|q| index.locate(*q) as u32)
-                .collect()
-        });
+        let routed_chunks: Vec<Vec<u32>> = {
+            let _span = obs::span("shard.route");
+            par::map_indexed(threads, chunks, |c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                queries[lo..hi]
+                    .iter()
+                    .map(|q| index.locate(*q) as u32)
+                    .collect()
+            })
+        };
 
         // Counting sort by subarray: offsets from per-subarray counts,
         // then a stable scatter of query indices into shard order.
@@ -89,6 +93,7 @@ impl ShardPlan {
 
         // Sort each shard by (k-mer bits, input index) for the merge
         // cursor; workers own disjoint sub-slices of `order`.
+        let _span = obs::span("shard.sort");
         let mut slices: Vec<&mut [u32]> = Vec::with_capacity(subarrays.len());
         let mut rest = order.as_mut_slice();
         for s in 0..subarrays.len() {

@@ -10,6 +10,7 @@ use sieve_dram::TimePs;
 
 use crate::config::{DeviceKind, SieveConfig};
 use crate::error::SieveError;
+use crate::obs;
 use crate::pcie::PcieConfig;
 
 /// How the Sieve device attaches to the host.
@@ -118,7 +119,11 @@ impl Transport {
             } => *bandwidth_bytes_per_s,
             Self::Pcie(link) => link.bandwidth_bytes_per_s,
         };
-        bytes.saturating_mul(1_000_000) / (bw / 1_000_000)
+        let ps = bytes.saturating_mul(1_000_000) / (bw / 1_000_000);
+        let rec = obs::global();
+        rec.add(obs::CounterId::TransportTransfers, 1);
+        rec.record(obs::HistId::TransportTransferPs, ps);
+        ps
     }
 }
 

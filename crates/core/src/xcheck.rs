@@ -20,15 +20,12 @@ use sieve_dram::{BankId, DramCommand, TimePs};
 use crate::config::SieveConfig;
 
 /// Time to replace one 64-query batch: every Region-1 row is opened once
-/// and one write per pattern group streams into the query columns (the
-/// same formula the aggregate scheduler uses).
+/// and one write per pattern group streams into the query columns.
+/// Delegates to [`SieveConfig::batch_setup_ps`] — the same shared formula
+/// the aggregate scheduler uses, so the two cannot drift.
 #[must_use]
 pub fn setup_per_batch(config: &SieveConfig) -> TimePs {
-    u64::from(config.region1_rows())
-        * (config.timing.t_rcd
-            + u64::from(config.groups_per_subarray()) * config.timing.t_ccd
-            + config.timing.t_rp)
-            .max(config.timing.row_cycle())
+    config.batch_setup_ps()
 }
 
 /// One subarray's resolved work for cross-checking: per-query row counts.
@@ -163,6 +160,29 @@ mod tests {
                     .collect(),
             })
             .collect()
+    }
+
+    #[test]
+    fn setup_per_batch_pins_the_shared_scheduler_formula() {
+        // The aggregate scheduler and this cross-check must compute batch
+        // setup from the same expression; both now delegate to
+        // SieveConfig::batch_setup_ps, and this pins the delegation plus
+        // the formula itself across design points and geometries.
+        for config in [
+            SieveConfig::type1(),
+            SieveConfig::type2(16),
+            SieveConfig::type3(8),
+            SieveConfig::type3(8).with_geometry(Geometry::scaled_medium()),
+            SieveConfig::type3(1).with_k(21),
+        ] {
+            let expected = u64::from(config.region1_rows())
+                * (config.timing.t_rcd
+                    + u64::from(config.groups_per_subarray()) * config.timing.t_ccd
+                    + config.timing.t_rp)
+                    .max(config.timing.row_cycle());
+            assert_eq!(setup_per_batch(&config), expected);
+            assert_eq!(config.batch_setup_ps(), expected);
+        }
     }
 
     #[test]

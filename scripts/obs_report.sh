@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Observability report: runs the instrumented classification benchmark and
+# summarizes the recorded pipeline metrics (counters, ETM-depth histogram,
+# per-stage wall spans). Run from the repository root:
+#
+#   ./scripts/obs_report.sh            # full run (release build + bench)
+#   ./scripts/obs_report.sh --cached   # re-summarize existing results/
+#
+# Artifacts: results/BENCH_classify.json (throughput + embedded metrics
+# snapshot) and results/BENCH_classify.prom (Prometheus text format).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROM=results/BENCH_classify.prom
+JSON=results/BENCH_classify.json
+
+if [[ "${1:-}" != "--cached" ]]; then
+    echo "== obs_report: running instrumented benchmark =="
+    cargo run --release -p sieve-bench --bin bench_classify -- --json --prom
+    echo
+fi
+
+if [[ ! -f "$PROM" ]]; then
+    echo "error: $PROM not found (run without --cached first)" >&2
+    exit 1
+fi
+
+echo "== pipeline counters =="
+awk '/^# TYPE .* counter$/ { name=$3; getline; printf "  %-28s %s\n", name, $2 }' "$PROM"
+
+echo
+echo "== stage histograms (count / sum / mean) =="
+awk '
+/^# TYPE .* histogram$/ { name=$3 }
+$1 == name"_sum"   { sum[name]=$2 }
+$1 == name"_count" { cnt[name]=$2 }
+END {
+    for (n in cnt) {
+        mean = (cnt[n] > 0) ? sum[n] / cnt[n] : 0
+        printf "  %-36s %10d %14.0f %12.1f\n", n, cnt[n], sum[n], mean
+    }
+}' "$PROM" | sort
+
+echo
+echo "== ETM rows-activated distribution (the live ESP histogram) =="
+grep '^sieve_etm_rows_activated_bucket' "$PROM" \
+    | sed 's/sieve_etm_rows_activated_bucket{le="\([^"]*\)"} \(.*\)/  rows <= \1 : \2/'
+
+echo
+echo "== metrics overhead (recorder on vs off) =="
+grep -o '"threads": [0-9]*, .*"obs_overhead_pct": [0-9.+-]*' "$JSON" \
+    | sed 's/[{}"]//g; s/, /  /g' || echo "  (no overhead data in $JSON)"
+
+echo
+echo "== obs_report: OK (full snapshot: $JSON, $PROM) =="

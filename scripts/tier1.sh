@@ -11,7 +11,34 @@ cargo build --release
 echo "== tier1: cargo test --workspace -q =="
 cargo test --workspace -q
 
+echo "== tier1: doc-tests =="
+cargo test --workspace --doc -q
+
+echo "== tier1: observability + hardening test files =="
+cargo test -q \
+    --test obs_determinism \
+    --test fault_model \
+    --test report_golden \
+    --test cluster_edge \
+    --test parallel_determinism
+
 echo "== tier1: cargo clippy (-D warnings) =="
 cargo clippy -p sieve-core -p sieve-genomics -p sieve-bench --all-targets -- -D warnings
+
+echo "== tier1: audit #[ignore]d tests =="
+# Every #[ignore] must carry a linked justification (an issue reference or
+# URL) within a line of the attribute; unexplained quarantines rot.
+bad=0
+while IFS=: read -r file line _; do
+    start=$(( line > 2 ? line - 2 : 1 ))
+    context=$(sed -n "${start},$(( line + 1 ))p" "$file")
+    if ! printf '%s' "$context" | grep -qiE 'issue|https?://'; then
+        echo "tier1: unlinked #[ignore] at ${file}:${line} — add an '// issue: …' comment" >&2
+        bad=1
+    fi
+done < <(grep -rn '#\[ignore' --include='*.rs' crates src tests 2>/dev/null || true)
+if [ "$bad" -ne 0 ]; then
+    exit 1
+fi
 
 echo "== tier1: OK =="

@@ -1,0 +1,117 @@
+//! Edge cases of [`sieve::core::SieveCluster`]: degenerate cluster sizes,
+//! empty batches, and maximally skewed routing — the corners a boundary
+//! table gets wrong first.
+
+use sieve::core::{SieveCluster, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::{synth, Kmer};
+
+fn dataset() -> synth::SyntheticDataset {
+    synth::make_dataset_with(12, 4096, 31, 909)
+}
+
+fn config() -> SieveConfig {
+    SieveConfig::type3(8).with_geometry(Geometry::scaled_medium())
+}
+
+fn queries(ds: &synth::SyntheticDataset, n: usize) -> Vec<Kmer> {
+    let (reads, _) = synth::simulate_reads(ds, synth::ReadSimConfig::default(), n, 11);
+    reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect()
+}
+
+#[test]
+fn one_device_cluster_equals_single_device_bit_for_bit() {
+    let ds = dataset();
+    let qs = queries(&ds, 40);
+    // The cluster constructor sorts and dedups; feed the single device
+    // the same canonicalized entry set so the comparison is exact.
+    let mut entries = ds.entries.clone();
+    entries.sort_by_key(|(k, _)| k.bits());
+    entries.dedup_by_key(|(k, _)| k.bits());
+    let single = SieveDevice::new(config(), entries.clone())
+        .unwrap()
+        .run(&qs)
+        .unwrap();
+    let cluster = SieveCluster::new(config(), 1, ds.entries.clone()).unwrap();
+    assert_eq!(cluster.len(), 1);
+    let out = cluster.run(&qs).unwrap();
+    assert_eq!(out.results, single.results, "functional results must be identical");
+    assert_eq!(out.device_reports.len(), 1);
+    assert_eq!(out.device_reports[0], single.report, "report must be bit-for-bit equal");
+    assert_eq!(out.hits, single.report.hits);
+    assert_eq!(out.makespan_ps, single.report.makespan_ps);
+    assert_eq!(out.energy_fj, single.report.energy.total_fj());
+}
+
+#[test]
+fn empty_query_batch_is_a_clean_no_op() {
+    let ds = dataset();
+    for devices in [1usize, 3] {
+        let cluster = SieveCluster::new(config(), devices, ds.entries.clone()).unwrap();
+        let out = cluster.run(&[]).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.device_reports.len(), devices);
+        for report in &out.device_reports {
+            assert_eq!(report.queries, 0);
+            assert_eq!(report.row_activations, 0);
+        }
+        // An idle cluster still reports a makespan (refresh/static floor
+        // may be zero for a zero-length run) — it must simply be the max.
+        let max = out.device_reports.iter().map(|r| r.makespan_ps).max().unwrap();
+        assert_eq!(out.makespan_ps, max);
+    }
+}
+
+#[test]
+fn batch_routed_entirely_to_one_device_leaves_the_rest_idle() {
+    let ds = dataset();
+    let cluster = SieveCluster::new(config(), 4, ds.entries.clone()).unwrap();
+    // Take stored k-mers that all route to one device: the device of the
+    // first entry, filtered by the cluster's own routing.
+    let target = cluster.route(ds.entries[0].0);
+    let qs: Vec<Kmer> = ds
+        .entries
+        .iter()
+        .map(|(k, _)| *k)
+        .filter(|k| cluster.route(*k) == target)
+        .take(300)
+        .collect();
+    assert!(qs.len() >= 100, "need a meaningful skewed batch");
+    let out = cluster.run(&qs).unwrap();
+    // All stored: every query hits.
+    assert_eq!(out.hits, qs.len() as u64);
+    assert!(out.results.iter().all(Option::is_some));
+    for (d, report) in out.device_reports.iter().enumerate() {
+        if d == target {
+            assert_eq!(report.queries, qs.len() as u64);
+        } else {
+            assert_eq!(report.queries, 0, "device {d} should be idle");
+            assert_eq!(report.row_activations, 0);
+        }
+    }
+    // The skewed device alone determines the makespan.
+    assert_eq!(out.makespan_ps, out.device_reports[target].makespan_ps);
+}
+
+#[test]
+fn single_repeated_kmer_routes_to_one_shard_of_one_device() {
+    // The most extreme skew: one k-mer repeated — a single shard on a
+    // single device, every other worker idle — must still agree with the
+    // one-device answer and count every duplicate.
+    let ds = dataset();
+    let (kmer, taxon) = ds.entries[ds.entries.len() / 2];
+    let qs = vec![kmer; 257];
+    let single = SieveDevice::new(config(), ds.entries.clone())
+        .unwrap()
+        .run(&qs)
+        .unwrap();
+    let cluster = SieveCluster::new(config(), 3, ds.entries.clone()).unwrap();
+    let out = cluster.run(&qs).unwrap();
+    assert_eq!(out.results, single.results);
+    assert_eq!(out.hits, 257);
+    assert!(out.results.iter().all(|r| *r == Some(taxon)));
+}

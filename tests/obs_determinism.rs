@@ -1,0 +1,215 @@
+//! Determinism of the observability layer (DESIGN.md §7): the recorder's
+//! *model* metrics — every counter and histogram except the `wall.*`
+//! spans — are pure functions of the workload, so the deterministic
+//! snapshot must be bit-identical across simulator thread counts.
+//!
+//! The recorder is process-wide; this file owns it (each integration-test
+//! file is its own binary) and serializes its tests on a local mutex so
+//! concurrent `#[test]` threads don't interleave workloads.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use sieve::core::{obs, HostPipeline, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::{synth, Kmer};
+
+/// The acceptance sweep: sequential, typical cores, oversubscribed.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Serializes tests in this binary around the global recorder.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Guard: exclusive recorder access, enabled on entry, disabled and
+/// cleared on exit (even when an assertion fails mid-test).
+struct RecorderSession<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl RecorderSession<'_> {
+    fn begin() -> Self {
+        let guard = RECORDER_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        obs::global().reset();
+        obs::global().set_enabled(true);
+        Self { _guard: guard }
+    }
+}
+
+impl Drop for RecorderSession<'_> {
+    fn drop(&mut self) {
+        obs::global().set_enabled(false);
+        obs::global().reset();
+    }
+}
+
+fn dataset() -> synth::SyntheticDataset {
+    synth::make_dataset_with(8, 2048, 31, 4242)
+}
+
+fn device(config: SieveConfig, threads: usize, ds: &synth::SyntheticDataset) -> SieveDevice {
+    SieveDevice::new(
+        config
+            .with_geometry(Geometry::scaled_medium())
+            .with_threads(threads),
+        ds.entries.clone(),
+    )
+    .expect("dataset fits the scaled geometry")
+}
+
+/// Runs `work` once per thread count and returns each run's deterministic
+/// snapshot (recorder reset between runs).
+fn snapshot_sweep(
+    mut work: impl FnMut(usize),
+) -> Vec<obs::MetricsSnapshot> {
+    THREAD_SWEEP
+        .iter()
+        .map(|&threads| {
+            obs::global().reset();
+            work(threads);
+            obs::global().snapshot().deterministic()
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_device_runs_snapshot_identically_across_thread_counts() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 60, 7);
+    let queries: Vec<Kmer> = reads
+        .iter()
+        .flat_map(|r| r.kmers(31).map(|(_, k)| k))
+        .collect();
+    for config in [
+        SieveConfig::type1(),
+        SieveConfig::type3(8),
+        SieveConfig::type3(8).with_pcie(sieve::core::PcieConfig::gen4_x16()),
+    ] {
+        let snaps = snapshot_sweep(|threads| {
+            device(config.clone(), threads, &ds).run(&queries).unwrap();
+        });
+        for (i, snap) in snaps.iter().enumerate().skip(1) {
+            assert_eq!(
+                snap,
+                &snaps[0],
+                "{} threads={}: deterministic snapshot diverged",
+                config.device.label(),
+                THREAD_SWEEP[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_counters_reflect_the_workload() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 25, 11);
+    let host = HostPipeline::new(device(SieveConfig::type3(8), 4, &ds));
+    let out = host.classify_stream(&reads, 10).unwrap();
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.counter("host_reads"), reads.len() as u64);
+    assert_eq!(snap.counter("host_chunks"), reads.len().div_ceil(10) as u64);
+    assert_eq!(snap.counter("host_kmers"), out.report.queries);
+    assert_eq!(snap.counter("match_queries"), out.report.queries);
+    assert_eq!(snap.counter("match_hits"), out.report.hits);
+    assert_eq!(snap.counter("device_runs"), 3);
+    // Every resolved query lands in the ETM-depth histogram, and the
+    // model's total row count is exactly the histogram's mass (payload
+    // rows are accounted separately by the scheduler).
+    let rows = snap.histogram("etm_rows_activated").unwrap();
+    assert_eq!(rows.count, out.report.queries);
+    assert_eq!(
+        rows.sum,
+        out.report.row_activations - 2 * out.report.hits,
+        "ETM histogram mass must equal Region-1 activations"
+    );
+    // Shard skew histogram: one sample per resolved shard.
+    let shards = snap.histogram("shard_queries").unwrap();
+    assert_eq!(shards.count, snap.counter("match_shards"));
+    assert_eq!(shards.sum, out.report.queries);
+    // Wall spans recorded for every instrumented stage.
+    for span in ["wall.host.chunk.ns", "wall.device.match.ns"] {
+        assert!(
+            snap.histogram(span).is_some_and(|h| h.count > 0),
+            "missing span {span}"
+        );
+    }
+}
+
+#[test]
+fn cluster_runs_snapshot_identically_and_record_skew() {
+    let _session = RecorderSession::begin();
+    let ds = synth::make_dataset_with(16, 4096, 31, 606);
+    let queries: Vec<Kmer> = ds.entries.iter().step_by(29).map(|(k, _)| *k).collect();
+    let config = || SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
+    let snaps = snapshot_sweep(|threads| {
+        let cluster = sieve::core::SieveCluster::new(
+            config().with_threads(threads),
+            3,
+            ds.entries.clone(),
+        )
+        .unwrap();
+        cluster.run(&queries).unwrap();
+    });
+    for snap in &snaps[1..] {
+        assert_eq!(snap, &snaps[0], "cluster snapshot diverged");
+    }
+    assert_eq!(snaps[0].counter("cluster_runs"), 1);
+    assert_eq!(snaps[0].counter("cluster_device_runs"), 3);
+    let skew = snaps[0].histogram("cluster_device_queries").unwrap();
+    assert_eq!(skew.count, 3);
+    assert_eq!(skew.sum, queries.len() as u64);
+}
+
+#[test]
+fn disabled_recorder_observes_nothing() {
+    let _session = RecorderSession::begin();
+    obs::global().set_enabled(false);
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 10, 3);
+    HostPipeline::new(device(SieveConfig::type3(8), 2, &ds))
+        .classify_reads(&reads)
+        .unwrap();
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.counter("host_reads"), 0);
+    assert_eq!(snap.counter("match_queries"), 0);
+    assert!(snap.histogram("etm_rows_activated").unwrap().count == 0);
+    obs::global().set_enabled(true); // session drop expects to disable
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_batches_snapshot_bit_identically(raw in prop::collection::vec(any::<u64>(), 0..300)) {
+        let _session = RecorderSession::begin();
+        let ds = dataset();
+        // Mix of misses (random bits) and hits (stored entries).
+        let queries: Vec<Kmer> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| {
+                if i % 4 == 0 {
+                    ds.entries[bits as usize % ds.entries.len()].0
+                } else {
+                    Kmer::from_u64(bits >> 2, 31).unwrap()
+                }
+            })
+            .collect();
+        let snaps = snapshot_sweep(|threads| {
+            device(SieveConfig::type3(8), threads, &ds).run(&queries).unwrap();
+        });
+        for (i, snap) in snaps.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                snap,
+                &snaps[0],
+                "threads={}: counter/histogram snapshot diverged",
+                THREAD_SWEEP[i]
+            );
+        }
+        prop_assert_eq!(snaps[0].counter("match_queries"), queries.len() as u64);
+    }
+}
