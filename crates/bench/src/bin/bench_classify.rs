@@ -12,6 +12,10 @@
 //! [`sieve_core::obs::MetricsSnapshot`] of one instrumented run
 //! (`metrics` key). `--prom` additionally writes the snapshot in
 //! Prometheus text format to `results/BENCH_classify.prom`.
+//!
+//! Flags: `--reads N` and `--reps M` scale the workload down for smoke
+//! runs (defaults 10,000 / 40), and `--out PATH` redirects the `--json`
+//! artifact so quick runs don't clobber the committed results.
 
 use std::time::Instant;
 
@@ -20,8 +24,16 @@ use sieve_core::{obs, HostPipeline, SieveConfig, SieveDevice};
 use sieve_dram::Geometry;
 use sieve_genomics::synth;
 
-const READS: usize = 10_000;
-const REPS: usize = 40;
+const DEFAULT_READS: usize = 10_000;
+const DEFAULT_REPS: usize = 40;
+const DEFAULT_OUT: &str = "results/BENCH_classify.json";
+
+/// Value of `--flag N` style arguments, if present.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 struct Measurement {
     threads: usize,
@@ -32,14 +44,20 @@ struct Measurement {
 }
 
 fn main() {
-    let emit_json = std::env::args().any(|a| a == "--json");
-    let emit_prom = std::env::args().any(|a| a == "--prom");
+    let args: Vec<String> = std::env::args().collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let emit_prom = args.iter().any(|a| a == "--prom");
+    let n_reads: usize = arg_value(&args, "--reads")
+        .map_or(DEFAULT_READS, |v| v.parse().expect("--reads takes a count"));
+    let reps: usize = arg_value(&args, "--reps")
+        .map_or(DEFAULT_REPS, |v| v.parse().expect("--reps takes a count"));
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
 
     let ds = synth::make_dataset_with(16, 8192, 31, 1001);
-    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), READS, 1002);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), n_reads, 1002);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
-        "classify throughput: {READS} reads, quiet-quartile of {REPS} runs, {cores} host core(s)\n"
+        "classify throughput: {n_reads} reads, quiet-quartile of {reps} runs, {cores} host core(s)\n"
     );
 
     let mut thread_counts = vec![1usize, 2, 4];
@@ -92,8 +110,8 @@ fn main() {
     // from being decided by a single lucky extreme.
     let recorder = obs::global();
     assert!(!recorder.is_enabled(), "recorder must start disabled");
-    let mut samples = vec![[Vec::with_capacity(REPS), Vec::with_capacity(REPS)]; hosts.len()];
-    for rep in 0..REPS {
+    let mut samples = vec![[Vec::with_capacity(reps), Vec::with_capacity(reps)]; hosts.len()];
+    for rep in 0..reps {
         for (i, host) in hosts.iter().enumerate() {
             let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
             for enabled in order {
@@ -130,8 +148,8 @@ fn main() {
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for (i, &threads) in thread_counts.iter().enumerate() {
-        let reads_per_sec = READS as f64 / best[i];
-        let reads_per_sec_obs = READS as f64 / best_obs[i];
+        let reads_per_sec = n_reads as f64 / best[i];
+        let reads_per_sec_obs = n_reads as f64 / best_obs[i];
         let speedup = measurements
             .first()
             .map_or(1.0, |base: &Measurement| reads_per_sec / base.reads_per_sec);
@@ -163,11 +181,15 @@ fn main() {
     println!("{}", t.render());
 
     if emit_json {
-        let path = "results/BENCH_classify.json";
-        std::fs::create_dir_all("results").expect("create results/");
-        std::fs::write(path, render_json(cores, &measurements, &snapshot))
-            .expect("write results/BENCH_classify.json");
-        println!("wrote {path}");
+        if let Some(dir) = std::path::Path::new(&out_path).parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        std::fs::write(
+            &out_path,
+            render_json(n_reads, reps, cores, &measurements, &snapshot),
+        )
+        .expect("write the --out JSON file");
+        println!("wrote {out_path}");
     }
     if emit_prom {
         let path = "results/BENCH_classify.prom";
@@ -180,6 +202,8 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace builds offline, without serde).
 fn render_json(
+    n_reads: usize,
+    reps: usize,
     cores: usize,
     measurements: &[Measurement],
     snapshot: &obs::MetricsSnapshot,
@@ -187,8 +211,8 @@ fn render_json(
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"classify_throughput\",\n");
-    s.push_str(&format!("  \"reads\": {READS},\n"));
-    s.push_str(&format!("  \"reps\": {REPS},\n"));
+    s.push_str(&format!("  \"reads\": {n_reads},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str("  \"device\": \"T3.8SA\",\n");
     s.push_str("  \"results\": [\n");

@@ -108,6 +108,15 @@ pub struct SieveConfig {
     /// matched per shard, and reduced deterministically, so the output
     /// is bit-identical for every value (see DESIGN.md §6).
     pub threads: usize,
+    /// Unique-k-mer deduplication in the device front-end (default `true`).
+    /// Real read batches repeat k-mers heavily, so the device plans and
+    /// matches each *distinct* k-mer once and scatters the outcome back to
+    /// every occurrence; timeline and energy accounting charge each
+    /// duplicate the cached outcome's full row count, so results, reports,
+    /// and observability snapshots are bit-identical with the knob off
+    /// (proven by `tests/parallel_determinism.rs`). This too is a
+    /// *simulator* knob, not a modeled device parameter.
+    pub dedup: bool,
 }
 
 impl SieveConfig {
@@ -149,6 +158,7 @@ impl SieveConfig {
             pcie: None,
             esp_override: None,
             threads: 0,
+            dedup: true,
         }
     }
 
@@ -194,6 +204,15 @@ impl SieveConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Toggles unique-k-mer deduplication in the device front-end (builder
+    /// style). Output is bit-identical for either value (see
+    /// [`SieveConfig::dedup`]).
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
         self
     }
 
@@ -430,10 +449,12 @@ mod tests {
             .with_geometry(Geometry::scaled_medium())
             .with_k(21)
             .with_etm(false)
-            .with_threads(2);
+            .with_threads(2)
+            .with_dedup(false);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
+        assert!(!c.dedup);
         c.validate().unwrap();
     }
 }

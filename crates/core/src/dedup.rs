@@ -1,0 +1,431 @@
+//! Unique-k-mer deduplication for the device front-end.
+//!
+//! Real read batches repeat k-mers heavily (overlapping reads share most
+//! of their k-mers), so the device plans and matches each *distinct*
+//! k-mer once and scatters the outcome back to every occurrence. This
+//! module computes that mapping: given a query batch it produces the
+//! distinct k-mers (`uniq`), each one's occurrence count (`mult`), and
+//! the per-query index into `uniq` (`uniq_of`).
+//!
+//! Dedup only pays when duplicates exist: on a mostly-novel batch (the
+//! paper's metagenomic workloads run near a 1 % hit rate, and novel
+//! random reads share almost no k-mers) the hash build is pure overhead.
+//! [`dedup`] therefore probes a fixed prefix sample first and *bypasses*
+//! itself — returning `false` with empty outputs — when fewer than
+//! 1 in [`BYPASS_DIVISOR`] sampled queries is a repeat. The decision is
+//! a pure function of the batch, never of the thread count.
+//!
+//! Determinism: callers only ever consume the dedup result in ways that
+//! are invariant to the *order* in which distinct k-mers are numbered
+//! (the planner re-sorts them by k-mer value, all accounting is
+//! multiplicity-weighted, and per-query results are read back through
+//! `uniq_of`). That invariance is what lets the sequential path (one
+//! open-addressing table, first-occurrence numbering) and the parallel
+//! path (fixed hash partitions processed concurrently) coexist: they
+//! assign different unique ids but yield bit-identical run output, which
+//! `tests/parallel_determinism.rs` proves.
+
+use sieve_genomics::Kmer;
+
+use crate::par;
+
+/// Hash partitions of the parallel path. Fixed — *not* a function of the
+/// thread count — so the partition of a k-mer is a pure function of its
+/// bits and the partition tables are identical however many workers
+/// process them.
+const PARTS: usize = 32;
+
+/// Below this many queries the table fits in cache and fan-out overhead
+/// dominates; stay sequential.
+const PARALLEL_DEDUP: usize = 1 << 14;
+
+/// Queries probed by the duplicate-rate sample (the whole batch when
+/// smaller).
+const SAMPLE: usize = 4_096;
+
+/// Bypass threshold: dedup proceeds only when at least `1/BYPASS_DIVISOR`
+/// of the sampled queries repeat an earlier sampled k-mer. A duplicate
+/// saves a sort+match+reduce traversal (~5× the cost of a hash insert),
+/// so the break-even duplicate rate is well under 1 in 8.
+const BYPASS_DIVISOR: u32 = 8;
+
+/// `splitmix64` finalizer: the table hash and the partition selector.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn partition(hash: u64) -> usize {
+    (hash >> 59) as usize & (PARTS - 1)
+}
+
+/// One hash partition's open-addressing state (parallel path).
+#[derive(Debug, Default, Clone)]
+struct PartState {
+    id: usize,
+    /// Open-addressing slots holding partition-local unique ids.
+    table: Vec<u32>,
+    /// Partition-local uniques: `(k-mer bits, occurrence count)` in
+    /// first-occurrence order.
+    uniqs: Vec<(u64, u32)>,
+    /// Global id of this partition's local id 0.
+    base: u32,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl PartState {
+    fn reset(&mut self, expected: usize) {
+        let cap = (expected * 2).next_power_of_two().max(8);
+        self.table.clear();
+        self.table.resize(cap, EMPTY);
+        self.uniqs.clear();
+    }
+
+    /// Inserts `bits`, returning its partition-local id.
+    #[inline]
+    fn insert(&mut self, hash: u64, bits: u64) -> u32 {
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == EMPTY {
+                let local = self.uniqs.len() as u32;
+                self.table[slot] = local;
+                self.uniqs.push((bits, 1));
+                return local;
+            }
+            if self.uniqs[entry as usize].0 == bits {
+                self.uniqs[entry as usize].1 += 1;
+                return entry;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Looks up `bits`, which must have been inserted, returning its
+    /// *global* id.
+    #[inline]
+    fn find(&self, hash: u64, bits: u64) -> u32 {
+        let mask = self.table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let entry = self.table[slot];
+            debug_assert_ne!(entry, EMPTY, "find() of a k-mer never inserted");
+            if entry != EMPTY && self.uniqs[entry as usize].0 == bits {
+                return self.base + entry;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+}
+
+/// Reusable dedup working memory, recycled across runs by the device's
+/// scratch arena.
+#[derive(Debug, Default)]
+pub(crate) struct DedupScratch {
+    /// Sequential path: open-addressing slots holding unique ids.
+    table: Vec<u32>,
+    /// Parallel path: per-query hashes (computed once, read three times).
+    hashes: Vec<u64>,
+    /// Parallel path: the fixed hash partitions.
+    parts: Vec<PartState>,
+}
+
+/// Deduplicates `queries` into `uniq` / `mult` / `uniq_of` (all cleared
+/// first, capacity reused):
+///
+/// * `uniq[g]` — the `g`-th distinct k-mer,
+/// * `mult[g]` — how many queries equal `uniq[g]` (`Σ mult = n`),
+/// * `uniq_of[i]` — the `g` with `uniq[g] == queries[i]`.
+///
+/// Returns `false` — with all three outputs left empty — when the prefix
+/// sample finds too few duplicates for dedup to pay for itself (the
+/// caller then matches the batch directly, which is bit-identical).
+///
+/// The numbering of distinct k-mers depends on the execution path (see
+/// the module docs); everything else is a pure function of the input.
+pub(crate) fn dedup(
+    queries: &[Kmer],
+    threads: usize,
+    scratch: &mut DedupScratch,
+    uniq: &mut Vec<Kmer>,
+    mult: &mut Vec<u32>,
+    uniq_of: &mut Vec<u32>,
+) -> bool {
+    uniq.clear();
+    mult.clear();
+    uniq_of.clear();
+    let n = queries.len();
+    if n == 0 {
+        return false;
+    }
+    if !sample_finds_duplicates(queries, scratch) {
+        return false;
+    }
+    if threads > 1 && n >= PARALLEL_DEDUP {
+        dedup_parallel(queries, threads, scratch, uniq, mult, uniq_of);
+    } else {
+        dedup_sequential(queries, scratch, uniq, mult, uniq_of);
+    }
+    true
+}
+
+/// Probes the first [`SAMPLE`] queries through a small table and reports
+/// whether their duplicate rate clears the bypass threshold. Pure
+/// function of the batch prefix — independent of `threads`.
+fn sample_finds_duplicates(queries: &[Kmer], scratch: &mut DedupScratch) -> bool {
+    let m = queries.len().min(SAMPLE);
+    let cap = (m * 2).next_power_of_two().max(8);
+    scratch.table.clear();
+    scratch.table.resize(cap, EMPTY);
+    let mask = cap - 1;
+    let mut dups = 0u32;
+    for (i, query) in queries[..m].iter().enumerate() {
+        let bits = query.bits();
+        let mut slot = (mix(bits) as usize) & mask;
+        loop {
+            let entry = scratch.table[slot];
+            if entry == EMPTY {
+                scratch.table[slot] = i as u32;
+                break;
+            }
+            if queries[entry as usize].bits() == bits {
+                dups += 1;
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+    dups * BYPASS_DIVISOR >= m as u32
+}
+
+fn dedup_sequential(
+    queries: &[Kmer],
+    scratch: &mut DedupScratch,
+    uniq: &mut Vec<Kmer>,
+    mult: &mut Vec<u32>,
+    uniq_of: &mut Vec<u32>,
+) {
+    let n = queries.len();
+    let cap = (n * 2).next_power_of_two().max(8);
+    scratch.table.clear();
+    scratch.table.resize(cap, EMPTY);
+    let mask = cap - 1;
+    uniq_of.reserve(n);
+    for &query in queries {
+        let bits = query.bits();
+        let hash = mix(bits);
+        let mut slot = (hash as usize) & mask;
+        let id = loop {
+            let entry = scratch.table[slot];
+            if entry == EMPTY {
+                let id = uniq.len() as u32;
+                scratch.table[slot] = id;
+                uniq.push(query);
+                mult.push(1);
+                break id;
+            }
+            if uniq[entry as usize].bits() == bits {
+                mult[entry as usize] += 1;
+                break entry;
+            }
+            slot = (slot + 1) & mask;
+        };
+        uniq_of.push(id);
+    }
+}
+
+fn dedup_parallel(
+    queries: &[Kmer],
+    threads: usize,
+    scratch: &mut DedupScratch,
+    uniq: &mut Vec<Kmer>,
+    mult: &mut Vec<u32>,
+    uniq_of: &mut Vec<u32>,
+) {
+    let n = queries.len();
+    let k = queries[0].k();
+
+    // Pass 1: hash every query (contiguous chunks; pure per element).
+    scratch.hashes.clear();
+    scratch.hashes.resize(n, 0);
+    let chunk = n.div_ceil(threads);
+    {
+        let mut items: Vec<(&mut [u64], &[Kmer])> = scratch
+            .hashes
+            .chunks_mut(chunk)
+            .zip(queries.chunks(chunk))
+            .collect();
+        par::for_each_mut(threads, &mut items, |(hashes, queries)| {
+            for (h, q) in hashes.iter_mut().zip(queries.iter()) {
+                *h = mix(q.bits());
+            }
+        });
+    }
+    let hashes = &scratch.hashes;
+
+    // Pass 2: bucket each chunk's query indices by partition (each worker
+    // touches only its own chunk — total work stays O(n) however many
+    // workers run, so an oversubscribed host degrades gracefully).
+    let chunks = n.div_ceil(chunk);
+    let buckets: Vec<[Vec<u32>; PARTS]> = par::map_indexed(threads, chunks, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut buckets: [Vec<u32>; PARTS] = std::array::from_fn(|_| Vec::new());
+        for (i, &h) in hashes[lo..hi].iter().enumerate() {
+            buckets[partition(h)].push((lo + i) as u32);
+        }
+        buckets
+    });
+    let mut counts = [0u32; PARTS];
+    for chunk_buckets in &buckets {
+        for (count, bucket) in counts.iter_mut().zip(chunk_buckets.iter()) {
+            *count += bucket.len() as u32;
+        }
+    }
+
+    // Pass 3: build each partition's table from its buckets, chunk-major.
+    // A partition's inserts happen in global scan order whichever worker
+    // owns it, so the tables are a pure function of the input.
+    scratch.parts.resize_with(PARTS, PartState::default);
+    for (p, part) in scratch.parts.iter_mut().enumerate() {
+        part.id = p;
+        part.reset(counts[p] as usize);
+    }
+    par::for_each_mut(threads, &mut scratch.parts, |part| {
+        for chunk_buckets in &buckets {
+            for &i in &chunk_buckets[part.id] {
+                part.insert(hashes[i as usize], queries[i as usize].bits());
+            }
+        }
+    });
+
+    // Number the uniques globally: partition-major, local order within.
+    let mut base = 0u32;
+    for part in &mut scratch.parts {
+        part.base = base;
+        base += part.uniqs.len() as u32;
+    }
+    uniq.reserve(base as usize);
+    mult.reserve(base as usize);
+    for part in &scratch.parts {
+        for &(bits, m) in &part.uniqs {
+            uniq.push(Kmer::from_u64(bits, k).expect("bits came from a valid k-mer"));
+            mult.push(m);
+        }
+    }
+
+    // Pass 4: resolve every query's global id by read-only probes, each
+    // worker filling a contiguous chunk of `uniq_of`.
+    let parts = &scratch.parts;
+    uniq_of.resize(n, 0);
+    let mut items: Vec<(&mut [u32], &[u64], &[Kmer])> = uniq_of
+        .chunks_mut(chunk)
+        .zip(hashes.chunks(chunk))
+        .zip(queries.chunks(chunk))
+        .map(|((ids, hashes), queries)| (ids, hashes, queries))
+        .collect();
+    par::for_each_mut(threads, &mut items, |(ids, hashes, queries)| {
+        for ((id, &h), q) in ids.iter_mut().zip(hashes.iter()).zip(queries.iter()) {
+            *id = parts[partition(h)].find(h, q.bits());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn queries_with_duplicates(n: usize, distinct: u64, seed: u64) -> Vec<Kmer> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                Kmer::from_u64(mix(state) % distinct, 31).unwrap()
+            })
+            .collect()
+    }
+
+    fn check_invariants(queries: &[Kmer], uniq: &[Kmer], mult: &[u32], uniq_of: &[u32]) {
+        assert_eq!(uniq.len(), mult.len());
+        assert_eq!(uniq_of.len(), queries.len());
+        assert_eq!(
+            mult.iter().map(|&m| u64::from(m)).sum::<u64>(),
+            queries.len() as u64
+        );
+        for (q, &g) in queries.iter().zip(uniq_of.iter()) {
+            assert_eq!(uniq[g as usize], *q);
+        }
+        let mut expected: HashMap<u64, u32> = HashMap::new();
+        for q in queries {
+            *expected.entry(q.bits()).or_default() += 1;
+        }
+        assert_eq!(uniq.len(), expected.len(), "uniques must be distinct");
+        for (u, &m) in uniq.iter().zip(mult.iter()) {
+            assert_eq!(expected.get(&u.bits()), Some(&m));
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_the_multiset() {
+        // Large enough to take the parallel path at threads > 1.
+        let queries = queries_with_duplicates(PARALLEL_DEDUP + 1_000, 3_000, 9);
+        for threads in [1, 2, 4, 7] {
+            let mut scratch = DedupScratch::default();
+            let (mut uniq, mut mult, mut uniq_of) = (Vec::new(), Vec::new(), Vec::new());
+            dedup(
+                &queries,
+                threads,
+                &mut scratch,
+                &mut uniq,
+                &mut mult,
+                &mut uniq_of,
+            );
+            check_invariants(&queries, &uniq, &mult, &uniq_of);
+        }
+    }
+
+    #[test]
+    fn mostly_distinct_batches_bypass_dedup() {
+        let mut scratch = DedupScratch::default();
+        let (mut uniq, mut mult, mut uniq_of) = (Vec::new(), Vec::new(), Vec::new());
+        // All-distinct batch: the sample probe finds no duplicates, so
+        // dedup vetoes itself and leaves the outputs empty.
+        let distinct: Vec<Kmer> = (0..10_000)
+            .map(|i| Kmer::from_u64(i, 31).unwrap())
+            .collect();
+        assert!(!dedup(
+            &distinct, 4, &mut scratch, &mut uniq, &mut mult, &mut uniq_of
+        ));
+        assert!(uniq.is_empty() && mult.is_empty() && uniq_of.is_empty());
+        // Duplicate-heavy batch through the same scratch: proceeds.
+        let dup = queries_with_duplicates(10_000, 500, 7);
+        assert!(dedup(
+            &dup, 1, &mut scratch, &mut uniq, &mut mult, &mut uniq_of
+        ));
+        check_invariants(&dup, &uniq, &mult, &uniq_of);
+    }
+
+    #[test]
+    fn small_batches_and_edge_cases() {
+        let mut scratch = DedupScratch::default();
+        let (mut uniq, mut mult, mut uniq_of) = (Vec::new(), Vec::new(), Vec::new());
+        dedup(&[], 4, &mut scratch, &mut uniq, &mut mult, &mut uniq_of);
+        assert!(uniq.is_empty() && mult.is_empty() && uniq_of.is_empty());
+
+        let one = vec![Kmer::from_u64(5, 31).unwrap(); 17];
+        dedup(&one, 4, &mut scratch, &mut uniq, &mut mult, &mut uniq_of);
+        assert_eq!(uniq.len(), 1);
+        assert_eq!(mult, vec![17]);
+        assert!(uniq_of.iter().all(|&g| g == 0));
+
+        let mixed = queries_with_duplicates(500, 50, 3);
+        dedup(&mixed, 1, &mut scratch, &mut uniq, &mut mult, &mut uniq_of);
+        check_invariants(&mixed, &uniq, &mult, &uniq_of);
+    }
+}

@@ -1,18 +1,99 @@
 //! The public device model: load a reference set, run query batches,
 //! get functional results plus a timing/energy report.
 
+use std::sync::Mutex;
+
 use sieve_genomics::{Kmer, TaxonId};
 
 use crate::config::{DeviceKind, SieveConfig};
+use crate::dedup;
 use crate::engine;
 use crate::error::SieveError;
 use crate::index::SubarrayIndex;
 use crate::layout::DeviceLayout;
 use crate::obs;
 use crate::par;
+use crate::radix;
 use crate::sched;
 use crate::shard::ShardPlan;
 use crate::stats::SimReport;
+
+/// Largest batch the pipeline can run: queries are tagged with `u32` ids
+/// end to end (shard order, dedup mapping, host read owners).
+const MAX_BATCH: usize = u32::MAX as usize;
+
+/// Checks the `u32` indexing bound without allocating anything.
+fn check_batch_len(n: usize) -> Result<(), SieveError> {
+    if n > MAX_BATCH {
+        return Err(SieveError::BatchTooLarge {
+            queries: n,
+            max: MAX_BATCH,
+        });
+    }
+    Ok(())
+}
+
+/// Reusable per-run working memory: dedup tables, radix buffers, the
+/// shard plan, and the match-space result arrays. Checked out of the
+/// device's [`ScratchArena`] at the top of [`SieveDevice::run`] and
+/// returned afterwards, so a streaming host (`classify_stream`) reuses
+/// one allocation set across all its chunks.
+#[derive(Debug, Default)]
+struct RunScratch {
+    dedup: dedup::DedupScratch,
+    /// Distinct k-mers of the current batch (dedup on).
+    uniq: Vec<Kmer>,
+    /// `mult[g]` = occurrences of `uniq[g]`.
+    mult: Vec<u32>,
+    /// `uniq_of[i]` = index into `uniq` for query `i`.
+    uniq_of: Vec<u32>,
+    /// Radix-sort ping-pong buffers for the planner.
+    pairs: Vec<radix::Pair>,
+    pairs_scratch: Vec<radix::Pair>,
+    plan: ShardPlan,
+    /// Match-space result/work arrays (dedup on; with dedup off the
+    /// results scatter straight into the output vector).
+    space_results: Vec<Option<TaxonId>>,
+    space_work: Vec<QueryWork>,
+    loads: Vec<sched::SubLoad>,
+}
+
+/// A mutex-guarded pool of [`RunScratch`] sets. One set per *concurrent*
+/// run: sequential callers (the common case) recycle a single set
+/// indefinitely; concurrent callers each check out their own.
+#[derive(Debug, Default)]
+struct ScratchArena {
+    pool: Mutex<Vec<RunScratch>>,
+}
+
+/// Retain at most this many idle scratch sets.
+const ARENA_CAP: usize = 8;
+
+impl ScratchArena {
+    fn take(&self) -> RunScratch {
+        self.pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    fn put(&self, scratch: RunScratch) {
+        if let Ok(mut pool) = self.pool.lock() {
+            if pool.len() < ARENA_CAP {
+                pool.push(scratch);
+            }
+        }
+    }
+}
+
+impl Clone for ScratchArena {
+    /// Cloned devices start with an empty pool (scratch is plain working
+    /// memory; there is nothing semantic to copy).
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
 
 /// Functional results and the simulation report of one run.
 #[derive(Debug, Clone)]
@@ -33,10 +114,12 @@ pub(crate) struct QueryWork {
     pub hit: bool,
 }
 
-/// One shard's resolved output: the per-query results (tagged with input
-/// indices for the deterministic scatter) and the subarray's aggregate
-/// load for the schedulers.
-struct ShardOutcome {
+/// One match task's resolved output: the per-query results (tagged with
+/// match-space indices for the deterministic scatter) and the task's
+/// contribution to its subarray's aggregate load. Loads of tasks from the
+/// same (split) shard are *accumulated* by the reduce, so the totals are
+/// independent of how shards were split.
+struct TaskOutcome {
     subarray: usize,
     load: sched::SubLoad,
     resolved: Vec<(u32, Option<TaxonId>, QueryWork)>,
@@ -65,6 +148,7 @@ pub struct SieveDevice {
     config: SieveConfig,
     layout: DeviceLayout,
     index: Option<SubarrayIndex>,
+    scratch: ScratchArena,
 }
 
 impl SieveDevice {
@@ -81,6 +165,7 @@ impl SieveDevice {
             config,
             layout,
             index,
+            scratch: ScratchArena::default(),
         })
     }
 
@@ -118,77 +203,200 @@ impl SieveDevice {
             .map(|(_, taxon)| taxon))
     }
 
-    /// Runs a query batch: routes every query through the index table,
-    /// shards the batch by destination subarray, resolves each shard
-    /// functionally on a worker thread, and schedules the merged work on
-    /// the configured design point.
+    /// Runs a query batch: deduplicates it to distinct k-mers (unless
+    /// [`SieveConfig::dedup`] is off), radix-sorts and merge-join-routes
+    /// the distinct set into per-subarray shards, resolves the shards —
+    /// split into bounded tasks — functionally on worker threads,
+    /// schedules the merged work on the configured design point with
+    /// every duplicate charged its cached outcome's full cost, and
+    /// scatters results back to all occurrences.
     ///
-    /// The shard → reduce structure is deterministic: per-query results
-    /// are scattered back by input index and every merged quantity is an
-    /// integer sum, so the output is bit-identical for any
-    /// [`SieveConfig::threads`] setting.
+    /// The dedup → plan → match → reduce structure is deterministic:
+    /// per-query results are scattered back by input index and every
+    /// merged quantity is an integer sum, so the output is bit-identical
+    /// for any [`SieveConfig::threads`] or [`SieveConfig::dedup`]
+    /// setting.
     ///
     /// # Errors
     ///
-    /// Returns [`SieveError::KMismatch`] if any query's k differs from the
-    /// loaded database's.
+    /// Returns [`SieveError::KMismatch`] if any query's k differs from
+    /// the loaded database's, and [`SieveError::BatchTooLarge`] if the
+    /// batch exceeds the pipeline's `u32` indexing bound.
     pub fn run(&self, queries: &[Kmer]) -> Result<RunOutput, SieveError> {
         for q in queries {
             self.check_k(*q)?;
         }
+        check_batch_len(queries.len())?;
+        let mut scratch = self.scratch.take();
+        let out = self.run_with(queries, &mut scratch);
+        self.scratch.put(scratch);
+        Ok(out)
+    }
+
+    fn run_with(&self, queries: &[Kmer], scratch: &mut RunScratch) -> RunOutput {
         let rec = obs::global();
         rec.add(obs::CounterId::DeviceRuns, 1);
         let threads = par::effective_threads(self.config.threads);
-        let mut results = vec![None; queries.len()];
-        let mut work = Vec::new();
-        let mut loads: Vec<sched::SubLoad> = Vec::new();
-        let mut hits = 0u64;
-        let plan = {
-            let _span = rec.span("device.plan");
-            match &self.index {
-                Some(index) => ShardPlan::build(index, queries, threads),
-                None => ShardPlan::empty(),
-            }
-        };
-        if self.index.is_some() {
-            work = vec![QueryWork::default(); queries.len()];
-            loads = vec![sched::SubLoad::default(); plan.subarray_span()];
-            let outcomes = {
-                let _span = rec.span("device.match");
-                par::map_indexed(threads, plan.shard_count(), |s| {
-                    self.match_shard(&plan, queries, s)
-                })
+        let n = queries.len();
+
+        let Some(index) = &self.index else {
+            // Empty device: every query misses in zero time.
+            let report = match self.config.device {
+                DeviceKind::Type1 => sched::simulate_type1(
+                    &self.config,
+                    &self.layout,
+                    queries,
+                    &[],
+                    None,
+                    &ShardPlan::empty(),
+                    threads,
+                    0,
+                    0,
+                ),
+                _ => sched::simulate_type23(&self.config, &[]),
             };
+            return RunOutput {
+                results: vec![None; n],
+                report,
+            };
+        };
+
+        let RunScratch {
+            dedup: dedup_scratch,
+            uniq,
+            mult,
+            uniq_of,
+            pairs,
+            pairs_scratch,
+            plan,
+            space_results,
+            space_work,
+            loads,
+        } = scratch;
+
+        // Dedup: collapse the batch to its distinct k-mers. `mult` then
+        // scales every accounted quantity back to occurrence counts, so
+        // the run's observable output is identical with the knob off —
+        // which is also why dedup may veto itself (returning false) when
+        // its sample probe finds too few duplicates to pay for the build.
+        let dedup_on = self.config.dedup && n > 0 && {
+            let _span = rec.span("device.dedup");
+            dedup::dedup(queries, threads, dedup_scratch, uniq, mult, uniq_of)
+        };
+        let (space_queries, mult): (&[Kmer], Option<&[u32]>) = if dedup_on {
+            (uniq, Some(mult))
+        } else {
+            (queries, None)
+        };
+
+        {
+            let _span = rec.span("device.plan");
+            plan.rebuild(index, space_queries, threads, pairs, pairs_scratch);
+        }
+
+        space_work.clear();
+        space_work.resize(space_queries.len(), QueryWork::default());
+        loads.clear();
+        loads.resize(plan.subarray_span(), sched::SubLoad::default());
+        let outcomes = {
+            let _span = rec.span("device.match");
+            par::map_indexed(threads, plan.task_count(), |t| {
+                self.match_task(plan, space_queries, mult, t)
+            })
+        };
+
+        // Reduce: accumulate loads per subarray (tasks of a split shard
+        // sum), scatter match-space results by id.
+        let mut results = vec![None; n];
+        {
             let _span = rec.span("device.reduce");
-            rec.add(obs::CounterId::MatchShards, outcomes.len() as u64);
+            rec.add(obs::CounterId::MatchShards, plan.shard_count() as u64);
+            let observing = rec.is_enabled();
+            if dedup_on {
+                space_results.clear();
+                space_results.resize(space_queries.len(), None);
+            }
             for outcome in outcomes {
                 rec.add(obs::CounterId::MatchQueries, outcome.load.queries);
                 rec.add(obs::CounterId::MatchHits, outcome.load.hits);
-                loads[outcome.subarray] = outcome.load;
+                let load = &mut loads[outcome.subarray];
+                load.queries += outcome.load.queries;
+                load.rows += outcome.load.rows;
+                load.hits += outcome.load.hits;
+                let target: &mut [Option<TaxonId>] = if dedup_on {
+                    space_results
+                } else {
+                    &mut results
+                };
                 for (i, taxon, w) in outcome.resolved {
-                    if let Some(t) = taxon {
-                        results[i as usize] = Some(t);
-                        hits += 1;
+                    // Misses stay at the pre-initialized None — on the
+                    // paper's ~1 % hit-rate workloads that skips almost
+                    // every scattered result write.
+                    if taxon.is_some() {
+                        target[i as usize] = taxon;
                     }
-                    work[i as usize] = w;
+                    space_work[i as usize] = w;
+                }
+            }
+            if observing {
+                // Per-shard query counts (occurrence-expanded), recorded
+                // in subarray order so the histogram is independent of
+                // the task split and the thread count.
+                for s in 0..plan.shard_count() {
+                    let (sub, _) = plan.shard(s);
+                    rec.record(obs::HistId::ShardQueries, loads[sub].queries);
                 }
             }
         }
+        let hits: u64 = loads.iter().map(|l| l.hits).sum();
+
+        // Expand: scatter each distinct k-mer's result to its occurrences.
+        if dedup_on {
+            let _span = rec.span("device.expand");
+            let chunk = n.div_ceil(threads).max(1);
+            let space_results: &[Option<TaxonId>] = space_results;
+            let mut items: Vec<(&mut [Option<TaxonId>], &[u32])> = results
+                .chunks_mut(chunk)
+                .zip(uniq_of.chunks(chunk))
+                .collect();
+            par::for_each_mut(threads, &mut items, |(out, uniq_of)| {
+                for (slot, &g) in out.iter_mut().zip(uniq_of.iter()) {
+                    *slot = space_results[g as usize];
+                }
+            });
+        }
+
         let report = match self.config.device {
-            DeviceKind::Type1 => {
-                sched::simulate_type1(&self.config, &self.layout, queries, &work, &plan, threads)
-            }
-            _ => sched::simulate_type23(&self.config, &loads),
+            DeviceKind::Type1 => sched::simulate_type1(
+                &self.config,
+                &self.layout,
+                space_queries,
+                space_work,
+                mult,
+                plan,
+                threads,
+                n as u64,
+                hits,
+            ),
+            _ => sched::simulate_type23(&self.config, loads),
         };
         debug_assert_eq!(report.hits, hits);
-        Ok(RunOutput { results, report })
+        RunOutput { results, report }
     }
 
-    /// Resolves one shard: walks the destination subarray's sorted
-    /// entries with a merge cursor over the shard's sorted queries,
-    /// producing per-query work plus the subarray's aggregate load.
-    fn match_shard(&self, plan: &ShardPlan, queries: &[Kmer], s: usize) -> ShardOutcome {
-        let (subarray, idxs) = plan.shard(s);
+    /// Resolves one match task: walks the destination subarray's sorted
+    /// entries with a merge cursor over the task's sorted queries,
+    /// producing per-query work plus the task's aggregate load. Queries
+    /// are in match space; `mult` (dedup on) charges each distinct k-mer's
+    /// outcome once per occurrence.
+    fn match_task(
+        &self,
+        plan: &ShardPlan,
+        queries: &[Kmer],
+        mult: Option<&[u32]>,
+        t: usize,
+    ) -> TaskOutcome {
+        let (subarray, idxs) = plan.task(t);
         let rec = obs::global();
         // Captured once per shard: the per-query hot loop then bumps one
         // slot of a direct-indexed count array (row counts are small —
@@ -198,12 +406,13 @@ impl SieveDevice {
         // below — the deterministic-reduce shape at ~1ns per query.
         let observing = rec.is_enabled();
         let mut rows_hist = obs::LocalHistogram::new();
-        let mut small_rows = [0u32; 256];
+        let mut small_rows = [0u64; 256];
         let mut cursor = engine::MergeCursor::new(self.layout.subarray(subarray));
         let mut load = sched::SubLoad::default();
         let mut resolved = Vec::with_capacity(idxs.len());
         for &i in idxs {
             let q = queries[i as usize];
+            let m = mult.map_or(1u64, |m| u64::from(m[i as usize]));
             let mut outcome = match self.config.device {
                 DeviceKind::Type1 => {
                     // Type-1 row counts come from per-batch ETM; the
@@ -230,27 +439,26 @@ impl SieveDevice {
                 rows: outcome.rows,
                 hit: outcome.hit.is_some(),
             };
-            load.queries += 1;
-            load.rows += u64::from(w.rows);
-            load.hits += u64::from(w.hit);
+            load.queries += m;
+            load.rows += u64::from(w.rows) * m;
+            load.hits += u64::from(w.hit) * m;
             if observing {
                 let rows = u64::from(w.rows);
                 if let Some(slot) = small_rows.get_mut(rows as usize) {
-                    *slot += 1;
+                    *slot += m;
                 } else {
-                    rows_hist.record(rows);
+                    rows_hist.record_n(rows, m);
                 }
             }
             resolved.push((i, outcome.hit.map(|(_, taxon)| taxon), w));
         }
         if observing {
             for (rows, &n) in small_rows.iter().enumerate() {
-                rows_hist.record_n(rows as u64, u64::from(n));
+                rows_hist.record_n(rows as u64, n);
             }
             rec.merge_local(obs::HistId::EtmRowsActivated, &rows_hist);
-            rec.record(obs::HistId::ShardQueries, idxs.len() as u64);
         }
-        ShardOutcome {
+        TaskOutcome {
             subarray,
             load,
             resolved,
@@ -349,6 +557,62 @@ mod tests {
         for (q, r) in queries.iter().zip(&out.results) {
             assert_eq!(dev.lookup(*q).unwrap(), *r);
         }
+    }
+
+    #[test]
+    fn oversized_batch_is_a_typed_error_not_a_panic() {
+        // Purely synthetic: exercise the guard on the count alone, no
+        // 4-billion-query allocation anywhere.
+        assert_eq!(check_batch_len(0), Ok(()));
+        assert_eq!(check_batch_len(MAX_BATCH), Ok(()));
+        assert_eq!(
+            check_batch_len(MAX_BATCH + 1),
+            Err(SieveError::BatchTooLarge {
+                queries: MAX_BATCH + 1,
+                max: MAX_BATCH,
+            })
+        );
+        let msg = check_batch_len(MAX_BATCH + 1).unwrap_err().to_string();
+        assert!(msg.contains("4294967296"), "{msg}");
+    }
+
+    #[test]
+    fn dedup_on_and_off_produce_identical_output() {
+        let ds = dataset();
+        // Heavy duplication: every probe appears several times.
+        let base = probes(&ds, 40);
+        let mut queries = Vec::new();
+        for _ in 0..3 {
+            queries.extend_from_slice(&base);
+        }
+        for config in [
+            SieveConfig::type1(),
+            SieveConfig::type2(4),
+            SieveConfig::type3(8),
+        ] {
+            let on = device(config.clone().with_dedup(true))
+                .run(&queries)
+                .unwrap();
+            let off = device(config.with_dedup(false)).run(&queries).unwrap();
+            assert_eq!(on.results, off.results);
+            assert_eq!(on.report, off.report);
+        }
+    }
+
+    #[test]
+    fn scratch_arena_recycles_across_runs() {
+        let ds = dataset();
+        let dev = device(SieveConfig::type3(8));
+        let queries = probes(&ds, 30);
+        let first = dev.run(&queries).unwrap();
+        assert_eq!(dev.scratch.pool.lock().unwrap().len(), 1);
+        let second = dev.run(&queries).unwrap();
+        assert_eq!(dev.scratch.pool.lock().unwrap().len(), 1);
+        assert_eq!(first.results, second.results);
+        assert_eq!(first.report, second.report);
+        // Cloning must not share (or copy) pooled scratch.
+        let cloned = dev.clone();
+        assert_eq!(cloned.scratch.pool.lock().unwrap().len(), 0);
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum SieveError {
         /// The k of the query.
         actual: usize,
     },
+    /// A query batch exceeds the host pipeline's `u32` indexing bound
+    /// (k-mers are tagged with `u32` read/query ids end to end).
+    BatchTooLarge {
+        /// Queries in the offending batch.
+        queries: usize,
+        /// Largest batch the pipeline can index.
+        max: usize,
+    },
     /// Operation requires a loaded database but none was loaded.
     NotLoaded,
 }
@@ -47,6 +55,10 @@ impl fmt::Display for SieveError {
             Self::KMismatch { expected, actual } => {
                 write!(f, "query k {actual} does not match database k {expected}")
             }
+            Self::BatchTooLarge { queries, max } => write!(
+                f,
+                "query batch of {queries} exceeds the pipeline's u32 indexing bound of {max}"
+            ),
             Self::NotLoaded => write!(f, "no reference database loaded"),
         }
     }

@@ -7,13 +7,28 @@
 //! k-mer matching on Sieve, and finds Sieve is the pipeline's limiting
 //! stage; the host model therefore reports the device's makespan as the
 //! end-to-end time and tracks the host stages for sanity.
+//!
+//! The *simulator's* host work is organized the same way: k-mer extraction
+//! fans out over read chunks, and `classify_stream` runs a bounded
+//! two-stage pipeline on scoped threads — extraction of chunk *i + 1*
+//! overlaps the device's planning/matching of chunk *i*, with the k-mer
+//! buffers recycled through a two-deep channel so the steady state
+//! allocates nothing. Chunks are still *consumed* in order, so the output
+//! and every deterministic observation are bit-identical to the serial
+//! path.
+
+use std::sync::mpsc;
 
 use sieve_genomics::{DnaSequence, Kmer, TaxonId};
 
 use crate::device::SieveDevice;
 use crate::error::SieveError;
 use crate::obs;
+use crate::par;
 use crate::stats::SimReport;
+
+/// Below this many reads, extraction fan-out costs more than it saves.
+const PARALLEL_EXTRACT_READS: usize = 128;
 
 /// Per-read classification assembled from device responses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +98,11 @@ impl HostPipeline {
     /// Appends `reads`' k-mers and owner tags into caller-owned buffers,
     /// reserving exact worst-case capacity up front (windows containing
     /// `N` are skipped, so the reservation is an upper bound).
+    ///
+    /// Large batches fan the extraction out over contiguous read chunks;
+    /// concatenating per-chunk output in chunk order reproduces the
+    /// serial read-by-read order exactly, so the result is independent of
+    /// the thread count.
     fn extract_kmers_into(
         &self,
         reads: &[DnaSequence],
@@ -96,11 +116,40 @@ impl HostPipeline {
             .sum();
         kmers.reserve(upper);
         owners.reserve(upper);
-        for (ri, read) in reads.iter().enumerate() {
-            for (_, kmer) in read.kmers(k) {
-                kmers.push(kmer);
-                owners.push(ri as u32);
+        let threads = par::effective_threads(self.device.config().threads);
+        if threads == 1 || reads.len() < PARALLEL_EXTRACT_READS {
+            for (ri, read) in reads.iter().enumerate() {
+                for (_, kmer) in read.kmers(k) {
+                    kmers.push(kmer);
+                    owners.push(ri as u32);
+                }
             }
+            return;
+        }
+        // A few chunks per worker smooths out read-length imbalance.
+        let chunk = reads.len().div_ceil(threads * 4).max(16);
+        let n_chunks = reads.len().div_ceil(chunk);
+        let parts: Vec<(Vec<Kmer>, Vec<u32>)> = par::map_indexed(threads, n_chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(reads.len());
+            let cap: usize = reads[lo..hi]
+                .iter()
+                .map(|r| (r.len() + 1).saturating_sub(k))
+                .sum();
+            let mut chunk_kmers = Vec::with_capacity(cap);
+            let mut chunk_owners = Vec::with_capacity(cap);
+            for (ri, read) in reads[lo..hi].iter().enumerate() {
+                let owner = (lo + ri) as u32;
+                for (_, kmer) in read.kmers(k) {
+                    chunk_kmers.push(kmer);
+                    chunk_owners.push(owner);
+                }
+            }
+            (chunk_kmers, chunk_owners)
+        });
+        for (chunk_kmers, chunk_owners) in parts {
+            kmers.extend_from_slice(&chunk_kmers);
+            owners.extend_from_slice(&chunk_owners);
         }
     }
 
@@ -117,7 +166,11 @@ impl HostPipeline {
             let _span = rec.span("host.extract");
             self.extract_kmers(reads)
         };
+        // A batch run is one maximal chunk; recording it as such keeps
+        // batch and streaming snapshots comparable.
+        rec.add(obs::CounterId::HostChunks, 1);
         rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
+        rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
         let run = {
             let _span = rec.span("host.device");
             self.device.run(&kmers)?
@@ -132,7 +185,13 @@ impl HostPipeline {
     /// Streaming classification: processes `reads` in chunks of
     /// `chunk_reads`, bounding host-side memory (k-mer buffers, response
     /// queues) the way a real driver drains the RRQ. Chunks execute back
-    /// to back, so the merged report's makespan is the sum.
+    /// to back on the *modeled* device, so the merged report's makespan
+    /// is the sum; on the *simulating* host, extraction of the next chunk
+    /// overlaps the device run of the current one (a bounded two-stage
+    /// pipeline over scoped threads) whenever `threads > 1`. Chunks are
+    /// consumed strictly in order, so results, reports, and deterministic
+    /// observations are bit-identical for every chunk size and thread
+    /// count.
     ///
     /// # Errors
     ///
@@ -149,10 +208,37 @@ impl HostPipeline {
         assert!(chunk_reads > 0, "need a positive chunk size");
         let rec = obs::global();
         rec.add(obs::CounterId::HostReads, reads.len() as u64);
+        let threads = par::effective_threads(self.device.config().threads);
         let mut all_reads = Vec::with_capacity(reads.len());
         let mut merged: Option<SimReport> = None;
-        // The k-mer and owner buffers are reused across chunks, so the
-        // steady state allocates nothing on the host side.
+        if threads > 1 && reads.len() > chunk_reads {
+            self.stream_pipelined(reads, chunk_reads, &mut all_reads, &mut merged)?;
+        } else {
+            self.stream_serial(reads, chunk_reads, &mut all_reads, &mut merged)?;
+        }
+        Ok(PipelineOutput {
+            reads: all_reads,
+            report: merged.unwrap_or_else(|| {
+                // No reads: synthesize an empty report via an empty run.
+                self.device
+                    .run(&[])
+                    .expect("empty run cannot fail")
+                    .report
+            }),
+        })
+    }
+
+    /// The single-threaded streaming loop: extract, run, vote, chunk by
+    /// chunk, with the k-mer and owner buffers reused across chunks so
+    /// the steady state allocates nothing on the host side.
+    fn stream_serial(
+        &self,
+        reads: &[DnaSequence],
+        chunk_reads: usize,
+        all_reads: &mut Vec<ReadResult>,
+        merged: &mut Option<SimReport>,
+    ) -> Result<(), SieveError> {
+        let rec = obs::global();
         let mut kmers = Vec::new();
         let mut owners = Vec::new();
         for chunk in reads.chunks(chunk_reads) {
@@ -165,20 +251,71 @@ impl HostPipeline {
             rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
             let run = self.device.run(&kmers)?;
             all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
-            match &mut merged {
-                None => merged = Some(run.report),
+            match merged {
+                None => *merged = Some(run.report),
                 Some(m) => m.accumulate(&run.report),
             }
         }
-        Ok(PipelineOutput {
-            reads: all_reads,
-            report: merged.unwrap_or_else(|| {
-                // No reads: synthesize an empty report via an empty run.
-                self.device
-                    .run(&[])
-                    .expect("empty run cannot fail")
-                    .report
-            }),
+        Ok(())
+    }
+
+    /// The two-stage streaming pipeline: a scoped extractor thread fills
+    /// k-mer/owner buffer pairs one chunk ahead while this thread runs
+    /// the device and votes. Two buffer pairs circulate through a recycle
+    /// channel, bounding the pipeline depth (and host memory) and making
+    /// the steady state allocation-free. The consumer processes chunks in
+    /// order, and all deterministic observations are recorded here, so
+    /// the pipeline is invisible to everything but the wall clock.
+    fn stream_pipelined(
+        &self,
+        reads: &[DnaSequence],
+        chunk_reads: usize,
+        all_reads: &mut Vec<ReadResult>,
+        merged: &mut Option<SimReport>,
+    ) -> Result<(), SieveError> {
+        let rec = obs::global();
+        std::thread::scope(|scope| {
+            type Buffers = (Vec<Kmer>, Vec<u32>);
+            let (filled_tx, filled_rx) = mpsc::channel::<Buffers>();
+            let (recycle_tx, recycle_rx) = mpsc::channel::<Buffers>();
+            for _ in 0..2 {
+                recycle_tx
+                    .send((Vec::new(), Vec::new()))
+                    .expect("receiver is alive");
+            }
+            scope.spawn(move || {
+                for chunk in reads.chunks(chunk_reads) {
+                    // A closed recycle channel means the consumer bailed
+                    // (device error): stop extracting.
+                    let Ok((mut kmers, mut owners)) = recycle_rx.recv() else {
+                        return;
+                    };
+                    kmers.clear();
+                    owners.clear();
+                    let span = obs::global().span("host.extract");
+                    self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+                    drop(span);
+                    if filled_tx.send((kmers, owners)).is_err() {
+                        return;
+                    }
+                }
+            });
+            for chunk in reads.chunks(chunk_reads) {
+                let _span = rec.span("host.chunk");
+                let (kmers, owners) = filled_rx.recv().expect("extractor outlives its chunks");
+                rec.add(obs::CounterId::HostChunks, 1);
+                rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
+                rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
+                let run = self.device.run(&kmers)?;
+                all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
+                match &mut *merged {
+                    None => *merged = Some(run.report),
+                    Some(m) => m.accumulate(&run.report),
+                }
+                // Hand the buffers back for the chunk after next.
+                let _ = recycle_tx.send((kmers, owners));
+            }
+            Ok(())
         })
     }
 
@@ -356,6 +493,32 @@ mod tests {
             // Sequential chunks can only take longer than one big batch
             // (less cross-read packing into 64-query device batches).
             assert!(streamed.report.makespan_ps >= batch.report.makespan_ps);
+        }
+    }
+
+    #[test]
+    fn pipelined_stream_is_identical_to_serial() {
+        // threads=1 takes the serial path, threads=4 the two-stage
+        // pipeline; output and report must be bit-identical either way,
+        // with dedup on or off.
+        let ds = synth::make_dataset_with(8, 2048, 31, 55);
+        let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 40, 11);
+        let host_for = |threads: usize, dedup: bool| {
+            let config = SieveConfig::type3(8)
+                .with_geometry(Geometry::scaled_medium())
+                .with_threads(threads)
+                .with_dedup(dedup);
+            HostPipeline::new(SieveDevice::new(config, ds.entries.clone()).unwrap())
+        };
+        for dedup in [true, false] {
+            let serial = host_for(1, dedup);
+            let piped = host_for(4, dedup);
+            for chunk in [1usize, 7, 40] {
+                let a = serial.classify_stream(&reads, chunk).unwrap();
+                let b = piped.classify_stream(&reads, chunk).unwrap();
+                assert_eq!(a.reads, b.reads, "chunk {chunk} dedup {dedup}");
+                assert_eq!(a.report, b.report, "chunk {chunk} dedup {dedup}");
+            }
         }
     }
 

@@ -88,6 +88,13 @@ impl SubarrayIndex {
         i.saturating_sub(1)
     }
 
+    /// First-k-mer boundary per occupied subarray, for streaming merge-join
+    /// routing: a *sorted* query sequence routes by advancing a single
+    /// pointer over these boundaries instead of binary-searching per query.
+    pub(crate) fn first_bits(&self) -> &[u64] {
+        &self.firsts
+    }
+
     /// Whether `query` falls inside the located subarray's `[first, last]`
     /// range (i.e. the routing could possibly produce a hit).
     #[must_use]

@@ -55,6 +55,7 @@ pub mod area;
 pub mod bitsim;
 mod cluster;
 mod config;
+mod dedup;
 mod device;
 pub mod energy_model;
 pub mod engine;
@@ -67,6 +68,7 @@ pub mod load;
 pub mod obs;
 mod par;
 mod pcie;
+mod radix;
 mod sched;
 mod shard;
 mod stats;

@@ -285,14 +285,22 @@ struct Type1Partial {
     component_fj: u128,
 }
 
-/// Accounts one shard of Type-1 queries against its subarray: the batch →
-/// rank-range map is computed once per shard, and the per-query histogram
-/// buffers are reused across the shard's queries.
-fn type1_shard(
+/// Accounts one task of Type-1 queries against its subarray: the batch →
+/// rank-range map is computed once per task, and the per-query histogram
+/// buffers are reused across the task's queries.
+///
+/// `queries` / `work` / `idxs` are in *match space* — unique k-mers when
+/// the device deduplicates, raw queries otherwise — and `mult` carries
+/// each entry's occurrence count (`None` = all 1). Every per-query
+/// quantity here (stream time, reads, activations, energies) is a pure
+/// function of the k-mer, so charging it `mult` times is exact, not an
+/// approximation.
+fn type1_task(
     config: &SieveConfig,
     layout: &DeviceLayout,
     queries: &[sieve_genomics::Kmer],
     work: &[QueryWork],
+    mult: Option<&[u32]>,
     subarray: usize,
     idxs: &[u32],
 ) -> Type1Partial {
@@ -317,6 +325,7 @@ fn type1_shard(
     for &i in idxs {
         let q = &queries[i as usize];
         let w = &work[i as usize];
+        let m = mult.map_or(1u64, |m| u64::from(m[i as usize]));
         // Rows each batch stays live: max LCP within the batch + 1
         // (the batch must be compared on its death row), capped at 2k.
         // `alive[d]` counts batches live through exactly d rows.
@@ -358,35 +367,43 @@ fn type1_shard(
         if w.hit {
             query_time += payload_time(config);
             query_reads += 2;
-            p.row_activations += 2;
-            p.activation_fj += 2 * u128::from(config.energy.e_act);
+            p.row_activations += 2 * m;
+            p.activation_fj += u128::from(2 * m) * u128::from(config.energy.e_act);
         }
-        p.row_activations += rows_needed as u64;
-        p.read_bursts += query_reads;
-        p.activation_fj += rows_needed as u128 * u128::from(config.energy.e_act);
-        p.read_fj += u128::from(query_reads) * u128::from(config.energy.e_rd);
+        p.row_activations += rows_needed as u64 * m;
+        p.read_bursts += query_reads * m;
+        p.activation_fj += rows_needed as u128 * u128::from(m) * u128::from(config.energy.e_act);
+        p.read_fj += u128::from(query_reads * m) * u128::from(config.energy.e_rd);
         // Matcher array + registers + SRAM buffer per batch comparison.
-        p.component_fj += u128::from(query_reads) * u128::from(comp.t1_batch_fj);
-        p.busy += query_time;
+        p.component_fj += u128::from(query_reads * m) * u128::from(comp.t1_batch_fj);
+        p.busy += query_time * m;
     }
     p
 }
 
 /// Schedules Type-1 work: per-bank serial matcher array, batch-granular
-/// ETM. Shards fan out over worker threads; the reduce below only sums
-/// integers per bank, so the report is bit-identical for any `threads`.
+/// ETM. The plan's tasks fan out over worker threads; the reduce below
+/// only sums integers per bank, so the report is bit-identical for any
+/// `threads` and for any shard → task split.
+///
+/// `queries` / `work` / `mult` are in match space (see [`type1_task`]);
+/// `total_queries` / `total_hits` are the *expanded* batch totals.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_type1(
     config: &SieveConfig,
     layout: &DeviceLayout,
     queries: &[sieve_genomics::Kmer],
     work: &[QueryWork],
+    mult: Option<&[u32]>,
     plan: &ShardPlan,
     threads: usize,
+    total_queries: u64,
+    total_hits: u64,
 ) -> SimReport {
     let banks = config.geometry.total_banks();
-    let partials = par::map_indexed(threads, plan.shard_count(), |s| {
-        let (subarray, idxs) = plan.shard(s);
-        type1_shard(config, layout, queries, work, subarray, idxs)
+    let partials = par::map_indexed(threads, plan.task_count(), |t| {
+        let (subarray, idxs) = plan.task(t);
+        type1_task(config, layout, queries, work, mult, subarray, idxs)
     });
 
     let mut energy = EnergyLedger::new();
@@ -407,16 +424,14 @@ pub(crate) fn simulate_type1(
         .map(|b| config.timing.with_refresh(b))
         .max()
         .unwrap_or(0);
-    let queries_n = work.len() as u64;
-    let hits = work.iter().filter(|w| w.hit).count() as u64;
     finalize(
         config,
         energy,
         ideal,
         ideal,
         RunTotals {
-            queries: queries_n,
-            hits,
+            queries: total_queries,
+            hits: total_hits,
             row_activations,
             write_bursts: 0,
             read_bursts,

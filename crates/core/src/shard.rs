@@ -3,31 +3,48 @@
 //! A run shards its query batch by destination subarray — the same
 //! sorted-partition routing the index table performs in hardware — so
 //! that each shard can be matched and its timeline accounted
-//! independently on a worker thread. The reduce step scatters per-query
-//! results back by input index and merges per-shard resource loads with
-//! integer sums, so the run's output is bit-identical for every thread
-//! count.
+//! independently on a worker thread. Planning is linear time: one stable
+//! LSD radix sort of `(k-mer bits, id)` pairs ([`crate::radix`]) orders
+//! the whole batch, then routing is a streaming merge-join of that sorted
+//! sequence against the index's subarray boundaries (a single pointer
+//! walk, not a binary search per query). Shards are further split into
+//! bounded *tasks* so a handful of fat shards cannot cap parallelism:
+//! each task restarts its own forward-only merge cursor at the split
+//! boundary. The reduce step scatters per-query results back by id and
+//! merges per-subarray resource loads with integer sums, so the run's
+//! output is bit-identical for every thread count.
 
 use sieve_genomics::Kmer;
 
 use crate::index::SubarrayIndex;
 use crate::obs;
-use crate::par;
+use crate::radix;
 
-/// Queries bucketed by destination (occupied) subarray.
+/// Target task size: big enough that a merge-cursor restart (one gallop
+/// from the subarray's first entry) amortizes to nothing, small enough
+/// that bench-scale batches produce far more tasks than cores. Fixed —
+/// not derived from the thread count — so the task list, and with it
+/// every per-shard observation, is thread-count independent.
+const TASK_TARGET: usize = 4_096;
+
+/// Queries bucketed by destination (occupied) subarray, split into
+/// bounded per-worker tasks.
 ///
-/// Within a shard, query indices are ordered by `(k-mer bits, input
-/// index)`: the matcher can then walk the subarray's sorted entries with
-/// a forward-only merge cursor ([`crate::engine::MergeCursor`]) instead
-/// of an independent binary search per query.
+/// Within a shard, query ids are ordered by `(k-mer bits, id)`: the
+/// matcher can then walk the subarray's sorted entries with a
+/// forward-only merge cursor ([`crate::engine::MergeCursor`]) instead of
+/// an independent binary search per query.
 #[derive(Debug, Default)]
 pub(crate) struct ShardPlan {
-    /// Query indices, grouped by shard, sorted within each shard.
+    /// Query ids, grouped by shard, sorted within each shard.
     order: Vec<u32>,
     /// Shard `s` covers `order[starts[s]..starts[s + 1]]`.
     starts: Vec<usize>,
     /// Destination subarray of each shard, strictly ascending.
     subarrays: Vec<u32>,
+    /// Work units for the match fan-out: `(shard, lo, hi)` positions in
+    /// `order`. Tasks partition every shard in order.
+    tasks: Vec<(u32, u32, u32)>,
 }
 
 impl ShardPlan {
@@ -36,79 +53,75 @@ impl ShardPlan {
         Self::default()
     }
 
-    /// Routes `queries` through `index` and buckets them by subarray.
+    /// Rebuilds the plan in place (all buffers reuse their capacity),
+    /// routing `queries` through `index`. `pairs` / `pairs_scratch` are
+    /// the radix-sort buffers, owned by the caller's scratch arena.
     ///
-    /// Routing fans out over contiguous chunks (concatenation preserves
-    /// input order), bucketing is a counting sort (stable), and the
-    /// per-shard sort key is total, so the plan is a pure function of
-    /// the inputs regardless of `threads`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the batch exceeds `u32::MAX` queries (the host pipeline
-    /// tags k-mers with `u32` read ids under the same bound).
-    pub fn build(index: &SubarrayIndex, queries: &[Kmer], threads: usize) -> Self {
+    /// The sort is stable on k-mer bits with ids assigned in input order
+    /// and the boundary walk is a pure function of the sorted sequence,
+    /// so the plan is identical for every `threads` value.
+    pub fn rebuild(
+        &mut self,
+        index: &SubarrayIndex,
+        queries: &[Kmer],
+        threads: usize,
+        pairs: &mut Vec<radix::Pair>,
+        pairs_scratch: &mut Vec<radix::Pair>,
+    ) {
+        self.order.clear();
+        self.starts.clear();
+        self.subarrays.clear();
+        self.tasks.clear();
         let n = queries.len();
-        assert!(u32::try_from(n).is_ok(), "query batch exceeds u32 indexing");
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let chunks = n.div_ceil(chunk);
-        let routed_chunks: Vec<Vec<u32>> = {
-            let _span = obs::span("shard.route");
-            par::map_indexed(threads, chunks, |c| {
-                let lo = c * chunk;
-                let hi = (lo + chunk).min(n);
-                queries[lo..hi]
-                    .iter()
-                    .map(|q| index.locate(*q) as u32)
-                    .collect()
-            })
-        };
-
-        // Counting sort by subarray: offsets from per-subarray counts,
-        // then a stable scatter of query indices into shard order.
-        let routed: Vec<u32> = routed_chunks.concat();
-        let n_sub = routed.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
-        let mut counts = vec![0u32; n_sub];
-        for &s in &routed {
-            counts[s as usize] += 1;
+        debug_assert!(
+            u32::try_from(n).is_ok(),
+            "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
+        );
+        if n == 0 {
+            return;
         }
-        let mut subarrays = Vec::new();
-        let mut starts = vec![0usize];
-        let mut offsets = vec![0u32; n_sub];
-        let mut total = 0u32;
-        for (s, &c) in counts.iter().enumerate() {
-            if c > 0 {
-                offsets[s] = total;
-                total += c;
-                subarrays.push(s as u32);
-                starts.push(total as usize);
+
+        {
+            let _span = obs::span("shard.sort");
+            pairs.clear();
+            pairs.extend(queries.iter().enumerate().map(|(i, q)| (q.bits(), i as u32)));
+            radix::sort_pairs(pairs, pairs_scratch, threads);
+        }
+
+        // Merge-join the sorted batch against the subarray boundaries:
+        // advance the destination pointer while the next subarray's first
+        // k-mer is not past the query (queries below the first range
+        // conservatively route to subarray 0, exactly like
+        // `SubarrayIndex::locate`), and open a new shard whenever the
+        // destination moves.
+        let _span = obs::span("shard.route");
+        let firsts = index.first_bits();
+        self.order.reserve(n);
+        let mut dest = 0usize;
+        let mut current: Option<usize> = None;
+        for (pos, &(bits, id)) in pairs.iter().enumerate() {
+            while dest + 1 < firsts.len() && firsts[dest + 1] <= bits {
+                dest += 1;
             }
+            if current != Some(dest) {
+                current = Some(dest);
+                self.subarrays.push(dest as u32);
+                self.starts.push(pos);
+            }
+            self.order.push(id);
         }
-        let mut order = vec![0u32; n];
-        for (i, &s) in routed.iter().enumerate() {
-            let slot = &mut offsets[s as usize];
-            order[*slot as usize] = i as u32;
-            *slot += 1;
-        }
+        self.starts.push(n);
 
-        // Sort each shard by (k-mer bits, input index) for the merge
-        // cursor; workers own disjoint sub-slices of `order`.
-        let _span = obs::span("shard.sort");
-        let mut slices: Vec<&mut [u32]> = Vec::with_capacity(subarrays.len());
-        let mut rest = order.as_mut_slice();
-        for s in 0..subarrays.len() {
-            let (head, tail) = rest.split_at_mut(starts[s + 1] - starts[s]);
-            slices.push(head);
-            rest = tail;
-        }
-        par::for_each_mut(threads, &mut slices, |shard| {
-            shard.sort_unstable_by_key(|&i| (queries[i as usize].bits(), i));
-        });
-
-        Self {
-            order,
-            starts,
-            subarrays,
+        // Split each shard into near-equal tasks of at most TASK_TARGET.
+        for s in 0..self.subarrays.len() {
+            let (lo, hi) = (self.starts[s], self.starts[s + 1]);
+            let len = hi - lo;
+            let pieces = len.div_ceil(TASK_TARGET).max(1);
+            for p in 0..pieces {
+                let t_lo = lo + len * p / pieces;
+                let t_hi = lo + len * (p + 1) / pieces;
+                self.tasks.push((s as u32, t_lo as u32, t_hi as u32));
+            }
         }
     }
 
@@ -117,11 +130,27 @@ impl ShardPlan {
         self.subarrays.len()
     }
 
-    /// Shard `s`: its destination subarray and its sorted query indices.
+    /// Shard `s`: its destination subarray and its sorted query ids.
     pub fn shard(&self, s: usize) -> (usize, &[u32]) {
         (
             self.subarrays[s] as usize,
             &self.order[self.starts[s]..self.starts[s + 1]],
+        )
+    }
+
+    /// Number of match tasks (shards split to at most [`TASK_TARGET`]
+    /// queries; ≥ `shard_count`).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Task `t`: its destination subarray and its slice of sorted query
+    /// ids (a contiguous sub-range of one shard).
+    pub fn task(&self, t: usize) -> (usize, &[u32]) {
+        let (s, lo, hi) = self.tasks[t];
+        (
+            self.subarrays[s as usize] as usize,
+            &self.order[lo as usize..hi as usize],
         )
     }
 
@@ -140,6 +169,13 @@ mod tests {
     use sieve_dram::Geometry;
     use sieve_genomics::synth;
 
+    fn build(index: &SubarrayIndex, queries: &[Kmer], threads: usize) -> ShardPlan {
+        let mut plan = ShardPlan::empty();
+        let (mut pairs, mut scratch) = (Vec::new(), Vec::new());
+        plan.rebuild(index, queries, threads, &mut pairs, &mut scratch);
+        plan
+    }
+
     fn plan_inputs() -> (SubarrayIndex, Vec<Kmer>) {
         let ds = synth::make_dataset_with(8, 2048, 31, 5);
         let config = SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
@@ -152,19 +188,20 @@ mod tests {
     #[test]
     fn plan_is_thread_count_independent() {
         let (index, queries) = plan_inputs();
-        let base = ShardPlan::build(&index, &queries, 1);
+        let base = build(&index, &queries, 1);
         for threads in [2, 3, 8] {
-            let plan = ShardPlan::build(&index, &queries, threads);
+            let plan = build(&index, &queries, threads);
             assert_eq!(plan.order, base.order);
             assert_eq!(plan.starts, base.starts);
             assert_eq!(plan.subarrays, base.subarrays);
+            assert_eq!(plan.tasks, base.tasks);
         }
     }
 
     #[test]
     fn plan_covers_every_query_exactly_once() {
         let (index, queries) = plan_inputs();
-        let plan = ShardPlan::build(&index, &queries, 4);
+        let plan = build(&index, &queries, 4);
         let mut seen = vec![false; queries.len()];
         for s in 0..plan.shard_count() {
             let (sub, idxs) = plan.shard(s);
@@ -184,11 +221,60 @@ mod tests {
     }
 
     #[test]
+    fn tasks_partition_shards_in_order() {
+        let (index, queries) = plan_inputs();
+        // Duplicate the batch several times so at least one shard exceeds
+        // TASK_TARGET and splits.
+        let mut big: Vec<Kmer> = Vec::new();
+        while big.len() < 3 * TASK_TARGET {
+            big.extend_from_slice(&queries);
+        }
+        let plan = build(&index, &big, 4);
+        assert!(plan.task_count() >= plan.shard_count());
+        assert!(
+            plan.task_count() > plan.shard_count(),
+            "expected at least one split shard"
+        );
+        // Concatenating tasks shard by shard reproduces each shard, and
+        // no task exceeds the target size.
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); plan.shard_count()];
+        for t in 0..plan.task_count() {
+            let (sub, ids) = plan.task(t);
+            assert!(ids.len() <= TASK_TARGET);
+            let s = plan
+                .subarrays
+                .iter()
+                .position(|&x| x as usize == sub)
+                .unwrap();
+            by_shard[s].extend_from_slice(ids);
+        }
+        for (s, ids) in by_shard.iter().enumerate() {
+            assert_eq!(ids, plan.shard(s).1);
+        }
+    }
+
+    #[test]
+    fn routing_matches_locate_with_duplicates() {
+        let (index, queries) = plan_inputs();
+        // Force duplicates: every query twice, plus an off-range probe.
+        let mut dup: Vec<Kmer> = queries.iter().flat_map(|&q| [q, q]).collect();
+        dup.push(Kmer::from_u64(0, 31).unwrap());
+        let plan = build(&index, &dup, 2);
+        for s in 0..plan.shard_count() {
+            let (sub, idxs) = plan.shard(s);
+            for &i in idxs {
+                assert_eq!(index.locate(dup[i as usize]), sub);
+            }
+        }
+    }
+
+    #[test]
     fn empty_inputs_make_empty_plans() {
         let (index, _) = plan_inputs();
-        let plan = ShardPlan::build(&index, &[], 4);
+        let plan = build(&index, &[], 4);
         assert_eq!(plan.shard_count(), 0);
         assert_eq!(plan.subarray_span(), 0);
+        assert_eq!(plan.task_count(), 0);
         assert_eq!(ShardPlan::empty().shard_count(), 0);
     }
 }

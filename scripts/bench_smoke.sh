@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Bench smoke gate: a fast `bench_classify --json` run (scaled-down
+# workload, separate --out so the committed results/BENCH_classify.json
+# is never clobbered) with two regression floors:
+#
+#   * 1-thread throughput — must stay above SMOKE_FLOOR_1T reads/sec.
+#     The floor is half of the slowest committed full-run baseline
+#     (80,272 reads/sec before the radix-plan + dedup rework), so it
+#     trips on algorithmic regressions, not scheduler noise.
+#   * 4-thread speedup — must stay above SMOKE_FLOOR_SPEEDUP_4T.
+#     Wall-clock parallel speedup needs physical cores; on hosts with
+#     fewer than 4 cores (CI containers are often 1-core) the check is
+#     SKIPPED with a message, because oversubscribed threads on one core
+#     cannot speed anything up and the number would only measure noise.
+#
+# Run from the repository root: ./scripts/bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE_READS=2000
+SMOKE_REPS=6
+SMOKE_OUT=target/bench_smoke.json
+SMOKE_FLOOR_1T=40000
+SMOKE_FLOOR_SPEEDUP_4T=1.4
+
+echo "== bench_smoke: ${SMOKE_READS} reads x ${SMOKE_REPS} reps =="
+cargo run -q --release -p sieve-bench --bin bench_classify -- \
+    --reads "$SMOKE_READS" --reps "$SMOKE_REPS" --json --out "$SMOKE_OUT"
+
+# The hand-rolled JSON is line-per-row, so awk is enough to pull fields.
+cores=$(awk -F'[ ,]' '/"host_cores"/ { print $4 }' "$SMOKE_OUT")
+rps_1t=$(awk -F'"reads_per_sec": ' '/"threads": 1,/ { split($2, a, ","); print a[1] }' "$SMOKE_OUT")
+speedup_4t=$(awk -F'"speedup_vs_1_thread": ' '/"threads": 4,/ { split($2, a, ","); print a[1] }' "$SMOKE_OUT")
+
+echo "   host_cores=${cores} 1t=${rps_1t} reads/sec 4t_speedup=${speedup_4t:-n/a}"
+
+fail=0
+if ! awk -v v="$rps_1t" -v floor="$SMOKE_FLOOR_1T" 'BEGIN { exit !(v >= floor) }'; then
+    echo "bench_smoke: FAIL — 1-thread throughput ${rps_1t} reads/sec below floor ${SMOKE_FLOOR_1T}" >&2
+    fail=1
+fi
+if [ "${cores:-1}" -lt 4 ]; then
+    echo "bench_smoke: SKIP 4-thread speedup floor (host has ${cores:-?} core(s); wall-clock parallel speedup needs >= 4)"
+elif ! awk -v v="$speedup_4t" -v floor="$SMOKE_FLOOR_SPEEDUP_4T" 'BEGIN { exit !(v >= floor) }'; then
+    echo "bench_smoke: FAIL — 4-thread speedup ${speedup_4t}x below floor ${SMOKE_FLOOR_SPEEDUP_4T}x" >&2
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+echo "== bench_smoke: OK =="

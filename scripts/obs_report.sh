@@ -30,15 +30,18 @@ echo "== pipeline counters =="
 awk '/^# TYPE .* counter$/ { name=$3; getline; printf "  %-28s %s\n", name, $2 }' "$PROM"
 
 echo
-echo "== stage histograms (count / sum / mean) =="
+echo "== stage histograms (count / sum / mean; zero-count omitted) =="
 awk '
 /^# TYPE .* histogram$/ { name=$3 }
 $1 == name"_sum"   { sum[name]=$2 }
 $1 == name"_count" { cnt[name]=$2 }
 END {
     for (n in cnt) {
-        mean = (cnt[n] > 0) ? sum[n] / cnt[n] : 0
-        printf "  %-36s %10d %14.0f %12.1f\n", n, cnt[n], sum[n], mean
+        # A zero-count histogram means the stage never ran in this
+        # workload (e.g. wall.host.extract without streaming); printing
+        # it as "0 / 0 / 0.0" reads like a measurement, so skip it.
+        if (cnt[n] == 0) continue
+        printf "  %-36s %10d %14.0f %12.1f\n", n, cnt[n], sum[n], sum[n] / cnt[n]
     }
 }' "$PROM" | sort
 

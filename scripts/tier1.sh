@@ -22,6 +22,9 @@ cargo test -q \
     --test cluster_edge \
     --test parallel_determinism
 
+echo "== tier1: bench smoke (throughput floors) =="
+./scripts/bench_smoke.sh
+
 echo "== tier1: cargo clippy (-D warnings) =="
 cargo clippy -p sieve-core -p sieve-genomics -p sieve-bench --all-targets -- -D warnings
 

@@ -164,6 +164,63 @@ fn cluster_runs_snapshot_identically_and_record_skew() {
     assert_eq!(skew.sum, queries.len() as u64);
 }
 
+/// Dedup must be invisible to the model metrics: duplicate k-mers charge
+/// the cached outcome's row count, so every counter and histogram in the
+/// deterministic snapshot is identical with dedup on or off, at any
+/// thread count.
+#[test]
+fn dedup_modes_snapshot_identically() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    // Heavy forced duplication: stored entries and misses, each ×3.
+    let mut queries: Vec<Kmer> = Vec::new();
+    for i in 0..200u64 {
+        let k = if i % 2 == 0 {
+            ds.entries[(i as usize * 37) % ds.entries.len()].0
+        } else {
+            Kmer::from_u64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 2, 31).unwrap()
+        };
+        queries.extend([k; 3]);
+    }
+    for config in [SieveConfig::type1(), SieveConfig::type3(8)] {
+        let mut snaps = Vec::new();
+        for dedup in [true, false] {
+            for threads in [1usize, 4] {
+                obs::global().reset();
+                device(config.clone().with_dedup(dedup), threads, &ds)
+                    .run(&queries)
+                    .unwrap();
+                snaps.push((dedup, threads, obs::global().snapshot().deterministic()));
+            }
+        }
+        for (dedup, threads, snap) in &snaps[1..] {
+            assert_eq!(
+                snap,
+                &snaps[0].2,
+                "{} dedup={dedup} threads={threads}: snapshot diverged",
+                config.device.label()
+            );
+        }
+    }
+}
+
+/// The batch `classify_reads` path counts as one host chunk and records
+/// its k-mer total, so batch and stream ingestion share one metric
+/// vocabulary.
+#[test]
+fn batch_classify_records_chunk_metrics() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 15, 5);
+    let host = HostPipeline::new(device(SieveConfig::type3(8), 2, &ds));
+    let out = host.classify_reads(&reads).unwrap();
+    let snap = obs::global().snapshot();
+    assert_eq!(snap.counter("host_chunks"), 1);
+    let chunk = snap.histogram("chunk_kmers").unwrap();
+    assert_eq!(chunk.count, 1);
+    assert_eq!(chunk.sum, out.report.queries);
+}
+
 #[test]
 fn disabled_recorder_observes_nothing() {
     let _session = RecorderSession::begin();

@@ -113,8 +113,112 @@ fn degenerate_batches_are_identical_across_thread_counts() {
     }
 }
 
+/// The pipelined stream (threads > 1) must be a pure optimization: for
+/// every chunk size — including the degenerate 1-read chunks and a single
+/// whole-batch chunk — and with dedup on or off, its output is
+/// bit-identical to the serial single-threaded stream at the same chunk
+/// size, and the per-read classifications never depend on chunking.
+#[test]
+fn pipelined_stream_matches_serial_for_every_chunk_size() {
+    let ds = dataset();
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 40, 13);
+    for dedup in [true, false] {
+        let config = SieveConfig::type3(8).with_dedup(dedup);
+        let whole = HostPipeline::new(device(config.clone(), 1, &ds))
+            .classify_reads(&reads)
+            .unwrap();
+        for chunk in [1usize, 7, reads.len()] {
+            let serial = HostPipeline::new(device(config.clone(), 1, &ds))
+                .classify_stream(&reads, chunk)
+                .unwrap();
+            assert_eq!(
+                serial.reads, whole.reads,
+                "dedup={dedup} chunk={chunk}: chunking changed classifications"
+            );
+            for threads in &THREAD_SWEEP[1..] {
+                let out = HostPipeline::new(device(config.clone(), *threads, &ds))
+                    .classify_stream(&reads, chunk)
+                    .unwrap();
+                assert_same_pipeline(
+                    &out,
+                    &serial,
+                    &format!("dedup={dedup} threads={threads} chunk={chunk}"),
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Dedup is a pure optimization: matching each distinct k-mer once and
+    /// scattering the cached outcome must be bit-identical — functional
+    /// results and the full timing/energy report — to matching every
+    /// occurrence, for every design point and thread count. Duplicates are
+    /// forced: each drawn k-mer is repeated 1–3× and a stride of stored
+    /// entries guarantees repeated hits too.
+    #[test]
+    fn dedup_on_matches_dedup_off_with_forced_duplicates(
+        raw in prop::collection::vec(any::<u64>(), 1..160),
+    ) {
+        let ds = dataset();
+        let mut queries: Vec<Kmer> = Vec::new();
+        for (i, &bits) in raw.iter().enumerate() {
+            let k = if i % 3 == 0 {
+                ds.entries[bits as usize % ds.entries.len()].0
+            } else {
+                Kmer::from_u64(bits >> 2, 31).unwrap()
+            };
+            for _ in 0..=(i % 3) {
+                queries.push(k);
+            }
+        }
+        // Interleave a second pass of copies so duplicates are not
+        // adjacent in the batch.
+        let first: Vec<Kmer> = queries.iter().step_by(2).copied().collect();
+        queries.extend(first);
+        for config in [SieveConfig::type1(), SieveConfig::type2(8), SieveConfig::type3(8)] {
+            for threads in [1usize, 4] {
+                let on = device(config.clone().with_dedup(true), threads, &ds)
+                    .run(&queries)
+                    .unwrap();
+                let off = device(config.clone().with_dedup(false), threads, &ds)
+                    .run(&queries)
+                    .unwrap();
+                prop_assert_eq!(&on.results, &off.results,
+                    "{} threads={}: dedup changed results", config.device.label(), threads);
+                prop_assert_eq!(&on.report, &off.report,
+                    "{} threads={}: dedup changed the report", config.device.label(), threads);
+            }
+        }
+    }
+
+    /// Random read sets through the stream pipeline: chunk size never
+    /// changes classifications, and the pipelined path never changes
+    /// anything relative to the serial path at the same chunk size.
+    #[test]
+    fn random_streams_are_chunk_and_pipeline_invariant(
+        raw in prop::collection::vec("[ACGTN]{0,120}", 1..12),
+    ) {
+        let ds = dataset();
+        let reads: Vec<DnaSequence> = raw.iter().map(|s| s.parse().unwrap()).collect();
+        let whole = HostPipeline::new(device(SieveConfig::type3(8), 1, &ds))
+            .classify_reads(&reads)
+            .unwrap();
+        for chunk in [1usize, 7, reads.len()] {
+            let serial = HostPipeline::new(device(SieveConfig::type3(8), 1, &ds))
+                .classify_stream(&reads, chunk)
+                .unwrap();
+            prop_assert_eq!(&serial.reads, &whole.reads);
+            for threads in [2usize, 8] {
+                let out = HostPipeline::new(device(SieveConfig::type3(8), threads, &ds))
+                    .classify_stream(&reads, chunk)
+                    .unwrap();
+                assert_same_pipeline(&out, &serial, "random stream");
+            }
+        }
+    }
 
     #[test]
     fn random_read_sets_classify_identically(raw in prop::collection::vec("[ACGTN]{0,120}", 0..16)) {
