@@ -6,16 +6,21 @@
 //! so record both).
 //!
 //! Each thread count is timed in paired recorder-disabled / enabled
-//! runs (order alternated, each state summarized by the mean of its
-//! fastest quartile — robust to scheduler noise), so the JSON carries a
-//! before/after `obs_overhead_pct` per row, plus the full
+//! runs (order alternated, each state summarized by its median sample —
+//! robust to scheduler noise), so the JSON carries a before/after
+//! `obs_overhead_pct` per row (clamped at 0: a negative delta is noise,
+//! not a speedup), plus the full
 //! [`sieve_core::obs::MetricsSnapshot`] of one instrumented run
 //! (`metrics` key). `--prom` additionally writes the snapshot in
 //! Prometheus text format to `results/BENCH_classify.prom`.
 //!
 //! Flags: `--reads N` and `--reps M` scale the workload down for smoke
-//! runs (defaults 10,000 / 40), and `--out PATH` redirects the `--json`
-//! artifact so quick runs don't clobber the committed results.
+//! runs (defaults 10,000 / 40), `--out PATH` redirects the `--json`
+//! artifact so quick runs don't clobber the committed results, and
+//! `--trace PATH` captures one traced streaming run at the highest
+//! thread count, writing `PATH.chrome.json` (load in Perfetto /
+//! `chrome://tracing`) and `PATH.folded` (pipe through flamegraph.pl or
+//! `inferno-flamegraph`).
 
 use std::time::Instant;
 
@@ -52,12 +57,13 @@ fn main() {
     let reps: usize = arg_value(&args, "--reps")
         .map_or(DEFAULT_REPS, |v| v.parse().expect("--reps takes a count"));
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
+    let trace_path = arg_value(&args, "--trace");
 
     let ds = synth::make_dataset_with(16, 8192, 31, 1001);
     let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), n_reads, 1002);
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
-        "classify throughput: {n_reads} reads, quiet-quartile of {reps} runs, {cores} host core(s)\n"
+        "classify throughput: {n_reads} reads, median of {reps} runs, {cores} host core(s)\n"
     );
 
     let mut thread_counts = vec![1usize, 2, 4];
@@ -104,10 +110,10 @@ fn main() {
     // ("after"), toggled back to back inside every (rep, host) cell, with
     // the order alternated per rep so second-run warmth can't bias one
     // state. Scheduler noise on a shared host is strictly additive with a
-    // heavy upper tail, so each state's speed is summarized as the mean
-    // of its fastest quartile of samples: like a plain minimum it ignores
-    // preempted runs, but averaging the quiet tail keeps the on/off ratio
-    // from being decided by a single lucky extreme.
+    // heavy upper tail, so each state's speed is summarized by its
+    // *median* sample: immune to preempted outliers, and — unlike a
+    // fastest-quartile mean — never decided by a handful of lucky
+    // extremes, which is what produced noise-negative overhead readings.
     let recorder = obs::global();
     assert!(!recorder.is_enabled(), "recorder must start disabled");
     let mut samples = vec![[Vec::with_capacity(reps), Vec::with_capacity(reps)]; hosts.len()];
@@ -122,15 +128,19 @@ fn main() {
             }
         }
     }
-    let quiet_quartile_mean = |times: &mut Vec<f64>| -> f64 {
+    let median = |times: &mut Vec<f64>| -> f64 {
         times.sort_by(f64::total_cmp);
-        let keep = (times.len() / 4).max(1);
-        times[..keep].iter().sum::<f64>() / keep as f64
+        let n = times.len();
+        if n % 2 == 1 {
+            times[n / 2]
+        } else {
+            (times[n / 2 - 1] + times[n / 2]) / 2.0
+        }
     };
     let (mut best, mut best_obs) = (Vec::new(), Vec::new());
     for pair in &mut samples {
-        best.push(quiet_quartile_mean(&mut pair[0]));
-        best_obs.push(quiet_quartile_mean(&mut pair[1]));
+        best.push(median(&mut pair[0]));
+        best_obs.push(median(&mut pair[1]));
     }
 
     // Capture a clean instrumented snapshot of one run at the highest
@@ -146,6 +156,39 @@ fn main() {
     recorder.set_enabled(false);
     recorder.reset();
 
+    // One traced *streaming* run at the highest thread count (chunked, so
+    // the Chrome timeline shows the extract/device stage overlap), after
+    // all timing: tracing never contaminates the measurements above.
+    if let Some(trace_path) = &trace_path {
+        let tracer = sieve_core::trace::global();
+        tracer.reset();
+        tracer.set_enabled(true);
+        hosts
+            .last()
+            .expect("at least one host")
+            .classify_stream(&reads, (n_reads / 10).max(1))
+            .expect("valid workload");
+        let trace_snap = tracer.snapshot();
+        tracer.set_enabled(false);
+        tracer.reset();
+        if let Some(dir) = std::path::Path::new(trace_path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create trace output directory");
+        }
+        let chrome = format!("{trace_path}.chrome.json");
+        let folded = format!("{trace_path}.folded");
+        std::fs::write(&chrome, trace_snap.to_chrome_json()).expect("write the Chrome trace");
+        std::fs::write(&folded, trace_snap.to_folded()).expect("write the folded stacks");
+        println!(
+            "wrote {chrome} and {folded} ({} model + {} wall events, {} dropped)",
+            trace_snap.model.len(),
+            trace_snap.wall.len(),
+            trace_snap.dropped_model + trace_snap.dropped_wall,
+        );
+    }
+
     let mut measurements: Vec<Measurement> = Vec::new();
     for (i, &threads) in thread_counts.iter().enumerate() {
         let reads_per_sec = n_reads as f64 / best[i];
@@ -158,7 +201,9 @@ fn main() {
             reads_per_sec,
             speedup,
             reads_per_sec_obs,
-            obs_overhead_pct: (best_obs[i] / best[i] - 1.0) * 100.0,
+            // Clamped at 0: observation cannot speed the pipeline up, so
+            // a negative delta is measurement noise, not information.
+            obs_overhead_pct: ((best_obs[i] / best[i] - 1.0) * 100.0).max(0.0),
         });
     }
 

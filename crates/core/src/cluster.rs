@@ -14,6 +14,7 @@ use crate::config::SieveConfig;
 use crate::error::SieveError;
 use crate::obs;
 use crate::stats::SimReport;
+use crate::trace;
 
 /// Several Sieve devices sharding one reference set.
 ///
@@ -121,6 +122,12 @@ impl SieveCluster {
         let rec = obs::global();
         rec.add(obs::CounterId::ClusterRuns, 1);
         let _span = rec.span("cluster.run");
+        let tr = trace::global();
+        let _wall = tr.span("cluster.run");
+        // Devices run concurrently *in the model* but sequentially here:
+        // rewind the model clock to the cluster start before each device
+        // and set it to start + slowest device afterwards.
+        let t0 = tr.model_ps();
         // Split queries by device, remembering original positions.
         let mut per_device: Vec<Vec<Kmer>> = vec![Vec::new(); self.devices.len()];
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.devices.len()];
@@ -134,8 +141,24 @@ impl SieveCluster {
         let mut hits = 0u64;
         let mut makespan = 0u64;
         let mut energy = 0u128;
-        for ((device, qs), pos) in self.devices.iter().zip(&per_device).zip(&positions) {
+        for (d, ((device, qs), pos)) in self
+            .devices
+            .iter()
+            .zip(&per_device)
+            .zip(&positions)
+            .enumerate()
+        {
+            tr.set_model_ps(t0);
+            tr.emit_model("cluster.route", d as u32, t0, 0, qs.len() as u64, 0);
             let out = device.run(qs)?;
+            tr.emit_model(
+                "cluster.device",
+                d as u32,
+                t0,
+                out.report.makespan_ps,
+                qs.len() as u64,
+                out.report.hits,
+            );
             // Per-device skew: how unevenly the boundary table spread the
             // batch, and how unbalanced the resulting makespans are.
             rec.add(obs::CounterId::ClusterDeviceRuns, 1);
@@ -149,6 +172,7 @@ impl SieveCluster {
             energy += out.report.energy.total_fj();
             device_reports.push(out.report);
         }
+        tr.set_model_ps(t0.saturating_add(makespan));
         Ok(ClusterRun {
             results,
             device_reports,

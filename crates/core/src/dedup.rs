@@ -28,6 +28,7 @@
 use sieve_genomics::Kmer;
 
 use crate::par;
+use crate::trace;
 
 /// Hash partitions of the parallel path. Fixed — *not* a function of the
 /// thread count — so the partition of a k-mer is a pure function of its
@@ -163,7 +164,9 @@ pub(crate) fn dedup(
     if n == 0 {
         return false;
     }
+    let tr = trace::global();
     if !sample_finds_duplicates(queries, scratch) {
+        tr.emit_model("dedup.bypass", 0, tr.model_ps(), 0, n as u64, 0);
         return false;
     }
     if threads > 1 && n >= PARALLEL_DEDUP {
@@ -171,6 +174,7 @@ pub(crate) fn dedup(
     } else {
         dedup_sequential(queries, scratch, uniq, mult, uniq_of);
     }
+    tr.emit_model("dedup.build", 0, tr.model_ps(), 0, n as u64, uniq.len() as u64);
     true
 }
 

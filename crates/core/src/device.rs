@@ -17,6 +17,7 @@ use crate::radix;
 use crate::sched;
 use crate::shard::ShardPlan;
 use crate::stats::SimReport;
+use crate::trace;
 
 /// Largest batch the pipeline can run: queries are tagged with `u32` ids
 /// end to end (shard order, dedup mapping, host read owners).
@@ -236,6 +237,8 @@ impl SieveDevice {
     fn run_with(&self, queries: &[Kmer], scratch: &mut RunScratch) -> RunOutput {
         let rec = obs::global();
         rec.add(obs::CounterId::DeviceRuns, 1);
+        let tr = trace::global();
+        let t0 = tr.model_ps();
         let threads = par::effective_threads(self.config.threads);
         let n = queries.len();
 
@@ -255,6 +258,8 @@ impl SieveDevice {
                 ),
                 _ => sched::simulate_type23(&self.config, &[]),
             };
+            tr.emit_model("device.run", 0, t0, report.makespan_ps, n as u64, 0);
+            tr.advance_model_ps(report.makespan_ps);
             return RunOutput {
                 results: vec![None; n],
                 report,
@@ -291,6 +296,7 @@ impl SieveDevice {
 
         {
             let _span = rec.span("device.plan");
+            let _wall = tr.span("device.plan");
             plan.rebuild(index, space_queries, threads, pairs, pairs_scratch);
         }
 
@@ -300,6 +306,7 @@ impl SieveDevice {
         loads.resize(plan.subarray_span(), sched::SubLoad::default());
         let outcomes = {
             let _span = rec.span("device.match");
+            let _wall = tr.span("device.match");
             par::map_indexed(threads, plan.task_count(), |t| {
                 self.match_task(plan, space_queries, mult, t)
             })
@@ -310,8 +317,10 @@ impl SieveDevice {
         let mut results = vec![None; n];
         {
             let _span = rec.span("device.reduce");
+            let _wall = tr.span("device.reduce");
             rec.add(obs::CounterId::MatchShards, plan.shard_count() as u64);
             let observing = rec.is_enabled();
+            let tracing = tr.is_enabled();
             if dedup_on {
                 space_results.clear();
                 space_results.resize(space_queries.len(), None);
@@ -319,6 +328,23 @@ impl SieveDevice {
             for outcome in outcomes {
                 rec.add(obs::CounterId::MatchQueries, outcome.load.queries);
                 rec.add(obs::CounterId::MatchHits, outcome.load.hits);
+                if tracing {
+                    // Each task's deepest lookup is where ETM let the
+                    // whole task stop activating rows — the per-task
+                    // analogue of the paper's ~62 → ~10 claim. Tasks are
+                    // consumed in plan order, so the stream is identical
+                    // for every thread count.
+                    let deepest =
+                        outcome.resolved.iter().map(|&(_, _, w)| w.rows).max();
+                    tr.emit_model(
+                        "etm.terminate",
+                        outcome.subarray as u32,
+                        t0,
+                        0,
+                        u64::from(deepest.unwrap_or(0)),
+                        outcome.load.queries,
+                    );
+                }
                 let load = &mut loads[outcome.subarray];
                 load.queries += outcome.load.queries;
                 load.rows += outcome.load.rows;
@@ -353,6 +379,7 @@ impl SieveDevice {
         // Expand: scatter each distinct k-mer's result to its occurrences.
         if dedup_on {
             let _span = rec.span("device.expand");
+            let _wall = tr.span("device.expand");
             let chunk = n.div_ceil(threads).max(1);
             let space_results: &[Option<TaxonId>] = space_results;
             let mut items: Vec<(&mut [Option<TaxonId>], &[u32])> = results
@@ -381,6 +408,8 @@ impl SieveDevice {
             _ => sched::simulate_type23(&self.config, loads),
         };
         debug_assert_eq!(report.hits, hits);
+        tr.emit_model("device.run", 0, t0, report.makespan_ps, n as u64, hits);
+        tr.advance_model_ps(report.makespan_ps);
         RunOutput { results, report }
     }
 

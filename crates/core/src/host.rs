@@ -26,6 +26,7 @@ use crate::error::SieveError;
 use crate::obs;
 use crate::par;
 use crate::stats::SimReport;
+use crate::trace;
 
 /// Below this many reads, extraction fan-out costs more than it saves.
 const PARALLEL_EXTRACT_READS: usize = 128;
@@ -164,6 +165,7 @@ impl HostPipeline {
         rec.add(obs::CounterId::HostReads, reads.len() as u64);
         let (kmers, owners) = {
             let _span = rec.span("host.extract");
+            let _wall = trace::span("host.extract");
             self.extract_kmers(reads)
         };
         // A batch run is one maximal chunk; recording it as such keeps
@@ -173,9 +175,11 @@ impl HostPipeline {
         rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
         let run = {
             let _span = rec.span("host.device");
+            let _wall = trace::span("host.device");
             self.device.run(&kmers)?
         };
         let _span = rec.span("host.vote");
+        let _wall = trace::span("host.vote");
         Ok(PipelineOutput {
             reads: vote_reads(reads.len(), &owners, &run.results),
             report: run.report,
@@ -243,13 +247,20 @@ impl HostPipeline {
         let mut owners = Vec::new();
         for chunk in reads.chunks(chunk_reads) {
             let _span = rec.span("host.chunk");
+            let _wall = trace::span("host.chunk");
             kmers.clear();
             owners.clear();
-            self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+            {
+                let _wall = trace::span("host.extract");
+                self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+            }
             rec.add(obs::CounterId::HostChunks, 1);
             rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
             rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
-            let run = self.device.run(&kmers)?;
+            let run = {
+                let _wall = trace::span("host.device");
+                self.device.run(&kmers)?
+            };
             all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
             match merged {
                 None => *merged = Some(run.report),
@@ -293,7 +304,12 @@ impl HostPipeline {
                     kmers.clear();
                     owners.clear();
                     let span = obs::global().span("host.extract");
+                    // On the extractor thread's own wall track: the
+                    // timeline shows this interval overlapping the
+                    // consumer's host.device span for the previous chunk.
+                    let wall = trace::span("host.extract");
                     self.extract_kmers_into(chunk, &mut kmers, &mut owners);
+                    drop(wall);
                     drop(span);
                     if filled_tx.send((kmers, owners)).is_err() {
                         return;
@@ -302,11 +318,15 @@ impl HostPipeline {
             });
             for chunk in reads.chunks(chunk_reads) {
                 let _span = rec.span("host.chunk");
+                let _wall = trace::span("host.chunk");
                 let (kmers, owners) = filled_rx.recv().expect("extractor outlives its chunks");
                 rec.add(obs::CounterId::HostChunks, 1);
                 rec.add(obs::CounterId::HostKmers, kmers.len() as u64);
                 rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
-                let run = self.device.run(&kmers)?;
+                let run = {
+                    let _wall = trace::span("host.device");
+                    self.device.run(&kmers)?
+                };
                 all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
                 match &mut *merged {
                     None => *merged = Some(run.report),

@@ -73,6 +73,7 @@ mod sched;
 mod shard;
 mod stats;
 pub mod thermal;
+pub mod trace;
 mod transport;
 pub mod xcheck;
 

@@ -664,7 +664,9 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as a JSON object (hand-rolled; the workspace
-    /// builds offline, without serde).
+    /// builds offline, without serde). Histograms that never recorded a
+    /// value (count = 0) are omitted — their `min`/percentiles would be
+    /// meaningless and their empty `buckets` arrays only pad the output.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"counters\": {");
@@ -673,8 +675,10 @@ impl MetricsSnapshot {
             s.push_str(&format!("{sep}\n    \"{name}\": {value}"));
         }
         s.push_str("\n  },\n  \"histograms\": {");
-        for (i, (name, h)) in self.histograms.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
+        let mut first = true;
+        for (name, h) in self.histograms.iter().filter(|(_, h)| h.count > 0) {
+            let sep = if first { "" } else { "," };
+            first = false;
             let buckets = h
                 .buckets
                 .iter()
@@ -697,7 +701,8 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format
-    /// (`sieve_`-prefixed, cumulative `_bucket{le=...}` series).
+    /// (`sieve_`-prefixed, cumulative `_bucket{le=...}` series). Like
+    /// [`Self::to_json`], histograms with count = 0 are omitted.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
@@ -710,7 +715,7 @@ impl MetricsSnapshot {
                 "# TYPE sieve_{name} counter\nsieve_{name} {value}\n"
             ));
         }
-        for (name, h) in &self.histograms {
+        for (name, h) in self.histograms.iter().filter(|(_, h)| h.count > 0) {
             let name = sanitize(name);
             s.push_str(&format!("# TYPE sieve_{name} histogram\n"));
             let mut cumulative = 0u64;
@@ -833,6 +838,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_percentile_and_mean_are_zero() {
+        // A histogram that never recorded must report inert statistics —
+        // not NaN from 0/0, not a phantom min/max.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0, "p{q}");
+        }
+        // The same holds for a reset (once-used) histogram's snapshot.
+        let h = Histogram::new();
+        h.record(1234);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0);
+    }
+
+    #[test]
     fn recorder_disabled_is_a_no_op() {
         let r = Recorder::new();
         r.add(CounterId::MatchQueries, 5);
@@ -913,9 +937,15 @@ mod tests {
         assert!(json.contains("\"device_runs\": 1"));
         assert!(json.contains("\"etm_rows_activated\""));
         assert!(json.contains("\"count\": 2"));
+        // Histograms that never recorded are omitted entirely, in both
+        // exporters — no `"buckets": []` stubs.
+        assert!(snap.histogram("chunk_kmers").is_some_and(|h| h.count == 0));
+        assert!(!json.contains("chunk_kmers"));
+        assert!(!json.contains("\"buckets\": []"));
         let prom = snap.to_prometheus();
         assert!(prom.contains("# TYPE sieve_device_runs counter"));
         assert!(prom.contains("sieve_device_runs 1"));
+        assert!(!prom.contains("sieve_chunk_kmers"));
         assert!(prom.contains("sieve_etm_rows_activated_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("sieve_etm_rows_activated_sum 74"));
         // Cumulative buckets are monotone.

@@ -30,6 +30,7 @@ use crate::obs;
 use crate::par;
 use crate::shard::ShardPlan;
 use crate::stats::SimReport;
+use crate::trace;
 
 /// Per-subarray aggregated work, produced shard-by-shard by the matchers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -83,9 +84,16 @@ fn finalize(
             // How much the link (packetization, queueing, drain) stretched
             // the run beyond ideal dispatch — pure model time, so the
             // histogram stays deterministic.
-            obs::global().record(
-                obs::HistId::DispatchStallPs,
-                total.saturating_sub(ideal_makespan),
+            let stall = total.saturating_sub(ideal_makespan);
+            obs::global().record(obs::HistId::DispatchStallPs, stall);
+            let tr = trace::global();
+            tr.emit_model(
+                "dispatch.stall",
+                0,
+                tr.model_ps() + ideal_makespan,
+                stall,
+                stall,
+                queries,
             );
             total
         }
@@ -202,6 +210,20 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
         let setup = batches * setup_per_batch;
         let busy = setup + l.rows * (row_cycle + per_row_extra) + l.hits * hit_extra;
         let busy_pcie = busy + batches * batch_overhead;
+
+        let tr = trace::global();
+        if tr.is_enabled() {
+            // One busy interval per occupied subarray (the loads table is
+            // walked in subarray order — deterministic), and the Column
+            // Finder's hit-identification + payload drain as its tail:
+            // visibly off the critical path of the *next* subarray's work.
+            let t_base = tr.model_ps();
+            tr.emit_model("batch.issue", i as u32, t_base, busy, batches, l.queries);
+            let cf = l.hits * hit_extra;
+            if cf > 0 {
+                tr.emit_model("cf.drain", i as u32, t_base + busy - cf, cf, l.hits, 0);
+            }
+        }
 
         row_activations += l.rows;
         bank_acts[bank] += l.rows + 2 * l.hits;
@@ -405,6 +427,23 @@ pub(crate) fn simulate_type1(
         let (subarray, idxs) = plan.task(t);
         type1_task(config, layout, queries, work, mult, subarray, idxs)
     });
+
+    let tr = trace::global();
+    if tr.is_enabled() {
+        // Per-task Type-1 streaming intervals, in plan-task order (the
+        // partials come back from map_indexed indexed by task id).
+        let ts = tr.model_ps();
+        for p in &partials {
+            tr.emit_model(
+                "t1.stream",
+                p.subarray as u32,
+                ts,
+                p.busy,
+                p.row_activations,
+                p.read_bursts,
+            );
+        }
+    }
 
     let mut energy = EnergyLedger::new();
     let mut row_activations = 0u64;

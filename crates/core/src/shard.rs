@@ -19,6 +19,7 @@ use sieve_genomics::Kmer;
 use crate::index::SubarrayIndex;
 use crate::obs;
 use crate::radix;
+use crate::trace;
 
 /// Target task size: big enough that a merge-cursor restart (one gallop
 /// from the subarray's first entry) amortizes to nothing, small enough
@@ -121,6 +122,28 @@ impl ShardPlan {
                 let t_lo = lo + len * p / pieces;
                 let t_hi = lo + len * (p + 1) / pieces;
                 self.tasks.push((s as u32, t_lo as u32, t_hi as u32));
+            }
+        }
+
+        let tr = trace::global();
+        if tr.is_enabled() {
+            // The plan is a pure function of the batch (thread-count
+            // independent, proven by tests below), so emitting it here in
+            // shard/task order keeps the model stream deterministic.
+            let ts = tr.model_ps();
+            for s in 0..self.subarrays.len() {
+                let len = (self.starts[s + 1] - self.starts[s]) as u64;
+                tr.emit_model("shard.dispatch", self.subarrays[s], ts, 0, len, 0);
+            }
+            for &(s, lo, hi) in &self.tasks {
+                tr.emit_model(
+                    "task.split",
+                    self.subarrays[s as usize],
+                    ts,
+                    0,
+                    u64::from(hi - lo),
+                    u64::from(lo),
+                );
             }
         }
     }

@@ -12,6 +12,7 @@ use crate::config::{DeviceKind, SieveConfig};
 use crate::error::SieveError;
 use crate::obs;
 use crate::pcie::PcieConfig;
+use crate::trace;
 
 /// How the Sieve device attaches to the host.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,6 +124,8 @@ impl Transport {
         let rec = obs::global();
         rec.add(obs::CounterId::TransportTransfers, 1);
         rec.record(obs::HistId::TransportTransferPs, ps);
+        let tr = trace::global();
+        tr.emit_model("transport.transfer", 0, tr.model_ps(), ps, bytes, 0);
         ps
     }
 }

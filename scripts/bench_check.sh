@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Bench regression gate: runs a fresh `bench_classify --json` (scaled-down
+# by default; override with CHECK_READS / CHECK_REPS) into a scratch file
+# and diffs it against the committed results/BENCH_classify.json:
+#
+#   * 1-thread throughput — the fresh reads/sec must not fall more than
+#     CHECK_MAX_LOSS_PCT (default 10%) below the committed baseline.
+#     Relative to the committed number, so the gate tracks the repo's own
+#     history instead of an absolute floor; re-baseline by regenerating
+#     results/BENCH_classify.json on the reference host.
+#   * obs overhead — each fresh row's obs_overhead_pct must stay within
+#     CHECK_MAX_OBS_PCT (default 3%): the recorder's contract is that the
+#     disabled-path cost is one relaxed atomic load, and the enabled path
+#     stays in single-digit territory. Rows with more threads than the
+#     host has cores are SKIPPED (same policy as bench_smoke.sh's
+#     speedup floor): paired on/off runs of an oversubscribed pipeline
+#     measure scheduler noise, not recorder cost.
+#
+# The committed baseline was measured on a specific host; on a different
+# machine the throughput comparison is apples-to-oranges, so set
+# CHECK_BASELINE_HOST=1 only where the baseline was produced, or accept
+# that the 10% margin must absorb the hardware delta. The obs-overhead
+# check is a ratio of two runs on the *same* host and is always valid.
+#
+# Run from the repository root: ./scripts/bench_check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE=results/BENCH_classify.json
+CHECK_OUT=target/bench_check.json
+CHECK_READS="${CHECK_READS:-2000}"
+CHECK_REPS="${CHECK_REPS:-9}"
+CHECK_MAX_LOSS_PCT="${CHECK_MAX_LOSS_PCT:-10}"
+CHECK_MAX_OBS_PCT="${CHECK_MAX_OBS_PCT:-3}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_check: error — no committed baseline at $BASELINE" >&2
+    exit 1
+fi
+
+echo "== bench_check: ${CHECK_READS} reads x ${CHECK_REPS} reps vs $BASELINE =="
+cargo run -q --release -p sieve-bench --bin bench_classify -- \
+    --reads "$CHECK_READS" --reps "$CHECK_REPS" --json --out "$CHECK_OUT"
+
+# The hand-rolled JSON is line-per-row, so awk is enough to pull fields.
+field_1t() {
+    awk -F"\"$2\": " '/"threads": 1,/ { split($2, a, "[,}]"); print a[1] }' "$1"
+}
+base_rps=$(field_1t "$BASELINE" reads_per_sec)
+fresh_rps=$(field_1t "$CHECK_OUT" reads_per_sec)
+
+# The committed baseline uses the full default workload while CHECK_READS
+# trims the fresh run; reads/sec is stable across sizes >= 2000 for this
+# pipeline (per-read work dominates fixed per-run costs), so comparing
+# the two directly stays meaningful and the margin absorbs the residual.
+loss_pct=$(awk -v b="$base_rps" -v f="$fresh_rps" \
+    'BEGIN { printf "%.1f", (1 - f / b) * 100 }')
+echo "   1-thread: baseline=${base_rps} fresh=${fresh_rps} reads/sec (loss ${loss_pct}%)"
+
+fail=0
+if ! awk -v l="$loss_pct" -v max="$CHECK_MAX_LOSS_PCT" 'BEGIN { exit !(l <= max) }'; then
+    echo "bench_check: FAIL — 1-thread throughput dropped ${loss_pct}% (> ${CHECK_MAX_LOSS_PCT}% allowed) vs committed baseline" >&2
+    fail=1
+fi
+
+# Each fresh row's obs overhead (the rows are one-per-line, so pull all).
+cores=$(awk -F'[ ,]' '/"host_cores"/ { print $4 }' "$CHECK_OUT")
+while read -r threads pct; do
+    if [ "$threads" -gt "${cores:-1}" ]; then
+        echo "   obs overhead: threads=${threads} ${pct}% (SKIP: host has ${cores:-?} core(s), oversubscribed rows measure scheduler noise)"
+        continue
+    fi
+    echo "   obs overhead: threads=${threads} ${pct}%"
+    if ! awk -v p="$pct" -v max="$CHECK_MAX_OBS_PCT" 'BEGIN { exit !(p <= max) }'; then
+        echo "bench_check: FAIL — obs overhead ${pct}% at threads=${threads} (> ${CHECK_MAX_OBS_PCT}% allowed)" >&2
+        fail=1
+    fi
+done < <(awk -F'"' '/"obs_overhead_pct"/ {
+    split($0, t, /"threads": /); split(t[2], a, ",")
+    split($0, o, /"obs_overhead_pct": /); split(o[2], b, "[,}]")
+    print a[1], b[1]
+}' "$CHECK_OUT")
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "== bench_check: OK =="

@@ -27,7 +27,12 @@ if [[ ! -f "$PROM" ]]; then
 fi
 
 echo "== pipeline counters =="
-awk '/^# TYPE .* counter$/ { name=$3; getline; printf "  %-28s %s\n", name, $2 }' "$PROM"
+# Match sample lines by metric *name* (collected from the TYPE headers),
+# not by line position: `getline` after `# TYPE` silently prints the
+# wrong value if a HELP line, comment, or blank ever lands between the
+# header and its sample.
+awk '/^# TYPE .* counter$/ { counter[$3] = 1; next }
+     ($1 in counter)       { printf "  %-28s %s\n", $1, $2 }' "$PROM"
 
 echo
 echo "== stage histograms (count / sum / mean; zero-count omitted) =="

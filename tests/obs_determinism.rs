@@ -237,6 +237,57 @@ fn disabled_recorder_observes_nothing() {
     obs::global().set_enabled(true); // session drop expects to disable
 }
 
+/// Builds a histogram snapshot from raw values via the public recording
+/// path (so bucket placement, min/max, and trimming all go through the
+/// production code).
+fn snapshot_of(values: &[u64]) -> obs::HistogramSnapshot {
+    let h = obs::Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `HistogramSnapshot::merge` is the reduce step of every
+    /// deterministic snapshot, so it must behave like multiset union:
+    /// commutative and associative on count/sum/min/max *and* the bucket
+    /// vectors (whose lengths differ when one side saw larger values).
+    #[test]
+    fn histogram_snapshot_merge_is_commutative_and_associative(
+        a in prop::collection::vec(0u64..1u64 << 48, 0..40),
+        b in prop::collection::vec(0u64..1u64 << 48, 0..40),
+        c in prop::collection::vec(0u64..1u64 << 48, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // Commutativity: a ∪ b == b ∪ a (full struct equality covers
+        // count, sum, min, max, and every bucket).
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // And the merged result matches recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snapshot_of(&all));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
