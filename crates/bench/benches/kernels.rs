@@ -53,6 +53,47 @@ fn bench_engine_lookup(c: &mut Criterion) {
     g.finish();
 }
 
+/// The device match kernel's two shapes over identical radix-sorted
+/// input: one `MergeCursor::lookup` call per query (rows computed live)
+/// versus `lookup_block` over 512-key blocks with the precomputed
+/// [`etm::RowTable`] — the shape `device::run_with` actually uses.
+fn bench_match_kernel(c: &mut Criterion) {
+    use sieve_core::etm::RowTable;
+    use sieve_genomics::Kmer;
+    const BLOCK: usize = 512;
+    let (layout, queries) = setup_layout();
+    let mut keys: Vec<u64> = queries.iter().map(|q| q.bits()).collect();
+    keys.sort_unstable();
+    let kmers: Vec<Kmer> = keys.iter().map(|&b| Kmer::from_u64(b, 31).unwrap()).collect();
+    let table = RowTable::new(62, true, 1);
+    let mut g = c.benchmark_group("match_kernel");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("per_query_lookup", |b| {
+        b.iter(|| {
+            let mut cursor = engine::MergeCursor::new(layout.subarray(0));
+            let mut rows = 0u64;
+            for q in &kmers {
+                rows += u64::from(cursor.lookup(*q, true, 1).rows);
+            }
+            std::hint::black_box(rows)
+        });
+    });
+    g.bench_function("blocked_lookup_512", |b| {
+        let mut out = Vec::with_capacity(BLOCK);
+        b.iter(|| {
+            let mut cursor = engine::MergeCursor::new(layout.subarray(0));
+            let mut rows = 0u64;
+            for block in keys.chunks(BLOCK) {
+                out.clear();
+                cursor.lookup_block(block, &table, &mut out);
+                rows += out.iter().map(|o| u64::from(o.rows)).sum::<u64>();
+            }
+            std::hint::black_box(rows)
+        });
+    });
+    g.finish();
+}
+
 fn bench_bitsim_lookup(c: &mut Criterion) {
     let (layout, queries) = setup_layout();
     let sa = layout.subarray(0);
@@ -113,6 +154,7 @@ criterion_group!(
     kernels,
     bench_kmer_extraction,
     bench_engine_lookup,
+    bench_match_kernel,
     bench_bitsim_lookup,
     bench_layout_build,
     bench_cpu_baseline

@@ -5,22 +5,26 @@
 //! host's core count — speedup beyond the physical cores cannot appear,
 //! so record both).
 //!
-//! Each thread count is timed in paired recorder-disabled / enabled
+//! Each measured cell is timed in paired recorder-disabled / enabled
 //! runs (order alternated, each state summarized by its median sample —
 //! robust to scheduler noise), so the JSON carries a before/after
 //! `obs_overhead_pct` per row (clamped at 0: a negative delta is noise,
 //! not a speedup), plus the full
-//! [`sieve_core::obs::MetricsSnapshot`] of one instrumented run
-//! (`metrics` key). `--prom` additionally writes the snapshot in
-//! Prometheus text format to `results/BENCH_classify.prom`.
+//! [`sieve_core::obs::MetricsSnapshot`] of one instrumented
+//! *single-thread* run (`metrics` key) — the wall profile DESIGN.md §6
+//! quotes. `--prom` additionally writes the snapshot in Prometheus text
+//! format to `results/BENCH_classify.prom`.
 //!
 //! Flags: `--reads N` and `--reps M` scale the workload down for smoke
-//! runs (defaults 10,000 / 40), `--out PATH` redirects the `--json`
-//! artifact so quick runs don't clobber the committed results, and
-//! `--trace PATH` captures one traced streaming run at the highest
-//! thread count, writing `PATH.chrome.json` (load in Perfetto /
-//! `chrome://tracing`) and `PATH.folded` (pipe through flamegraph.pl or
-//! `inferno-flamegraph`).
+//! runs (defaults 10,000 / 40), `--chunk C` adds one streamed row per
+//! thread count (`classify_stream` with C-read chunks — the pipelined
+//! extractor overlap *and* the cross-chunk hot-k-mer cache, which batch
+//! rows never exercise; rows carry a `chunk` field, 0 = batch),
+//! `--out PATH` redirects the `--json` artifact so quick runs don't
+//! clobber the committed results, and `--trace PATH` captures one traced
+//! streaming run at the highest thread count, writing `PATH.chrome.json`
+//! (load in Perfetto / `chrome://tracing`) and `PATH.folded` (pipe
+//! through flamegraph.pl or `inferno-flamegraph`).
 
 use std::time::Instant;
 
@@ -40,8 +44,17 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// One measured cell: a thread count running either the batch path
+/// (`chunk == 0`) or the streamed path with `chunk`-read chunks.
+struct Cell {
+    host: usize,
+    threads: usize,
+    chunk: usize,
+}
+
 struct Measurement {
     threads: usize,
+    chunk: usize,
     reads_per_sec: f64,
     speedup: f64,
     reads_per_sec_obs: f64,
@@ -56,6 +69,8 @@ fn main() {
         .map_or(DEFAULT_READS, |v| v.parse().expect("--reads takes a count"));
     let reps: usize = arg_value(&args, "--reps")
         .map_or(DEFAULT_REPS, |v| v.parse().expect("--reps takes a count"));
+    let chunk_reads: usize = arg_value(&args, "--chunk")
+        .map_or(0, |v| v.parse().expect("--chunk takes a read count"));
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
     let trace_path = arg_value(&args, "--trace");
 
@@ -86,28 +101,58 @@ fn main() {
         })
         .collect();
 
-    // Interleave the repetitions (rep-major, not thread-count-major) so
-    // slow drift in the host's clock or scheduler hits every thread count
-    // equally instead of biasing whichever count runs first.
+    // Batch rows first, then (with --chunk) one streamed row per thread
+    // count: the streamed cells exercise the pipelined extractor overlap
+    // and the cross-chunk hot-k-mer cache.
+    let mut cells: Vec<Cell> = thread_counts
+        .iter()
+        .enumerate()
+        .map(|(host, &threads)| Cell {
+            host,
+            threads,
+            chunk: 0,
+        })
+        .collect();
+    if chunk_reads > 0 {
+        cells.extend(thread_counts.iter().enumerate().map(|(host, &threads)| Cell {
+            host,
+            threads,
+            chunk: chunk_reads,
+        }));
+    }
+    let run_cell = |cell: &Cell| {
+        let host = &hosts[cell.host];
+        if cell.chunk > 0 {
+            host.classify_stream(&reads, cell.chunk)
+        } else {
+            host.classify_reads(&reads)
+        }
+        .expect("valid workload")
+    };
+
+    // Interleave the repetitions (rep-major, not cell-major) so slow
+    // drift in the host's clock or scheduler hits every cell equally
+    // instead of biasing whichever runs first.
     // Warm-up pass: untimed, and doubles as the bit-identical check —
-    // parallel output must match the sequential output exactly.
+    // every cell (parallel, streamed, cached) must match the sequential
+    // batch output exactly.
     let mut reference: Option<Vec<sieve_core::ReadResult>> = None;
-    for (i, host) in hosts.iter().enumerate() {
-        let run = host.classify_reads(&reads).expect("valid workload");
+    for cell in &cells {
+        let run = run_cell(cell);
         match &reference {
             None => reference = Some(run.reads),
             Some(expected) => {
                 assert_eq!(
                     &run.reads, expected,
-                    "threads={} diverged",
-                    thread_counts[i]
+                    "threads={} chunk={} diverged",
+                    cell.threads, cell.chunk
                 );
             }
         }
     }
 
     // Recorder disabled (the shipping default / "before") vs. enabled
-    // ("after"), toggled back to back inside every (rep, host) cell, with
+    // ("after"), toggled back to back inside every (rep, cell), with
     // the order alternated per rep so second-run warmth can't bias one
     // state. Scheduler noise on a shared host is strictly additive with a
     // heavy upper tail, so each state's speed is summarized by its
@@ -116,14 +161,14 @@ fn main() {
     // extremes, which is what produced noise-negative overhead readings.
     let recorder = obs::global();
     assert!(!recorder.is_enabled(), "recorder must start disabled");
-    let mut samples = vec![[Vec::with_capacity(reps), Vec::with_capacity(reps)]; hosts.len()];
+    let mut samples = vec![[Vec::with_capacity(reps), Vec::with_capacity(reps)]; cells.len()];
     for rep in 0..reps {
-        for (i, host) in hosts.iter().enumerate() {
+        for (i, cell) in cells.iter().enumerate() {
             let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
             for enabled in order {
                 recorder.set_enabled(enabled);
                 let start = Instant::now();
-                host.classify_reads(&reads).expect("valid workload");
+                run_cell(cell);
                 samples[i][usize::from(enabled)].push(start.elapsed().as_secs_f64());
             }
         }
@@ -143,12 +188,14 @@ fn main() {
         best_obs.push(median(&mut pair[1]));
     }
 
-    // Capture a clean instrumented snapshot of one run at the highest
-    // thread count (the loops above already warmed everything).
+    // Capture a clean instrumented snapshot of one *single-thread batch*
+    // run (the loops above already warmed everything): its wall.device.*
+    // spans are the canonical single-thread device-stage profile the
+    // regression gates and DESIGN.md track.
     recorder.set_enabled(true);
     recorder.reset();
     hosts
-        .last()
+        .first()
         .expect("at least one host")
         .classify_reads(&reads)
         .expect("valid workload");
@@ -190,14 +237,18 @@ fn main() {
     }
 
     let mut measurements: Vec<Measurement> = Vec::new();
-    for (i, &threads) in thread_counts.iter().enumerate() {
+    for (i, cell) in cells.iter().enumerate() {
         let reads_per_sec = n_reads as f64 / best[i];
         let reads_per_sec_obs = n_reads as f64 / best_obs[i];
+        // Speedup relative to the 1-thread row of the same mode (batch
+        // rows against batch, streamed against streamed).
         let speedup = measurements
-            .first()
-            .map_or(1.0, |base: &Measurement| reads_per_sec / base.reads_per_sec);
+            .iter()
+            .find(|m: &&Measurement| m.chunk == cell.chunk)
+            .map_or(1.0, |base| reads_per_sec / base.reads_per_sec);
         measurements.push(Measurement {
-            threads,
+            threads: cell.threads,
+            chunk: cell.chunk,
             reads_per_sec,
             speedup,
             reads_per_sec_obs,
@@ -209,6 +260,7 @@ fn main() {
 
     let mut t = Table::new([
         "threads",
+        "chunk",
         "reads/sec",
         "speedup vs 1 thread",
         "reads/sec (obs on)",
@@ -217,6 +269,11 @@ fn main() {
     for m in &measurements {
         t.row([
             m.threads.to_string(),
+            if m.chunk == 0 {
+                "batch".to_string()
+            } else {
+                m.chunk.to_string()
+            },
             format!("{:.0}", m.reads_per_sec),
             format!("{:.2}x", m.speedup),
             format!("{:.0}", m.reads_per_sec_obs),
@@ -263,9 +320,11 @@ fn render_json(
     s.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"threads\": {}, \"reads_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.3}, \
+            "    {{\"threads\": {}, \"chunk\": {}, \"reads_per_sec\": {:.1}, \
+             \"speedup_vs_1_thread\": {:.3}, \
              \"reads_per_sec_obs\": {:.1}, \"obs_overhead_pct\": {:.2}}}{}\n",
             m.threads,
+            m.chunk,
             m.reads_per_sec,
             m.speedup,
             m.reads_per_sec_obs,

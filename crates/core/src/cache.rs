@@ -1,0 +1,336 @@
+//! Cross-chunk hot-k-mer cache for streaming classification.
+//!
+//! Real read streams repeat k-mers far beyond a single chunk (the same
+//! redundancy the paper's ESP observation exploits, §V): the in-batch
+//! dedup of [`crate::dedup`] collapses repeats *within* a device run, but
+//! every chunk of `classify_stream` still re-plans and re-matches the hot
+//! k-mers of the previous ones. This module caches a k-mer's per-device
+//! outcome — destination subarray, rows activated, payload — so later
+//! chunks replay it without re-entering the sort/route/match path.
+//!
+//! Determinism: the cache is bounded and **insert-once** (an entry is
+//! never evicted or overwritten; once full, the set is frozen), and a
+//! replayed outcome charges exactly the modeled quantities (queries, rows,
+//! hits) the device stage would have charged, merged into the same
+//! per-subarray load accumulators. Insertions happen on the reduce path
+//! in task order. Results, `SimReport`s, and model metrics are therefore
+//! bit-identical with the cache on or off, for every thread count — the
+//! grid test in `tests/parallel_determinism.rs` proves it.
+//!
+//! Engagement: probing a multi-megabyte table is a DRAM-latency random
+//! access per query, so on a stream with *no* cross-chunk redundancy
+//! (every k-mer novel — e.g. error-dense reads) an always-on cache would
+//! tax every chunk for nothing. Like [`crate::dedup`]'s self-veto, each
+//! batch first probes a strided sample ([`KmerCache::assess`]): a sample
+//! hit rate of at least 1/[`ENGAGE_DIVISOR`] engages the full probe (and
+//! *proves* the cache, unlocking inserts to full capacity); a cold sample
+//! skips the full probe for that batch but keeps sampling — redundancy
+//! with a long period (a hot set recurring every N chunks) is still
+//! caught the moment it reappears. Until proven, warming inserts stop at
+//! [`WARM_CAP`] entries, so the total an unrepetitive stream can pay is
+//! one bounded warm-up plus ~[`ENGAGE_SAMPLE`] probes per chunk. Every
+//! decision is a pure function of the batch sequence — no clocks, no
+//! thread-count dependence — so determinism is untouched.
+
+use sieve_genomics::TaxonId;
+
+/// Strided sample size per batch for the engagement decision.
+pub(crate) const ENGAGE_SAMPLE: usize = 1024;
+/// Engage when `sample_hits * ENGAGE_DIVISOR >= sampled` (≥ 25%).
+const ENGAGE_DIVISOR: u64 = 4;
+/// Insert ceiling while the cache is unproven.
+const WARM_CAP: usize = 1 << 16;
+
+/// How one device run should use the cache (see [`KmerCache::assess`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Engagement {
+    /// Redundant batch: probe every query, replay hits.
+    Probe,
+    /// Not (yet) evidently redundant: skip probing, keep warming.
+    Warm,
+}
+
+/// A cached per-device lookup outcome for one k-mer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Cached {
+    /// Destination (occupied) subarray the index routed the k-mer to.
+    pub sub: u32,
+    /// Region-1 rows one lookup of this k-mer activates there.
+    pub rows: u32,
+    /// Payload on a hit; `None` on a miss (`hit ⟺ taxon.is_some()`).
+    pub taxon: Option<TaxonId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    value: Cached,
+    occupied: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    value: Cached {
+        sub: 0,
+        rows: 0,
+        taxon: None,
+    },
+    occupied: false,
+};
+
+/// Bounded open-addressing (linear probe) map from k-mer bits to
+/// [`Cached`]. Capacity is fixed at construction; the table is sized to
+/// stay at most half full, so probe chains stay short.
+#[derive(Debug)]
+pub(crate) struct KmerCache {
+    slots: Vec<Slot>,
+    mask: usize,
+    len: usize,
+    cap: usize,
+    /// A batch sample has hit at least once: inserts may fill to `cap`.
+    proven: bool,
+}
+
+impl KmerCache {
+    /// A cache holding at most `cap` entries (0 = permanently empty).
+    pub fn new(cap: usize) -> Self {
+        let slots = if cap == 0 {
+            0
+        } else {
+            (2 * cap).next_power_of_two()
+        };
+        Self {
+            slots: vec![EMPTY_SLOT; slots],
+            mask: slots.saturating_sub(1),
+            len: 0,
+            cap,
+            proven: false,
+        }
+    }
+
+    /// Decides how the coming batch should use the cache, from a strided
+    /// sample of its (deduplicated) query keys. Pass at most
+    /// [`ENGAGE_SAMPLE`] keys; extras are ignored. A hot sample marks the
+    /// cache proven (unlocking inserts past [`WARM_CAP`]), so call once
+    /// per device run.
+    pub fn assess<I: Iterator<Item = u64>>(&mut self, sample: I) -> Engagement {
+        if self.len == 0 {
+            // Nothing to hit yet.
+            return Engagement::Warm;
+        }
+        let (mut sampled, mut hits) = (0u64, 0u64);
+        for key in sample.take(ENGAGE_SAMPLE) {
+            sampled += 1;
+            hits += u64::from(self.get(key).is_some());
+        }
+        if sampled > 0 && hits * ENGAGE_DIVISOR >= sampled {
+            self.proven = true;
+            Engagement::Probe
+        } else {
+            Engagement::Warm
+        }
+    }
+
+    /// Whether warming inserts should be collected for this run: never
+    /// once full, and an unproven cache stops at [`WARM_CAP`] so a stream
+    /// with no redundancy pays a bounded warm-up.
+    pub fn accepts_inserts(&self) -> bool {
+        self.len < self.cap && (self.proven || self.len < WARM_CAP)
+    }
+
+    /// splitmix64 finalizer: full-avalanche scramble of the packed k-mer
+    /// bits (which are heavily structured in their low bits).
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The cached outcome for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<Cached> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut i = (Self::hash(key) as usize) & self.mask;
+        loop {
+            let slot = &self.slots[i];
+            if !slot.occupied {
+                return None;
+            }
+            if slot.key == key {
+                return Some(slot.value);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key → value` unless the key is already present or the
+    /// cache is frozen (at capacity). Entries are never replaced, so the
+    /// first insertion wins — with insertions performed in the
+    /// deterministic reduce order, the cache contents are a pure function
+    /// of the stream prefix.
+    pub fn insert(&mut self, key: u64, value: Cached) -> bool {
+        if self.len >= self.cap {
+            return false;
+        }
+        let mut i = (Self::hash(key) as usize) & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if !slot.occupied {
+                *slot = Slot {
+                    key,
+                    value,
+                    occupied: true,
+                };
+                self.len += 1;
+                return true;
+            }
+            if slot.key == key {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether the cache has reached capacity (no further inserts land).
+    #[cfg(test)]
+    pub fn is_frozen(&self) -> bool {
+        self.len >= self.cap
+    }
+
+    /// Whether the cache holds no entries.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries currently held.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether a batch sample has proven the cache redundant.
+    #[cfg(test)]
+    pub fn is_proven(&self) -> bool {
+        self.proven
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cached(rows: u32) -> Cached {
+        Cached {
+            sub: 3,
+            rows,
+            taxon: Some(TaxonId(9)),
+        }
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut c = KmerCache::new(16);
+        assert!(c.is_empty());
+        assert!(c.get(42).is_none());
+        assert!(c.insert(42, cached(7)));
+        assert_eq!(c.get(42), Some(cached(7)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut c = KmerCache::new(16);
+        assert!(c.insert(5, cached(1)));
+        assert!(!c.insert(5, cached(2)));
+        assert_eq!(c.get(5), Some(cached(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_cache_freezes() {
+        let mut c = KmerCache::new(4);
+        for key in 0..4u64 {
+            assert!(c.insert(key, cached(key as u32)));
+        }
+        assert!(c.is_frozen());
+        assert!(!c.insert(99, cached(0)));
+        assert!(c.get(99).is_none());
+        // Existing entries still readable.
+        for key in 0..4u64 {
+            assert_eq!(c.get(key), Some(cached(key as u32)));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut c = KmerCache::new(0);
+        assert!(c.is_frozen());
+        assert!(!c.insert(1, cached(1)));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn engagement_starts_warm_then_proves_on_a_redundant_sample() {
+        let mut c = KmerCache::new(1 << 17);
+        // Empty cache: warm, and cold samples accrue no strikes.
+        assert_eq!(c.assess([1u64, 2].into_iter()), Engagement::Warm);
+        assert_eq!(c.assess([3u64, 4].into_iter()), Engagement::Warm);
+        assert!(c.accepts_inserts());
+        for key in 0..100u64 {
+            assert!(c.insert(key, cached(1)));
+        }
+        // A redundant sample engages and proves the cache.
+        assert_eq!(c.assess(0..100u64), Engagement::Probe);
+        assert!(c.proven);
+    }
+
+    #[test]
+    fn cold_samples_pause_probing_without_retiring_the_cache() {
+        let mut c = KmerCache::new(1 << 17);
+        for key in 0..100u64 {
+            c.insert(key, cached(1));
+        }
+        // Any number of cold batches only pause the full probe...
+        for _ in 0..10 {
+            assert_eq!(c.assess(1_000..1_100u64), Engagement::Warm);
+        }
+        // ...so long-period redundancy still engages when it recurs.
+        assert_eq!(c.assess(0..100u64), Engagement::Probe);
+        assert!(c.proven);
+    }
+
+    #[test]
+    fn unproven_cache_stops_warming_at_the_warm_cap() {
+        let mut c = KmerCache::new(2 * WARM_CAP);
+        let mut key = 0u64;
+        while c.accepts_inserts() {
+            assert!(c.insert(key, cached(0)));
+            key += 1;
+        }
+        assert_eq!(c.len(), WARM_CAP);
+        // Proving it unlocks the rest of the capacity.
+        assert_eq!(c.assess(0..64u64), Engagement::Probe);
+        assert!(c.accepts_inserts());
+    }
+
+    #[test]
+    fn survives_heavy_collision_load() {
+        // Many keys through a small table: linear probing must neither
+        // lose entries nor loop (table is 2× capacity, never full).
+        let mut c = KmerCache::new(1000);
+        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(c.insert(k, cached(i as u32)));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(c.get(k), Some(cached(i as u32)), "key {k}");
+        }
+        assert!(c.is_frozen());
+    }
+}

@@ -117,6 +117,24 @@ pub struct SieveConfig {
     /// (proven by `tests/parallel_determinism.rs`). This too is a
     /// *simulator* knob, not a modeled device parameter.
     pub dedup: bool,
+    /// Fused plan/match pipeline (default `true`): with more than one
+    /// worker thread, the planner dispatches each shard task to match
+    /// workers the moment its bucket of the radix partition is sorted,
+    /// overlapping the sort with matching instead of running them as
+    /// strict barriers. The deterministic reduce consumes task results in
+    /// plan order, so output is bit-identical with the knob off (proven
+    /// by `tests/parallel_determinism.rs`). A *simulator* knob, not a
+    /// modeled device parameter.
+    pub fused: bool,
+    /// Capacity of the cross-chunk hot-k-mer cache, in entries; `0`
+    /// disables it. Streaming classification (`classify_stream`) sees the
+    /// same hot k-mers chunk after chunk; the cache replays a k-mer's
+    /// per-subarray outcome (destination, rows activated, payload)
+    /// without re-planning or re-matching it, composing with the in-batch
+    /// dedup. Replayed outcomes charge identical modeled quantities, so
+    /// results, reports, and model metrics are bit-identical with the
+    /// cache off. A *simulator* knob, not a modeled device parameter.
+    pub hot_kmers: usize,
 }
 
 impl SieveConfig {
@@ -159,6 +177,8 @@ impl SieveConfig {
             esp_override: None,
             threads: 0,
             dedup: true,
+            fused: true,
+            hot_kmers: 1 << 18,
         }
     }
 
@@ -213,6 +233,23 @@ impl SieveConfig {
     #[must_use]
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
+        self
+    }
+
+    /// Toggles the fused plan/match pipeline (builder style). Output is
+    /// bit-identical for either value (see [`SieveConfig::fused`]).
+    #[must_use]
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Sets the hot-k-mer cache capacity in entries, `0` to disable
+    /// (builder style). Output is bit-identical for every value (see
+    /// [`SieveConfig::hot_kmers`]).
+    #[must_use]
+    pub fn with_hot_kmers(mut self, hot_kmers: usize) -> Self {
+        self.hot_kmers = hot_kmers;
         self
     }
 
@@ -450,11 +487,15 @@ mod tests {
             .with_k(21)
             .with_etm(false)
             .with_threads(2)
-            .with_dedup(false);
+            .with_dedup(false)
+            .with_fused(false)
+            .with_hot_kmers(1024);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
         assert!(!c.dedup);
+        assert!(!c.fused);
+        assert_eq!(c.hot_kmers, 1024);
         c.validate().unwrap();
     }
 }

@@ -1,14 +1,16 @@
 //! The public device model: load a reference set, run query batches,
 //! get functional results plus a timing/energy report.
 
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 use sieve_genomics::{Kmer, TaxonId};
 
+use crate::cache;
 use crate::config::{DeviceKind, SieveConfig};
 use crate::dedup;
 use crate::engine;
 use crate::error::SieveError;
+use crate::etm;
 use crate::index::SubarrayIndex;
 use crate::layout::DeviceLayout;
 use crate::obs;
@@ -22,6 +24,11 @@ use crate::trace;
 /// Largest batch the pipeline can run: queries are tagged with `u32` ids
 /// end to end (shard order, dedup mapping, host read owners).
 const MAX_BATCH: usize = u32::MAX as usize;
+
+/// Queries per block of the blocked match kernel: big enough to amortize
+/// the per-block bookkeeping, small enough that a block of keys plus its
+/// outcomes stays cache-resident.
+const MATCH_BLOCK: usize = 512;
 
 /// Checks the `u32` indexing bound without allocating anything.
 fn check_batch_len(n: usize) -> Result<(), SieveError> {
@@ -96,6 +103,33 @@ impl Clone for ScratchArena {
     }
 }
 
+/// The device's cross-chunk hot-k-mer cache (see [`crate::cache`]),
+/// engaged only on the streaming path ([`SieveDevice::run_streamed`]).
+#[derive(Debug)]
+struct HotCache {
+    cap: usize,
+    inner: Mutex<cache::KmerCache>,
+}
+
+impl HotCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            inner: Mutex::new(cache::KmerCache::new(cap)),
+        }
+    }
+}
+
+impl Clone for HotCache {
+    /// Cloned devices start with an empty cache of the same capacity:
+    /// contents are a pure acceleration structure (replays are
+    /// bit-identical to re-matching), so there is nothing semantic to
+    /// copy, and sharing would entangle the clones' streams.
+    fn clone(&self) -> Self {
+        Self::new(self.cap)
+    }
+}
+
 /// Functional results and the simulation report of one run.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -115,15 +149,32 @@ pub(crate) struct QueryWork {
     pub hit: bool,
 }
 
-/// One match task's resolved output: the per-query results (tagged with
-/// match-space indices for the deterministic scatter) and the task's
-/// contribution to its subarray's aggregate load. Loads of tasks from the
-/// same (split) shard are *accumulated* by the reduce, so the totals are
-/// independent of how shards were split.
+/// One match task's resolved output: the task's contribution to its
+/// subarray's aggregate load, its hits (tagged with match-space ids for
+/// the deterministic scatter), and — only when the run needs per-query
+/// work downstream (Type-1 scheduling, cache fill) — one [`QueryWork`]
+/// per task query in task order. Loads of tasks from the same (split)
+/// shard are *accumulated* by the reduce, so the totals are independent
+/// of how shards were split.
 struct TaskOutcome {
     subarray: usize,
     load: sched::SubLoad,
-    resolved: Vec<(u32, Option<TaxonId>, QueryWork)>,
+    /// Deepest per-query row count in the task (the ETM-termination
+    /// depth the trace reports).
+    deepest_rows: u32,
+    /// `(match-space id, payload)` per hit, in task order.
+    hits: Vec<(u32, TaxonId)>,
+    /// Per-query work in task order; empty unless requested.
+    work: Vec<QueryWork>,
+}
+
+/// A sealed match task in flight from the fused planner to a worker: the
+/// task's slice of the sorted pair array, pinned by task id for the
+/// deterministic reduce.
+struct FusedTask<'data> {
+    idx: usize,
+    subarray: usize,
+    pairs: &'data [radix::Pair],
 }
 
 /// A loaded Sieve device.
@@ -150,6 +201,7 @@ pub struct SieveDevice {
     layout: DeviceLayout,
     index: Option<SubarrayIndex>,
     scratch: ScratchArena,
+    cache: HotCache,
 }
 
 impl SieveDevice {
@@ -162,11 +214,13 @@ impl SieveDevice {
     pub fn new(config: SieveConfig, entries: Vec<(Kmer, TaxonId)>) -> Result<Self, SieveError> {
         let layout = DeviceLayout::build(entries, &config)?;
         let index = (!layout.is_empty()).then(|| SubarrayIndex::build(&layout));
+        let hot_kmers = config.hot_kmers;
         Ok(Self {
             config,
             layout,
             index,
             scratch: ScratchArena::default(),
+            cache: HotCache::new(hot_kmers),
         })
     }
 
@@ -205,18 +259,19 @@ impl SieveDevice {
     }
 
     /// Runs a query batch: deduplicates it to distinct k-mers (unless
-    /// [`SieveConfig::dedup`] is off), radix-sorts and merge-join-routes
+    /// [`SieveConfig::dedup`] is off), radix-sorts and boundary-routes
     /// the distinct set into per-subarray shards, resolves the shards —
-    /// split into bounded tasks — functionally on worker threads,
-    /// schedules the merged work on the configured design point with
-    /// every duplicate charged its cached outcome's full cost, and
-    /// scatters results back to all occurrences.
+    /// split into bounded tasks — functionally on worker threads (with
+    /// [`SieveConfig::fused`], tasks dispatch as their slice of the sort
+    /// completes), schedules the merged work on the configured design
+    /// point with every duplicate charged its cached outcome's full cost,
+    /// and scatters results back to all occurrences.
     ///
     /// The dedup → plan → match → reduce structure is deterministic:
     /// per-query results are scattered back by input index and every
     /// merged quantity is an integer sum, so the output is bit-identical
-    /// for any [`SieveConfig::threads`] or [`SieveConfig::dedup`]
-    /// setting.
+    /// for any [`SieveConfig::threads`], [`SieveConfig::dedup`], or
+    /// [`SieveConfig::fused`] setting.
     ///
     /// # Errors
     ///
@@ -224,17 +279,31 @@ impl SieveDevice {
     /// the loaded database's, and [`SieveError::BatchTooLarge`] if the
     /// batch exceeds the pipeline's `u32` indexing bound.
     pub fn run(&self, queries: &[Kmer]) -> Result<RunOutput, SieveError> {
+        self.run_checked(queries, false)
+    }
+
+    /// [`Self::run`] with the cross-chunk hot-k-mer cache engaged: repeat
+    /// k-mers replay their cached per-subarray outcome instead of
+    /// re-entering the sort/route/match path. Used by the streaming host
+    /// (`classify_stream`), where consecutive chunks share hot k-mers.
+    /// Results and reports are bit-identical to [`Self::run`].
+    pub(crate) fn run_streamed(&self, queries: &[Kmer]) -> Result<RunOutput, SieveError> {
+        self.run_checked(queries, true)
+    }
+
+    fn run_checked(&self, queries: &[Kmer], use_cache: bool) -> Result<RunOutput, SieveError> {
         for q in queries {
             self.check_k(*q)?;
         }
         check_batch_len(queries.len())?;
         let mut scratch = self.scratch.take();
-        let out = self.run_with(queries, &mut scratch);
+        let out = self.run_with(queries, &mut scratch, use_cache);
         self.scratch.put(scratch);
         Ok(out)
     }
 
-    fn run_with(&self, queries: &[Kmer], scratch: &mut RunScratch) -> RunOutput {
+    #[allow(clippy::too_many_lines)]
+    fn run_with(&self, queries: &[Kmer], scratch: &mut RunScratch, use_cache: bool) -> RunOutput {
         let rec = obs::global();
         rec.add(obs::CounterId::DeviceRuns, 1);
         let tr = trace::global();
@@ -252,6 +321,7 @@ impl SieveDevice {
                     &[],
                     None,
                     &ShardPlan::empty(),
+                    &[],
                     threads,
                     0,
                     0,
@@ -294,38 +364,245 @@ impl SieveDevice {
             (queries, None)
         };
 
-        {
+        let type1 = matches!(self.config.device, DeviceKind::Type1);
+        // Row tables: the per-lookup `rows_activated` arithmetic hoisted
+        // out of the match loop. Type-1 row counts come from per-batch
+        // ETM (the scheduler recomputes them), so its functional matching
+        // runs with zero flush; the ESP cap path charges the configured
+        // flush on every design point, exactly as before.
+        let bit_len = 2 * self.config.k;
+        let table = etm::RowTable::new(
+            bit_len,
+            self.config.etm_enabled,
+            if type1 { 0 } else { self.config.etm_flush_cycles },
+        );
+        let esp_table = self
+            .config
+            .esp_override
+            .map(|_| etm::RowTable::new(bit_len, self.config.etm_enabled, self.config.etm_flush_cycles));
+
+        let mut results = vec![None; n];
+        if dedup_on {
+            space_results.clear();
+            space_results.resize(space_queries.len(), None);
+        }
+        // Loads span every occupied subarray: cache replays may land on
+        // subarrays the current batch's plan never routes to. The
+        // schedulers skip zero-query entries, so the extra length is
+        // inert when the cache is off.
+        loads.clear();
+        loads.resize(index.first_bits().len(), sched::SubLoad::default());
+
+        // The cache serves only the streaming path, and never Type-1
+        // (its per-batch ETM recomputes row counts from raw k-mers).
+        let cache_enabled = use_cache && self.config.hot_kmers > 0 && !type1;
+        let mut cache_guard = if cache_enabled {
+            Some(self.cache.inner.lock().expect("cache lock"))
+        } else {
+            None
+        };
+        // Plan: decide cache engagement from a strided sample, probe the
+        // cache if engaged (replayed queries charge their loads here and
+        // skip the device stage), build the `(bits, id)` pairs for the
+        // rest, and — unless the fused pipeline takes over — sort and
+        // route them into the shard plan.
+        let mut cached_queries = 0u64;
+        let (fused, inserting) = {
             let _span = rec.span("device.plan");
             let _wall = tr.span("device.plan");
-            plan.rebuild(index, space_queries, threads, pairs, pairs_scratch);
-        }
+            pairs.clear();
+            let observing = rec.is_enabled();
+            let engagement = match cache_guard.as_deref_mut() {
+                Some(cache) if !space_queries.is_empty() => {
+                    let stride = (space_queries.len() / cache::ENGAGE_SAMPLE).max(1);
+                    cache.assess(space_queries.iter().step_by(stride).map(|q| q.bits()))
+                }
+                _ => cache::Engagement::Warm,
+            };
+            match cache_guard.as_deref() {
+                Some(cache) if engagement == cache::Engagement::Probe => {
+                    let mut rows_hist = obs::LocalHistogram::new();
+                    let mut small_rows = [0u64; 256];
+                    let target: &mut Vec<Option<TaxonId>> = if dedup_on {
+                        space_results
+                    } else {
+                        &mut results
+                    };
+                    for (g, q) in space_queries.iter().enumerate() {
+                        let bits = q.bits();
+                        let Some(e) = cache.get(bits) else {
+                            pairs.push((bits, g as u32));
+                            continue;
+                        };
+                        let m = mult.map_or(1u64, |m| u64::from(m[g]));
+                        let hit = e.taxon.is_some();
+                        let load = &mut loads[e.sub as usize];
+                        load.queries += m;
+                        load.rows += u64::from(e.rows) * m;
+                        load.hits += u64::from(hit) * m;
+                        cached_queries += m;
+                        if observing {
+                            let rows = u64::from(e.rows);
+                            if let Some(slot) = small_rows.get_mut(rows as usize) {
+                                *slot += m;
+                            } else {
+                                rows_hist.record_n(rows, m);
+                            }
+                        }
+                        if let Some(taxon) = e.taxon {
+                            target[g] = Some(taxon);
+                        }
+                    }
+                    if observing {
+                        for (rows, &c) in small_rows.iter().enumerate() {
+                            rows_hist.record_n(rows as u64, c);
+                        }
+                        rec.merge_local(obs::HistId::EtmRowsActivated, &rows_hist);
+                    }
+                }
+                _ => {
+                    pairs.extend(
+                        space_queries
+                            .iter()
+                            .enumerate()
+                            .map(|(g, q)| (q.bits(), g as u32)),
+                    );
+                }
+            }
+            if engagement == cache::Engagement::Probe {
+                // Weighted (occurrence) counts: identical with dedup on
+                // or off, and across thread counts.
+                let missed = n as u64 - cached_queries;
+                rec.add(obs::CounterId::CacheHits, cached_queries);
+                rec.add(obs::CounterId::CacheMisses, missed);
+                rec.record(obs::HistId::CacheHitKmers, cached_queries);
+                tr.emit_model("cache.probe", 0, t0, 0, cached_queries, missed);
+            }
+            let inserting = cache_guard
+                .as_deref()
+                .is_some_and(cache::KmerCache::accepts_inserts);
+            let fused = self.config.fused && threads > 1 && !pairs.is_empty();
+            if !fused {
+                plan.rebuild(index, pairs, pairs_scratch, threads);
+            }
+            (fused, inserting)
+        };
+        let keep_work = type1 || inserting;
+        rec.add(obs::CounterId::MatchQueries, cached_queries);
+        rec.add(
+            obs::CounterId::MatchHits,
+            loads.iter().map(|l| l.hits).sum::<u64>(),
+        );
 
-        space_work.clear();
-        space_work.resize(space_queries.len(), QueryWork::default());
-        loads.clear();
-        loads.resize(plan.subarray_span(), sched::SubLoad::default());
-        let outcomes = {
+        // Match. Fused: the planner thread streams the radix partition,
+        // sealing each task the moment its slice of the sorted array is
+        // final and handing it to match workers over a channel — sort and
+        // match overlap instead of running as strict barriers. Unfused
+        // (single thread, knob off, or nothing left to match): the
+        // pre-built plan fans out as an indexed map. Either way the
+        // outcomes land indexed by task id, so the reduce below is
+        // order-identical.
+        let outcomes: Vec<TaskOutcome> = if fused {
+            let _span = rec.span("device.match");
+            let _wall = tr.span("device.match");
+            let (task_tx, task_rx) = mpsc::channel::<FusedTask<'_>>();
+            let task_rx = Mutex::new(task_rx);
+            let (done_tx, done_rx) = mpsc::channel::<(usize, TaskOutcome)>();
+            {
+                let task_rx = &task_rx;
+                let worker = |done: &mpsc::Sender<(usize, TaskOutcome)>| loop {
+                    let task = {
+                        let rx = task_rx.lock().expect("task queue");
+                        rx.recv()
+                    };
+                    let Ok(task) = task else { break };
+                    let out = self.match_pairs(
+                        task.subarray,
+                        task.pairs,
+                        mult,
+                        &table,
+                        esp_table.as_ref(),
+                        keep_work,
+                    );
+                    if done.send((task.idx, out)).is_err() {
+                        break;
+                    }
+                };
+                std::thread::scope(|scope| {
+                    let worker = &worker;
+                    for _ in 0..threads - 1 {
+                        let done = done_tx.clone();
+                        scope.spawn(move || worker(&done));
+                    }
+                    {
+                        let _pspan = rec.span("device.plan");
+                        let _pwall = tr.span("device.plan");
+                        plan.rebuild_streamed(
+                            index,
+                            pairs,
+                            pairs_scratch,
+                            threads,
+                            |idx, subarray, slice| {
+                                task_tx
+                                    .send(FusedTask {
+                                        idx,
+                                        subarray,
+                                        pairs: slice,
+                                    })
+                                    .expect("match workers outlive the planner");
+                            },
+                        );
+                    }
+                    drop(task_tx);
+                    // The planner joins the match pool to drain the queue.
+                    worker(&done_tx);
+                });
+            }
+            drop(done_tx);
+            // The receiver's queued tasks borrowed the scatter buffer;
+            // release it before the swap below.
+            drop(task_rx);
+            // Sorted pairs ended up in the scatter buffer; swap so `pairs`
+            // holds them for the reduce/scheduler, like the unfused path.
+            std::mem::swap(pairs, pairs_scratch);
+            let mut collected: Vec<Option<TaskOutcome>> = Vec::with_capacity(plan.task_count());
+            collected.resize_with(plan.task_count(), || None);
+            for (idx, out) in done_rx {
+                debug_assert!(collected[idx].is_none());
+                collected[idx] = Some(out);
+            }
+            collected
+                .into_iter()
+                .map(|o| o.expect("every task resolves exactly once"))
+                .collect()
+        } else {
             let _span = rec.span("device.match");
             let _wall = tr.span("device.match");
             par::map_indexed(threads, plan.task_count(), |t| {
-                self.match_task(plan, space_queries, mult, t)
+                let (subarray, range) = plan.task(t);
+                self.match_pairs(
+                    subarray,
+                    &pairs[range],
+                    mult,
+                    &table,
+                    esp_table.as_ref(),
+                    keep_work,
+                )
             })
         };
 
         // Reduce: accumulate loads per subarray (tasks of a split shard
-        // sum), scatter match-space results by id.
-        let mut results = vec![None; n];
+        // sum), scatter hits by id, feed the cache in task order.
         {
             let _span = rec.span("device.reduce");
             let _wall = tr.span("device.reduce");
-            rec.add(obs::CounterId::MatchShards, plan.shard_count() as u64);
-            let observing = rec.is_enabled();
             let tracing = tr.is_enabled();
-            if dedup_on {
-                space_results.clear();
-                space_results.resize(space_queries.len(), None);
+            if type1 {
+                space_work.clear();
+                space_work.resize(space_queries.len(), QueryWork::default());
             }
-            for outcome in outcomes {
+            let mut inserted = 0u64;
+            for (t, outcome) in outcomes.into_iter().enumerate() {
                 rec.add(obs::CounterId::MatchQueries, outcome.load.queries);
                 rec.add(obs::CounterId::MatchHits, outcome.load.hits);
                 if tracing {
@@ -334,14 +611,12 @@ impl SieveDevice {
                     // analogue of the paper's ~62 → ~10 claim. Tasks are
                     // consumed in plan order, so the stream is identical
                     // for every thread count.
-                    let deepest =
-                        outcome.resolved.iter().map(|&(_, _, w)| w.rows).max();
                     tr.emit_model(
                         "etm.terminate",
                         outcome.subarray as u32,
                         t0,
                         0,
-                        u64::from(deepest.unwrap_or(0)),
+                        u64::from(outcome.deepest_rows),
                         outcome.load.queries,
                     );
                 }
@@ -354,24 +629,58 @@ impl SieveDevice {
                 } else {
                     &mut results
                 };
-                for (i, taxon, w) in outcome.resolved {
-                    // Misses stay at the pre-initialized None — on the
-                    // paper's ~1 % hit-rate workloads that skips almost
-                    // every scattered result write.
-                    if taxon.is_some() {
-                        target[i as usize] = taxon;
+                for &(id, taxon) in &outcome.hits {
+                    target[id as usize] = Some(taxon);
+                }
+                if keep_work {
+                    let (_, range) = plan.task(t);
+                    let task_pairs = &pairs[range];
+                    debug_assert_eq!(task_pairs.len(), outcome.work.len());
+                    if type1 {
+                        for (&(_, id), &w) in task_pairs.iter().zip(&outcome.work) {
+                            space_work[id as usize] = w;
+                        }
                     }
-                    space_work[i as usize] = w;
+                    if inserting {
+                        let cache = cache_guard.as_deref_mut().expect("cache engaged");
+                        let mut hit_iter = outcome.hits.iter();
+                        for (&(bits, _), w) in task_pairs.iter().zip(&outcome.work) {
+                            let taxon = if w.hit {
+                                Some(hit_iter.next().expect("hit per flagged query").1)
+                            } else {
+                                None
+                            };
+                            if cache.insert(
+                                bits,
+                                cache::Cached {
+                                    sub: outcome.subarray as u32,
+                                    rows: w.rows,
+                                    taxon,
+                                },
+                            ) {
+                                inserted += 1;
+                            }
+                        }
+                    }
                 }
             }
-            if observing {
-                // Per-shard query counts (occurrence-expanded), recorded
-                // in subarray order so the histogram is independent of
-                // the task split and the thread count.
-                for s in 0..plan.shard_count() {
-                    let (sub, _) = plan.shard(s);
-                    rec.record(obs::HistId::ShardQueries, loads[sub].queries);
+            if inserting {
+                rec.add(obs::CounterId::CacheInserts, inserted);
+            }
+            if rec.is_enabled() {
+                // Per-subarray query counts (occurrence-expanded, cache
+                // replays included), recorded in subarray order so the
+                // histogram is independent of the task split and the
+                // thread count. One record per subarray that received
+                // queries, matching the MatchShards counter.
+                let mut shards = 0u64;
+                for load in loads.iter() {
+                    if load.queries > 0 {
+                        shards += 1;
+                        rec.record(obs::HistId::ShardQueries, load.queries);
+                    }
                 }
+                rec.add(obs::CounterId::MatchShards, shards);
             }
         }
         let hits: u64 = loads.iter().map(|l| l.hits).sum();
@@ -401,6 +710,7 @@ impl SieveDevice {
                 space_work,
                 mult,
                 plan,
+                pairs,
                 threads,
                 n as u64,
                 hits,
@@ -414,20 +724,22 @@ impl SieveDevice {
     }
 
     /// Resolves one match task: walks the destination subarray's sorted
-    /// entries with a merge cursor over the task's sorted queries,
-    /// producing per-query work plus the task's aggregate load. Queries
-    /// are in match space; `mult` (dedup on) charges each distinct k-mer's
-    /// outcome once per occurrence.
-    fn match_task(
+    /// entries with a merge cursor over the task's sorted `(bits, id)`
+    /// pairs, in fixed-size blocks ([`MATCH_BLOCK`]) through the blocked
+    /// lookup kernel, producing the task's aggregate load, its hits, and
+    /// (when `keep_work`) per-query work. `mult` (dedup on) charges each
+    /// distinct k-mer's outcome once per occurrence.
+    fn match_pairs(
         &self,
-        plan: &ShardPlan,
-        queries: &[Kmer],
+        subarray: usize,
+        task_pairs: &[radix::Pair],
         mult: Option<&[u32]>,
-        t: usize,
+        table: &etm::RowTable,
+        esp_table: Option<&etm::RowTable>,
+        keep_work: bool,
     ) -> TaskOutcome {
-        let (subarray, idxs) = plan.task(t);
         let rec = obs::global();
-        // Captured once per shard: the per-query hot loop then bumps one
+        // Captured once per task: the per-query hot loop then bumps one
         // slot of a direct-indexed count array (row counts are small —
         // at most 2k plus flush cycles; the histogram fallback only
         // exists for configs that could exceed the array) or skips
@@ -438,59 +750,59 @@ impl SieveDevice {
         let mut small_rows = [0u64; 256];
         let mut cursor = engine::MergeCursor::new(self.layout.subarray(subarray));
         let mut load = sched::SubLoad::default();
-        let mut resolved = Vec::with_capacity(idxs.len());
-        for &i in idxs {
-            let q = queries[i as usize];
-            let m = mult.map_or(1u64, |m| u64::from(m[i as usize]));
-            let mut outcome = match self.config.device {
-                DeviceKind::Type1 => {
-                    // Type-1 row counts come from per-batch ETM; the
-                    // scheduler recomputes them. Here we only need the
-                    // functional result.
-                    cursor.lookup(q, self.config.etm_enabled, 0)
-                }
-                _ => cursor.lookup(q, self.config.etm_enabled, self.config.etm_flush_cycles),
-            };
-            if let (Some(esp), None) = (self.config.esp_override, outcome.hit) {
-                // Paper-ESP assumption: a miss terminates after at most
-                // `esp` shared bits.
-                let capped = outcome.max_lcp.min(esp as usize);
-                let act = crate::etm::rows_activated(
-                    capped,
-                    2 * self.config.k,
-                    self.config.etm_enabled,
-                    self.config.etm_flush_cycles,
-                );
-                outcome.max_lcp = capped;
-                outcome.rows = act.rows;
+        let mut deepest_rows = 0u32;
+        let mut hits = Vec::new();
+        let mut work = Vec::with_capacity(if keep_work { task_pairs.len() } else { 0 });
+        let esp = self.config.esp_override.unwrap_or(0) as usize;
+        let mut keys = [0u64; MATCH_BLOCK];
+        let mut outcomes: Vec<engine::MatchOutcome> = Vec::with_capacity(MATCH_BLOCK);
+        for block in task_pairs.chunks(MATCH_BLOCK) {
+            for (key, &(bits, _)) in keys.iter_mut().zip(block) {
+                *key = bits;
             }
-            let w = QueryWork {
-                rows: outcome.rows,
-                hit: outcome.hit.is_some(),
-            };
-            load.queries += m;
-            load.rows += u64::from(w.rows) * m;
-            load.hits += u64::from(w.hit) * m;
-            if observing {
-                let rows = u64::from(w.rows);
-                if let Some(slot) = small_rows.get_mut(rows as usize) {
-                    *slot += m;
-                } else {
-                    rows_hist.record_n(rows, m);
+            outcomes.clear();
+            cursor.lookup_block(&keys[..block.len()], table, &mut outcomes);
+            for (&(_, id), outcome) in block.iter().zip(&outcomes) {
+                let m = mult.map_or(1u64, |m| u64::from(m[id as usize]));
+                let hit = outcome.hit.is_some();
+                let rows = match (esp_table, hit) {
+                    // Paper-ESP assumption: a miss terminates after at
+                    // most `esp` shared bits.
+                    (Some(esp_table), false) => esp_table.rows(outcome.max_lcp.min(esp)),
+                    _ => outcome.rows,
+                };
+                load.queries += m;
+                load.rows += u64::from(rows) * m;
+                load.hits += u64::from(hit) * m;
+                deepest_rows = deepest_rows.max(rows);
+                if observing {
+                    let rows = u64::from(rows);
+                    if let Some(slot) = small_rows.get_mut(rows as usize) {
+                        *slot += m;
+                    } else {
+                        rows_hist.record_n(rows, m);
+                    }
+                }
+                if let Some((_, taxon)) = outcome.hit {
+                    hits.push((id, taxon));
+                }
+                if keep_work {
+                    work.push(QueryWork { rows, hit });
                 }
             }
-            resolved.push((i, outcome.hit.map(|(_, taxon)| taxon), w));
         }
         if observing {
-            for (rows, &n) in small_rows.iter().enumerate() {
-                rows_hist.record_n(rows as u64, n);
+            for (rows, &c) in small_rows.iter().enumerate() {
+                rows_hist.record_n(rows as u64, c);
             }
             rec.merge_local(obs::HistId::EtmRowsActivated, &rows_hist);
         }
         TaskOutcome {
             subarray,
             load,
-            resolved,
+            deepest_rows,
+            hits,
+            work,
         }
     }
 
@@ -626,6 +938,95 @@ mod tests {
             assert_eq!(on.results, off.results);
             assert_eq!(on.report, off.report);
         }
+    }
+
+    #[test]
+    fn fused_and_unfused_produce_identical_output() {
+        let ds = dataset();
+        let queries = probes(&ds, 60);
+        for config in [
+            SieveConfig::type1(),
+            SieveConfig::type2(4),
+            SieveConfig::type3(8),
+        ] {
+            let fused = device(config.clone().with_fused(true).with_threads(4))
+                .run(&queries)
+                .unwrap();
+            let unfused = device(config.with_fused(false).with_threads(4))
+                .run(&queries)
+                .unwrap();
+            assert_eq!(fused.results, unfused.results);
+            assert_eq!(fused.report, unfused.report);
+        }
+    }
+
+    #[test]
+    fn streamed_cache_replays_are_bit_identical() {
+        let ds = dataset();
+        let queries = probes(&ds, 60);
+        let dev = device(SieveConfig::type3(8));
+        // First streamed run fills the cache; the second replays most of
+        // the batch from it. Both must equal the uncached batch run.
+        let batch = dev.run(&queries).unwrap();
+        let first = dev.run_streamed(&queries).unwrap();
+        let second = dev.run_streamed(&queries).unwrap();
+        assert!(!dev.cache.inner.lock().unwrap().is_empty());
+        for out in [&first, &second] {
+            assert_eq!(out.results, batch.results);
+            assert_eq!(out.report, batch.report);
+        }
+        // The batch API must never touch the cache.
+        let cached = dev.cache.inner.lock().unwrap().len();
+        let _ = dev.run(&queries).unwrap();
+        assert_eq!(dev.cache.inner.lock().unwrap().len(), cached);
+    }
+
+    #[test]
+    fn zero_capacity_cache_disables_replay() {
+        let ds = dataset();
+        let queries = probes(&ds, 30);
+        let dev = device(SieveConfig::type3(8).with_hot_kmers(0));
+        let batch = dev.run(&queries).unwrap();
+        let streamed = dev.run_streamed(&queries).unwrap();
+        assert_eq!(streamed.results, batch.results);
+        assert_eq!(streamed.report, batch.report);
+        assert!(dev.cache.inner.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn long_period_redundancy_reengages_the_cache() {
+        let dev = device(SieveConfig::type3(8));
+        let batch = |b: u64| -> Vec<Kmer> {
+            (0..2_000u64)
+                .map(|i| Kmer::from_u64(b * 1_000_000 + i, 31).unwrap())
+                .collect()
+        };
+        // Four batches of entirely novel k-mers: every engagement sample
+        // runs cold, so no full probe fires, but the cache keeps warming
+        // (all four batches fit under the warm cap).
+        let mut outputs = Vec::new();
+        for b in 0..4 {
+            outputs.push(dev.run_streamed(&batch(b)).unwrap());
+        }
+        assert!(!dev.cache.inner.lock().unwrap().is_proven());
+        // Batch 0 recurs with a period longer than any fixed strike
+        // budget could tolerate: the sample hits its warmed entries, the
+        // run replays from the cache, and the replay is bit-identical.
+        let replay = dev.run_streamed(&batch(0)).unwrap();
+        assert!(dev.cache.inner.lock().unwrap().is_proven());
+        assert_eq!(replay.results, outputs[0].results);
+        assert_eq!(replay.report, outputs[0].report);
+    }
+
+    #[test]
+    fn cloned_device_starts_with_an_empty_cache() {
+        let ds = dataset();
+        let queries = probes(&ds, 30);
+        let dev = device(SieveConfig::type3(8));
+        let _ = dev.run_streamed(&queries).unwrap();
+        assert!(!dev.cache.inner.lock().unwrap().is_empty());
+        let cloned = dev.clone();
+        assert!(cloned.cache.inner.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -75,6 +75,46 @@ pub fn rows_activated(max_lcp: usize, bit_len: usize, etm: bool, flush_cycles: u
     RowActivity { rows, hit }
 }
 
+/// Precomputed [`rows_activated`] results for every possible `max_lcp` at a
+/// fixed `(bit_len, etm, flush_cycles)` — the three inputs that are constant
+/// across an entire device run. The match kernel resolves ~700k lookups per
+/// 10k-read chunk; indexing a 63-entry table replaces the branchy arithmetic
+/// on that path while keeping [`rows_activated`] the single source of truth
+/// (the table is *built* from it, and the equivalence is tested exhaustively).
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    rows: Box<[u32]>,
+}
+
+impl RowTable {
+    /// Builds the table for lookups of `bit_len` bits under the given ETM
+    /// setting: entry `l` is `rows_activated(l, bit_len, etm, flush_cycles)`.
+    #[must_use]
+    pub fn new(bit_len: usize, etm: bool, flush_cycles: u32) -> Self {
+        let rows = (0..=bit_len)
+            .map(|l| rows_activated(l, bit_len, etm, flush_cycles).rows)
+            .collect();
+        Self { rows }
+    }
+
+    /// Rows activated for a lookup that survives `max_lcp` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lcp` exceeds the table's `bit_len`.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self, max_lcp: usize) -> u32 {
+        self.rows[max_lcp]
+    }
+
+    /// The `bit_len` this table was built for.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.rows.len() - 1
+    }
+}
+
 /// Critical-path time of the hit-identification sequence that follows the
 /// last row activation (Figure 10(b)): draining the ETM segment pipeline.
 /// One DRAM clock per segment register examined.
@@ -140,6 +180,32 @@ mod tests {
     #[should_panic(expected = "LCP cannot exceed")]
     fn oversized_lcp_panics() {
         let _ = rows_activated(63, 62, true, 1);
+    }
+
+    #[test]
+    fn row_table_matches_rows_activated_exhaustively() {
+        // k = 31 → bit_len 62: every (max_lcp, etm, flush) combination.
+        let bit_len = 62;
+        for etm in [true, false] {
+            for flush in [0u32, 1, 2, 3, 5] {
+                let table = RowTable::new(bit_len, etm, flush);
+                assert_eq!(table.bit_len(), bit_len);
+                for lcp in 0..=bit_len {
+                    assert_eq!(
+                        table.rows(lcp),
+                        rows_activated(lcp, bit_len, etm, flush).rows,
+                        "lcp={lcp} etm={etm} flush={flush}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn row_table_rejects_oversized_lcp() {
+        let table = RowTable::new(62, true, 1);
+        let _ = table.rows(63);
     }
 
     #[test]

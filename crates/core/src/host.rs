@@ -259,7 +259,7 @@ impl HostPipeline {
             rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
             let run = {
                 let _wall = trace::span("host.device");
-                self.device.run(&kmers)?
+                self.device.run_streamed(&kmers)?
             };
             all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
             match merged {
@@ -325,7 +325,7 @@ impl HostPipeline {
                 rec.record(obs::HistId::ChunkKmers, kmers.len() as u64);
                 let run = {
                     let _wall = trace::span("host.device");
-                    self.device.run(&kmers)?
+                    self.device.run_streamed(&kmers)?
                 };
                 all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
                 match &mut *merged {

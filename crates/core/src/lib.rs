@@ -53,6 +53,7 @@
 mod api;
 pub mod area;
 pub mod bitsim;
+mod cache;
 mod cluster;
 mod config;
 mod dedup;

@@ -76,11 +76,19 @@ pub enum CounterId {
     ClusterDeviceRuns,
     /// `Transport::transfer_ps` invocations.
     TransportTransfers,
+    /// Queries resolved by the cross-chunk hot-k-mer cache (multiplicity
+    /// weighted, like `MatchQueries`).
+    CacheHits,
+    /// Unique k-mers that missed the hot-k-mer cache and went to the
+    /// device stage.
+    CacheMisses,
+    /// Entries inserted into the hot-k-mer cache.
+    CacheInserts,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [Self; 11] = [
+    pub const ALL: [Self; 14] = [
         Self::HostChunks,
         Self::HostReads,
         Self::HostKmers,
@@ -92,6 +100,9 @@ impl CounterId {
         Self::ClusterRuns,
         Self::ClusterDeviceRuns,
         Self::TransportTransfers,
+        Self::CacheHits,
+        Self::CacheMisses,
+        Self::CacheInserts,
     ];
 
     /// Snapshot/Prometheus name.
@@ -109,6 +120,9 @@ impl CounterId {
             Self::ClusterRuns => "cluster_runs",
             Self::ClusterDeviceRuns => "cluster_device_runs",
             Self::TransportTransfers => "transport_transfers",
+            Self::CacheHits => "cache_hits",
+            Self::CacheMisses => "cache_misses",
+            Self::CacheInserts => "cache_inserts",
         }
     }
 }
@@ -134,11 +148,14 @@ pub enum HistId {
     DispatchStallPs,
     /// Simulated `Transport::transfer_ps` durations, ps.
     TransportTransferPs,
+    /// Cache-resolved queries per device run (how much of each batch the
+    /// hot-k-mer cache short-circuited).
+    CacheHitKmers,
 }
 
 impl HistId {
     /// Every histogram, in snapshot order.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 8] = [
         Self::EtmRowsActivated,
         Self::ShardQueries,
         Self::ChunkKmers,
@@ -146,6 +163,7 @@ impl HistId {
         Self::ClusterDeviceMakespanPs,
         Self::DispatchStallPs,
         Self::TransportTransferPs,
+        Self::CacheHitKmers,
     ];
 
     /// Snapshot/Prometheus name.
@@ -159,6 +177,7 @@ impl HistId {
             Self::ClusterDeviceMakespanPs => "cluster_device_makespan_ps",
             Self::DispatchStallPs => "dispatch_stall_ps",
             Self::TransportTransferPs => "transport_transfer_ps",
+            Self::CacheHitKmers => "cache_hit_kmers",
         }
     }
 }

@@ -47,17 +47,35 @@ const BUCKETS: usize = 1 << RADIX_BITS;
 /// Below this many pairs the diff-mask fold stays sequential.
 const PARALLEL_SORT: usize = 1 << 14;
 
-/// Sorts `pairs` by `(key, id)` in place. `scratch` is the scatter
-/// target, retained capacity is reused across calls; `threads` bounds the
-/// fan-out and has no effect on the result.
-pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads: usize) {
+/// Result of [`partition`]: how the pairs landed in the output buffer.
+pub(crate) enum Partition {
+    /// The output buffer holds the pairs bucketed by their MSD digit but
+    /// not yet sorted within buckets. `ends[b]` is bucket `b`'s END offset;
+    /// `shift`/`high` reconstruct the key range each bucket covers: every
+    /// key in bucket `b` lies in `[high | (b << shift), high | ((b+1) << shift))`
+    /// and buckets are in ascending key order.
+    Buckets {
+        ends: Vec<u32>,
+        shift: u32,
+        high: u64,
+    },
+    /// The output buffer is already fully sorted by `(key, id)` (small
+    /// input, or all keys equal).
+    Sorted,
+}
+
+/// Buckets (or, for small/degenerate inputs, fully sorts) `pairs` by key
+/// into `out`. The input is left untouched; `out` is fully overwritten and
+/// holds every pair, grouped by ascending MSD digit when the radix path
+/// runs. The per-bucket sorts are left to the caller so it can interleave
+/// them with downstream work (see `ShardPlan::rebuild_streamed`).
+pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> Partition {
     let n = pairs.len();
-    if n <= 1 {
-        return;
-    }
+    out.clear();
     if n < SMALL_SORT {
-        pairs.sort_unstable_by_key(|&(key, id)| (key, id));
-        return;
+        out.extend_from_slice(pairs);
+        out.sort_unstable_by_key(|&(key, id)| (key, id));
+        return Partition::Sorted;
     }
 
     // OR-fold of `key ^ first` finds the bit positions where at least two
@@ -84,12 +102,19 @@ pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads
             .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
     };
     if diff == 0 {
-        return; // all keys equal; input order is already the stable order
+        // All keys equal; input order is already the stable order.
+        out.extend_from_slice(pairs);
+        return Partition::Sorted;
     }
     // Bits at and above `sig` are identical across the batch, so the
     // masked window [shift, shift + 16) preserves the key order.
     let sig = 64 - diff.leading_zeros();
     let shift = sig.saturating_sub(RADIX_BITS);
+    let high = if sig >= 64 {
+        0
+    } else {
+        (first >> sig) << sig
+    };
 
     // Count pass: chunked fan-out, summed in chunk order.
     let counts: Vec<u32> = if threads > 1 && n >= PARALLEL_SORT {
@@ -119,13 +144,13 @@ pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads
         counts
     };
 
-    // Sequential stable scatter into the bucket regions of `scratch`.
-    // The scatter writes every one of the n slots (counts sum to n), so
+    // Sequential stable scatter into the bucket regions of `out`. The
+    // scatter writes every one of the n slots (counts sum to n), so
     // reused capacity is never re-zeroed — only growth pays a fill.
-    if scratch.len() < n {
-        scratch.resize(n, (0, 0));
+    if out.len() < n {
+        out.resize(n, (0, 0));
     } else {
-        scratch.truncate(n);
+        out.truncate(n);
     }
     let mut cursors = counts;
     let mut acc = 0u32;
@@ -136,19 +161,26 @@ pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads
     }
     for &pair in pairs.iter() {
         let cursor = &mut cursors[digit(pair.0, shift)];
-        scratch[*cursor as usize] = pair;
+        out[*cursor as usize] = pair;
         *cursor += 1;
     }
+    // After the scatter, `cursors[b]` is bucket b's END offset.
+    Partition::Buckets {
+        ends: cursors,
+        shift,
+        high,
+    }
+}
 
-    // Per-bucket sorts over disjoint ranges of the scattered array. After
-    // the scatter, `cursors[b]` is bucket b's END offset. An adversarial
-    // batch that collapses into one bucket degrades to the comparison
-    // sort this module replaced — never worse.
+/// Sorts each bucket of a partitioned buffer in place. An adversarial
+/// batch that collapses into one bucket degrades to the comparison sort
+/// this module replaced — never worse.
+pub(crate) fn sort_buckets(scattered: &mut [Pair], ends: &[u32], threads: usize) {
     if threads > 1 {
         let mut slices: Vec<&mut [Pair]> = Vec::with_capacity(1024);
-        let mut rest: &mut [Pair] = scratch;
+        let mut rest: &mut [Pair] = scattered;
         let mut start = 0u32;
-        for &end in &cursors {
+        for &end in ends {
             let (bucket, tail) = rest.split_at_mut((end - start) as usize);
             rest = tail;
             start = end;
@@ -161,15 +193,26 @@ pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads
         });
     } else {
         let mut start = 0u32;
-        for &end in &cursors {
+        for &end in ends {
             if end - start > 1 {
-                scratch[start as usize..end as usize]
+                scattered[start as usize..end as usize]
                     .sort_unstable_by_key(|&(key, id)| (key, id));
             }
             start = end;
         }
     }
+}
 
+/// Sorts `pairs` by `(key, id)` in place. `scratch` is the scatter
+/// target, retained capacity is reused across calls; `threads` bounds the
+/// fan-out and has no effect on the result.
+pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads: usize) {
+    if pairs.len() <= 1 {
+        return;
+    }
+    if let Partition::Buckets { ends, .. } = partition(pairs, scratch, threads) {
+        sort_buckets(scratch, &ends, threads);
+    }
     std::mem::swap(pairs, scratch);
 }
 

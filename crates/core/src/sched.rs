@@ -28,6 +28,7 @@ use crate::etm;
 use crate::layout::DeviceLayout;
 use crate::obs;
 use crate::par;
+use crate::radix;
 use crate::shard::ShardPlan;
 use crate::stats::SimReport;
 use crate::trace;
@@ -311,12 +312,13 @@ struct Type1Partial {
 /// rank-range map is computed once per task, and the per-query histogram
 /// buffers are reused across the task's queries.
 ///
-/// `queries` / `work` / `idxs` are in *match space* — unique k-mers when
+/// `queries` / `work` / `pairs` are in *match space* — unique k-mers when
 /// the device deduplicates, raw queries otherwise — and `mult` carries
-/// each entry's occurrence count (`None` = all 1). Every per-query
-/// quantity here (stream time, reads, activations, energies) is a pure
-/// function of the k-mer, so charging it `mult` times is exact, not an
-/// approximation.
+/// each entry's occurrence count (`None` = all 1). `pairs` is the task's
+/// slice of the plan's sorted `(bits, id)` array; only the ids are
+/// consumed here. Every per-query quantity (stream time, reads,
+/// activations, energies) is a pure function of the k-mer, so charging it
+/// `mult` times is exact, not an approximation.
 fn type1_task(
     config: &SieveConfig,
     layout: &DeviceLayout,
@@ -324,7 +326,7 @@ fn type1_task(
     work: &[QueryWork],
     mult: Option<&[u32]>,
     subarray: usize,
-    idxs: &[u32],
+    pairs: &[radix::Pair],
 ) -> Type1Partial {
     let comp = ComponentEnergies::paper();
     let timing = &config.timing;
@@ -344,7 +346,7 @@ fn type1_task(
     };
     let mut alive_rows_hist = vec![0u32; bit_len + 1];
     let mut live_suffix = vec![0u32; bit_len + 2];
-    for &i in idxs {
+    for &(_, i) in pairs {
         let q = &queries[i as usize];
         let w = &work[i as usize];
         let m = mult.map_or(1u64, |m| u64::from(m[i as usize]));
@@ -418,14 +420,15 @@ pub(crate) fn simulate_type1(
     work: &[QueryWork],
     mult: Option<&[u32]>,
     plan: &ShardPlan,
+    pairs: &[radix::Pair],
     threads: usize,
     total_queries: u64,
     total_hits: u64,
 ) -> SimReport {
     let banks = config.geometry.total_banks();
     let partials = par::map_indexed(threads, plan.task_count(), |t| {
-        let (subarray, idxs) = plan.task(t);
-        type1_task(config, layout, queries, work, mult, subarray, idxs)
+        let (subarray, range) = plan.task(t);
+        type1_task(config, layout, queries, work, mult, subarray, &pairs[range])
     });
 
     let tr = trace::global();

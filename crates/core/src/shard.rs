@@ -3,18 +3,27 @@
 //! A run shards its query batch by destination subarray — the same
 //! sorted-partition routing the index table performs in hardware — so
 //! that each shard can be matched and its timeline accounted
-//! independently on a worker thread. Planning is linear time: one stable
-//! LSD radix sort of `(k-mer bits, id)` pairs ([`crate::radix`]) orders
-//! the whole batch, then routing is a streaming merge-join of that sorted
-//! sequence against the index's subarray boundaries (a single pointer
-//! walk, not a binary search per query). Shards are further split into
-//! bounded *tasks* so a handful of fat shards cannot cap parallelism:
-//! each task restarts its own forward-only merge cursor at the split
-//! boundary. The reduce step scatters per-query results back by id and
-//! merges per-subarray resource loads with integer sums, so the run's
-//! output is bit-identical for every thread count.
-
-use sieve_genomics::Kmer;
+//! independently on a worker thread. Planning is linear time: one MSD
+//! radix partition of `(k-mer bits, id)` pairs ([`crate::radix`]) orders
+//! the whole batch, then routing is a handful of binary searches of the
+//! sorted sequence against the index's subarray boundaries (one
+//! `partition_point` per occupied subarray, not a walk over every query).
+//! Shards are further split into bounded *tasks* so a handful of fat
+//! shards cannot cap parallelism: each task restarts its own forward-only
+//! merge cursor at the split boundary.
+//!
+//! [`ShardPlan::rebuild_streamed`] fuses the two stages: because the MSD
+//! partition leaves buckets in ascending key order, a subarray's shard is
+//! complete as soon as the partition cursor passes its upper boundary —
+//! the planner seals and *dispatches* each task the moment its bucket
+//! range is sorted, so downstream match workers overlap with the
+//! remaining per-bucket sorts instead of waiting behind a global sort
+//! barrier. The sealed plan, the sorted array, and the task sequence are
+//! bit-identical to the barriered [`ShardPlan::rebuild`].
+//!
+//! The reduce step scatters per-query results back by id and merges
+//! per-subarray resource loads with integer sums, so the run's output is
+//! bit-identical for every thread count.
 
 use crate::index::SubarrayIndex;
 use crate::obs;
@@ -31,20 +40,20 @@ const TASK_TARGET: usize = 4_096;
 /// Queries bucketed by destination (occupied) subarray, split into
 /// bounded per-worker tasks.
 ///
-/// Within a shard, query ids are ordered by `(k-mer bits, id)`: the
-/// matcher can then walk the subarray's sorted entries with a
-/// forward-only merge cursor ([`crate::engine::MergeCursor`]) instead of
-/// an independent binary search per query.
+/// The plan does not own the routed queries: it describes contiguous
+/// ranges of the caller's radix-sorted `(k-mer bits, id)` pair array.
+/// Within a shard, pairs are ordered by `(bits, id)`: the matcher can
+/// then walk the subarray's sorted entries with a forward-only merge
+/// cursor ([`crate::engine::MergeCursor`]) instead of an independent
+/// binary search per query.
 #[derive(Debug, Default)]
 pub(crate) struct ShardPlan {
-    /// Query ids, grouped by shard, sorted within each shard.
-    order: Vec<u32>,
-    /// Shard `s` covers `order[starts[s]..starts[s + 1]]`.
+    /// Shard `s` covers sorted pairs `starts[s]..starts[s + 1]`.
     starts: Vec<usize>,
     /// Destination subarray of each shard, strictly ascending.
     subarrays: Vec<u32>,
     /// Work units for the match fan-out: `(shard, lo, hi)` positions in
-    /// `order`. Tasks partition every shard in order.
+    /// the sorted pair array. Tasks partition every shard in order.
     tasks: Vec<(u32, u32, u32)>,
 }
 
@@ -55,25 +64,25 @@ impl ShardPlan {
     }
 
     /// Rebuilds the plan in place (all buffers reuse their capacity),
-    /// routing `queries` through `index`. `pairs` / `pairs_scratch` are
-    /// the radix-sort buffers, owned by the caller's scratch arena.
+    /// sorting and routing the caller-filled `pairs` through `index`.
+    /// `pairs_scratch` is the radix scatter buffer, owned by the caller's
+    /// scratch arena.
     ///
-    /// The sort is stable on k-mer bits with ids assigned in input order
-    /// and the boundary walk is a pure function of the sorted sequence,
-    /// so the plan is identical for every `threads` value.
+    /// The sort is stable on k-mer bits whenever ids are assigned in
+    /// input order, and the boundary searches are pure functions of the
+    /// sorted sequence, so the plan is identical for every `threads`
+    /// value.
     pub fn rebuild(
         &mut self,
         index: &SubarrayIndex,
-        queries: &[Kmer],
-        threads: usize,
         pairs: &mut Vec<radix::Pair>,
         pairs_scratch: &mut Vec<radix::Pair>,
+        threads: usize,
     ) {
-        self.order.clear();
         self.starts.clear();
         self.subarrays.clear();
         self.tasks.clear();
-        let n = queries.len();
+        let n = pairs.len();
         debug_assert!(
             u32::try_from(n).is_ok(),
             "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
@@ -84,81 +93,191 @@ impl ShardPlan {
 
         {
             let _span = obs::span("shard.sort");
-            pairs.clear();
-            pairs.extend(queries.iter().enumerate().map(|(i, q)| (q.bits(), i as u32)));
             radix::sort_pairs(pairs, pairs_scratch, threads);
         }
 
-        // Merge-join the sorted batch against the subarray boundaries:
-        // advance the destination pointer while the next subarray's first
-        // k-mer is not past the query (queries below the first range
-        // conservatively route to subarray 0, exactly like
-        // `SubarrayIndex::locate`), and open a new shard whenever the
-        // destination moves.
+        // Route by boundary: subarray d's shard is the sorted range below
+        // `firsts[d + 1]` that earlier subarrays did not claim (queries
+        // below the first range conservatively route to subarray 0,
+        // exactly like `SubarrayIndex::locate`). One binary search per
+        // occupied subarray replaces the per-query merge-join walk.
         let _span = obs::span("shard.route");
         let firsts = index.first_bits();
-        self.order.reserve(n);
-        let mut dest = 0usize;
-        let mut current: Option<usize> = None;
-        for (pos, &(bits, id)) in pairs.iter().enumerate() {
-            while dest + 1 < firsts.len() && firsts[dest + 1] <= bits {
-                dest += 1;
+        let mut lo = 0usize;
+        for d in 0..firsts.len() {
+            let hi = if d + 1 < firsts.len() {
+                lo + pairs[lo..].partition_point(|&(key, _)| key < firsts[d + 1])
+            } else {
+                n
+            };
+            if hi > lo {
+                self.subarrays.push(d as u32);
+                self.starts.push(lo);
+                self.split_tasks(lo, hi);
+                lo = hi;
             }
-            if current != Some(dest) {
-                current = Some(dest);
-                self.subarrays.push(dest as u32);
-                self.starts.push(pos);
+            if lo == n {
+                break;
             }
-            self.order.push(id);
         }
         self.starts.push(n);
 
-        // Split each shard into near-equal tasks of at most TASK_TARGET.
-        for s in 0..self.subarrays.len() {
-            let (lo, hi) = (self.starts[s], self.starts[s + 1]);
-            let len = hi - lo;
-            let pieces = len.div_ceil(TASK_TARGET).max(1);
-            for p in 0..pieces {
-                let t_lo = lo + len * p / pieces;
-                let t_hi = lo + len * (p + 1) / pieces;
-                self.tasks.push((s as u32, t_lo as u32, t_hi as u32));
-            }
+        self.emit_trace();
+    }
+
+    /// [`Self::rebuild`] fused with task dispatch: `sink(task, subarray,
+    /// pairs)` fires for every task **in task order**, as soon as that
+    /// task's slice of the sorted array is final — for most of the batch
+    /// that is long before the whole array is sorted. On return the plan
+    /// and the sorted pairs (left in `scratch`; callers swap buffers) are
+    /// bit-identical to what [`Self::rebuild`] produces.
+    ///
+    /// The streaming works because the MSD partition's buckets are in
+    /// ascending key order: after sorting bucket `b` in place, every
+    /// boundary `firsts[d]` at or below the smallest key any later bucket
+    /// can hold is final, so the shards below it can be sealed and their
+    /// tasks handed out while later buckets are still unsorted. The sink
+    /// receives disjoint `&mut`-derived slices of `scratch`, which is
+    /// what lets match workers read them while the planner keeps sorting
+    /// the tail.
+    pub fn rebuild_streamed<'data, F>(
+        &mut self,
+        index: &SubarrayIndex,
+        pairs: &[radix::Pair],
+        scratch: &'data mut Vec<radix::Pair>,
+        threads: usize,
+        mut sink: F,
+    ) where
+        F: FnMut(usize, usize, &'data [radix::Pair]),
+    {
+        self.starts.clear();
+        self.subarrays.clear();
+        self.tasks.clear();
+        let n = pairs.len();
+        debug_assert!(
+            u32::try_from(n).is_ok(),
+            "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
+        );
+        if n == 0 {
+            return;
         }
 
+        let part = {
+            let _span = obs::span("shard.sort");
+            radix::partition(pairs, scratch, threads)
+        };
+
+        let _span = obs::span("shard.route");
+        let firsts = index.first_bits();
+        // Progressively split the sorted prefix off `tail`: it always
+        // begins at global position `shard_lo` (everything before it has
+        // been sealed and handed to the sink).
+        let mut tail: &'data mut [radix::Pair] = scratch.as_mut_slice();
+        let mut shard_lo = 0usize;
+        let mut task_idx = 0usize;
+        let mut cur_sub = 0usize;
+        let mut next_d = 1usize;
+
+        if let radix::Partition::Buckets { ends, shift, high } = part {
+            let mut start = 0u32;
+            for (b, &end) in ends.iter().enumerate() {
+                if end == start {
+                    continue;
+                }
+                let (blo, bhi) = (start as usize, end as usize);
+                start = end;
+                if bhi - blo > 1 {
+                    tail[blo - shard_lo..bhi - shard_lo]
+                        .sort_unstable_by_key(|&(key, id)| (key, id));
+                }
+                // Everything below `frontier` is now sorted and final;
+                // later buckets hold keys >= min_later, so any boundary
+                // at or below it can be resolved inside the prefix.
+                // (u128: the digit increment can overflow u64 when the
+                // window sits at the top of the key space.)
+                let frontier = bhi;
+                let min_later = u128::from(high) | ((b as u128 + 1) << shift);
+                while next_d < firsts.len() && u128::from(firsts[next_d]) <= min_later {
+                    let pos = shard_lo
+                        + tail[..frontier - shard_lo]
+                            .partition_point(|&(key, _)| key < firsts[next_d]);
+                    seal(
+                        self, cur_sub, pos, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
+                    );
+                    cur_sub = next_d;
+                    next_d += 1;
+                }
+            }
+        }
+        // Whole array sorted (either by the bucket loop above or because
+        // the partition already produced a fully sorted buffer): resolve
+        // the remaining boundaries against the full suffix.
+        while next_d < firsts.len() {
+            let pos = shard_lo + tail.partition_point(|&(key, _)| key < firsts[next_d]);
+            seal(
+                self, cur_sub, pos, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
+            );
+            cur_sub = next_d;
+            next_d += 1;
+        }
+        seal(
+            self, cur_sub, n, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
+        );
+        self.starts.push(n);
+
+        self.emit_trace();
+    }
+
+    /// Splits shard range `[lo, hi)` into near-equal tasks of at most
+    /// [`TASK_TARGET`], appended to `tasks` for the just-pushed shard.
+    fn split_tasks(&mut self, lo: usize, hi: usize) {
+        let s = (self.subarrays.len() - 1) as u32;
+        let len = hi - lo;
+        let pieces = len.div_ceil(TASK_TARGET).max(1);
+        for p in 0..pieces {
+            let t_lo = lo + len * p / pieces;
+            let t_hi = lo + len * (p + 1) / pieces;
+            self.tasks.push((s, t_lo as u32, t_hi as u32));
+        }
+    }
+
+    /// Emits the plan to the model trace in shard/task order. The plan is
+    /// a pure function of the batch (thread-count independent, proven by
+    /// tests below), so emitting it in one place keeps the model stream
+    /// deterministic even when tasks were dispatched concurrently.
+    fn emit_trace(&self) {
         let tr = trace::global();
-        if tr.is_enabled() {
-            // The plan is a pure function of the batch (thread-count
-            // independent, proven by tests below), so emitting it here in
-            // shard/task order keeps the model stream deterministic.
-            let ts = tr.model_ps();
-            for s in 0..self.subarrays.len() {
-                let len = (self.starts[s + 1] - self.starts[s]) as u64;
-                tr.emit_model("shard.dispatch", self.subarrays[s], ts, 0, len, 0);
-            }
-            for &(s, lo, hi) in &self.tasks {
-                tr.emit_model(
-                    "task.split",
-                    self.subarrays[s as usize],
-                    ts,
-                    0,
-                    u64::from(hi - lo),
-                    u64::from(lo),
-                );
-            }
+        if !tr.is_enabled() {
+            return;
+        }
+        let ts = tr.model_ps();
+        for s in 0..self.subarrays.len() {
+            let len = (self.starts[s + 1] - self.starts[s]) as u64;
+            tr.emit_model("shard.dispatch", self.subarrays[s], ts, 0, len, 0);
+        }
+        for &(s, lo, hi) in &self.tasks {
+            tr.emit_model(
+                "task.split",
+                self.subarrays[s as usize],
+                ts,
+                0,
+                u64::from(hi - lo),
+                u64::from(lo),
+            );
         }
     }
 
     /// Number of shards (= occupied subarrays that received queries).
+    #[cfg(test)]
     pub fn shard_count(&self) -> usize {
         self.subarrays.len()
     }
 
-    /// Shard `s`: its destination subarray and its sorted query ids.
-    pub fn shard(&self, s: usize) -> (usize, &[u32]) {
-        (
-            self.subarrays[s] as usize,
-            &self.order[self.starts[s]..self.starts[s + 1]],
-        )
+    /// Shard `s`: its destination subarray and its range of the sorted
+    /// pair array.
+    #[cfg(test)]
+    pub fn shard(&self, s: usize) -> (usize, std::ops::Range<usize>) {
+        (self.subarrays[s] as usize, self.starts[s]..self.starts[s + 1])
     }
 
     /// Number of match tasks (shards split to at most [`TASK_TARGET`]
@@ -167,21 +286,52 @@ impl ShardPlan {
         self.tasks.len()
     }
 
-    /// Task `t`: its destination subarray and its slice of sorted query
-    /// ids (a contiguous sub-range of one shard).
-    pub fn task(&self, t: usize) -> (usize, &[u32]) {
+    /// Task `t`: its destination subarray and its range of the sorted
+    /// pair array (a contiguous sub-range of one shard).
+    pub fn task(&self, t: usize) -> (usize, std::ops::Range<usize>) {
         let (s, lo, hi) = self.tasks[t];
-        (
-            self.subarrays[s as usize] as usize,
-            &self.order[lo as usize..hi as usize],
-        )
+        (self.subarrays[s as usize] as usize, lo as usize..hi as usize)
     }
 
     /// One past the highest routed subarray (the length a per-subarray
     /// load table needs).
+    #[cfg(test)]
     pub fn subarray_span(&self) -> usize {
         self.subarrays.last().map_or(0, |&s| s as usize + 1)
     }
+}
+
+/// Seals the current shard at `hi` (global position): records it in the
+/// plan, carves its task slices off `tail`, and hands each to the sink in
+/// task order. A free function (not a method) so the borrow of the plan's
+/// vectors stays disjoint from the caller's `tail` reborrow.
+fn seal<'data, F>(
+    plan: &mut ShardPlan,
+    sub: usize,
+    hi: usize,
+    shard_lo: &mut usize,
+    tail: &mut &'data mut [radix::Pair],
+    task_idx: &mut usize,
+    sink: &mut F,
+) where
+    F: FnMut(usize, usize, &'data [radix::Pair]),
+{
+    let lo = *shard_lo;
+    if hi <= lo {
+        return;
+    }
+    plan.subarrays.push(sub as u32);
+    plan.starts.push(lo);
+    plan.split_tasks(lo, hi);
+    for t in *task_idx..plan.tasks.len() {
+        let (_, t_lo, t_hi) = plan.tasks[t];
+        let taken = std::mem::take(tail);
+        let (head, rest) = taken.split_at_mut((t_hi - t_lo) as usize);
+        *tail = rest;
+        sink(t, sub, head);
+    }
+    *task_idx = plan.tasks.len();
+    *shard_lo = hi;
 }
 
 #[cfg(test)]
@@ -190,13 +340,26 @@ mod tests {
     use crate::config::SieveConfig;
     use crate::layout::DeviceLayout;
     use sieve_dram::Geometry;
-    use sieve_genomics::synth;
+    use sieve_genomics::{synth, Kmer};
 
-    fn build(index: &SubarrayIndex, queries: &[Kmer], threads: usize) -> ShardPlan {
+    fn make_pairs(queries: &[Kmer]) -> Vec<radix::Pair> {
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.bits(), i as u32))
+            .collect()
+    }
+
+    fn build(
+        index: &SubarrayIndex,
+        queries: &[Kmer],
+        threads: usize,
+    ) -> (ShardPlan, Vec<radix::Pair>) {
         let mut plan = ShardPlan::empty();
-        let (mut pairs, mut scratch) = (Vec::new(), Vec::new());
-        plan.rebuild(index, queries, threads, &mut pairs, &mut scratch);
-        plan
+        let mut pairs = make_pairs(queries);
+        let mut scratch = Vec::new();
+        plan.rebuild(index, &mut pairs, &mut scratch, threads);
+        (plan, pairs)
     }
 
     fn plan_inputs() -> (SubarrayIndex, Vec<Kmer>) {
@@ -211,10 +374,10 @@ mod tests {
     #[test]
     fn plan_is_thread_count_independent() {
         let (index, queries) = plan_inputs();
-        let base = build(&index, &queries, 1);
+        let (base, base_pairs) = build(&index, &queries, 1);
         for threads in [2, 3, 8] {
-            let plan = build(&index, &queries, threads);
-            assert_eq!(plan.order, base.order);
+            let (plan, pairs) = build(&index, &queries, threads);
+            assert_eq!(pairs, base_pairs);
             assert_eq!(plan.starts, base.starts);
             assert_eq!(plan.subarrays, base.subarrays);
             assert_eq!(plan.tasks, base.tasks);
@@ -224,17 +387,17 @@ mod tests {
     #[test]
     fn plan_covers_every_query_exactly_once() {
         let (index, queries) = plan_inputs();
-        let plan = build(&index, &queries, 4);
+        let (plan, pairs) = build(&index, &queries, 4);
         let mut seen = vec![false; queries.len()];
         for s in 0..plan.shard_count() {
-            let (sub, idxs) = plan.shard(s);
+            let (sub, range) = plan.shard(s);
             assert!(sub < plan.subarray_span());
-            for window in idxs.windows(2) {
-                let a = queries[window[0] as usize].bits();
-                let b = queries[window[1] as usize].bits();
-                assert!(a <= b, "shard not sorted by k-mer bits");
+            let shard_pairs = &pairs[range];
+            for window in shard_pairs.windows(2) {
+                assert!(window[0].0 <= window[1].0, "shard not sorted by k-mer bits");
             }
-            for &i in idxs {
+            for &(bits, i) in shard_pairs {
+                assert_eq!(queries[i as usize].bits(), bits);
                 assert_eq!(index.locate(queries[i as usize]), sub);
                 assert!(!seen[i as usize], "query routed twice");
                 seen[i as usize] = true;
@@ -252,27 +415,31 @@ mod tests {
         while big.len() < 3 * TASK_TARGET {
             big.extend_from_slice(&queries);
         }
-        let plan = build(&index, &big, 4);
+        let (plan, _pairs) = build(&index, &big, 4);
         assert!(plan.task_count() >= plan.shard_count());
         assert!(
             plan.task_count() > plan.shard_count(),
             "expected at least one split shard"
         );
-        // Concatenating tasks shard by shard reproduces each shard, and
-        // no task exceeds the target size.
-        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); plan.shard_count()];
+        // Concatenating tasks shard by shard reproduces each shard's
+        // range, and no task exceeds the target size.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); plan.shard_count()];
         for t in 0..plan.task_count() {
-            let (sub, ids) = plan.task(t);
-            assert!(ids.len() <= TASK_TARGET);
+            let (sub, range) = plan.task(t);
+            assert!(range.len() <= TASK_TARGET);
             let s = plan
                 .subarrays
                 .iter()
                 .position(|&x| x as usize == sub)
                 .unwrap();
-            by_shard[s].extend_from_slice(ids);
+            by_shard[s].extend(range);
         }
-        for (s, ids) in by_shard.iter().enumerate() {
-            assert_eq!(ids, plan.shard(s).1);
+        for (s, positions) in by_shard.iter().enumerate() {
+            assert_eq!(positions.len(), plan.shard(s).1.len());
+            assert!(positions
+                .iter()
+                .zip(plan.shard(s).1)
+                .all(|(&got, want)| got == want));
         }
     }
 
@@ -282,10 +449,10 @@ mod tests {
         // Force duplicates: every query twice, plus an off-range probe.
         let mut dup: Vec<Kmer> = queries.iter().flat_map(|&q| [q, q]).collect();
         dup.push(Kmer::from_u64(0, 31).unwrap());
-        let plan = build(&index, &dup, 2);
+        let (plan, pairs) = build(&index, &dup, 2);
         for s in 0..plan.shard_count() {
-            let (sub, idxs) = plan.shard(s);
-            for &i in idxs {
+            let (sub, range) = plan.shard(s);
+            for &(_, i) in &pairs[range] {
                 assert_eq!(index.locate(dup[i as usize]), sub);
             }
         }
@@ -294,10 +461,64 @@ mod tests {
     #[test]
     fn empty_inputs_make_empty_plans() {
         let (index, _) = plan_inputs();
-        let plan = build(&index, &[], 4);
+        let (plan, _) = build(&index, &[], 4);
         assert_eq!(plan.shard_count(), 0);
         assert_eq!(plan.subarray_span(), 0);
         assert_eq!(plan.task_count(), 0);
         assert_eq!(ShardPlan::empty().shard_count(), 0);
+    }
+
+    #[test]
+    fn streamed_plan_matches_rebuild() {
+        let (index, queries) = plan_inputs();
+        // Cover the radix path (big), the small comparison path, and a
+        // duplicate-heavy batch in one sweep.
+        let mut big: Vec<Kmer> = Vec::new();
+        while big.len() < 3 * TASK_TARGET {
+            big.extend_from_slice(&queries);
+        }
+        let small: Vec<Kmer> = queries.iter().take(100).copied().collect();
+        let dups: Vec<Kmer> = vec![queries[3]; 5_000];
+        for (name, batch) in [("big", &big), ("small", &small), ("dups", &dups)] {
+            for threads in [1usize, 4] {
+                let (want_plan, want_pairs) = build(&index, batch, threads);
+                let mut plan = ShardPlan::empty();
+                let pairs = make_pairs(batch);
+                let mut scratch = Vec::new();
+                let mut sunk: Vec<(usize, usize, Vec<radix::Pair>)> = Vec::new();
+                plan.rebuild_streamed(
+                    &index,
+                    &pairs,
+                    &mut scratch,
+                    threads,
+                    |task, sub, slice| sunk.push((task, sub, slice.to_vec())),
+                );
+                assert_eq!(scratch, want_pairs, "{name} threads={threads}");
+                assert_eq!(plan.starts, want_plan.starts, "{name}");
+                assert_eq!(plan.subarrays, want_plan.subarrays, "{name}");
+                assert_eq!(plan.tasks, want_plan.tasks, "{name}");
+                // The sink saw every task exactly once, in order, with
+                // the slice the plan describes.
+                assert_eq!(sunk.len(), plan.task_count(), "{name}");
+                for (i, (task, sub, slice)) in sunk.iter().enumerate() {
+                    assert_eq!(*task, i);
+                    let (want_sub, range) = plan.task(i);
+                    assert_eq!(*sub, want_sub);
+                    assert_eq!(slice.as_slice(), &want_pairs[range], "{name} task {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_empty_batch_sinks_nothing() {
+        let (index, _) = plan_inputs();
+        let mut plan = ShardPlan::empty();
+        let pairs = Vec::new();
+        let mut scratch = Vec::new();
+        let mut calls = 0usize;
+        plan.rebuild_streamed(&index, &pairs, &mut scratch, 2, |_, _, _| calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(plan.shard_count(), 0);
     }
 }

@@ -44,11 +44,24 @@ cargo run -q --release -p sieve-bench --bin bench_classify -- \
     --reads "$CHECK_READS" --reps "$CHECK_REPS" --json --out "$CHECK_OUT"
 
 # The hand-rolled JSON is line-per-row, so awk is enough to pull fields.
+# Anchor on the 1-thread *batch* row (chunk 0) and stop at the first
+# match: the committed baseline may carry rows a scaled-down fresh run
+# does not produce (e.g. streamed `--chunk` rows), and extra baseline
+# rows must never fail the gate or corrupt the extracted number. An old
+# baseline without the `chunk` field still matches via the fallback.
 field_1t() {
-    awk -F"\"$2\": " '/"threads": 1,/ { split($2, a, "[,}]"); print a[1] }' "$1"
+    awk -F"\"$2\": " '/"threads": 1, "chunk": 0,/ { split($2, a, "[,}]"); print a[1]; exit }' "$1"
 }
-base_rps=$(field_1t "$BASELINE" reads_per_sec)
-fresh_rps=$(field_1t "$CHECK_OUT" reads_per_sec)
+field_1t_compat() {
+    local v
+    v=$(field_1t "$1" "$2")
+    if [[ -z "$v" ]]; then
+        v=$(awk -F"\"$2\": " '/"threads": 1,/ { split($2, a, "[,}]"); print a[1]; exit }' "$1")
+    fi
+    echo "$v"
+}
+base_rps=$(field_1t_compat "$BASELINE" reads_per_sec)
+fresh_rps=$(field_1t_compat "$CHECK_OUT" reads_per_sec)
 
 # The committed baseline uses the full default workload while CHECK_READS
 # trims the fresh run; reads/sec is stable across sizes >= 2000 for this

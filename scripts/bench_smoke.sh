@@ -30,8 +30,10 @@ cargo run -q --release -p sieve-bench --bin bench_classify -- \
 
 # The hand-rolled JSON is line-per-row, so awk is enough to pull fields.
 cores=$(awk -F'[ ,]' '/"host_cores"/ { print $4 }' "$SMOKE_OUT")
-rps_1t=$(awk -F'"reads_per_sec": ' '/"threads": 1,/ { split($2, a, ","); print a[1] }' "$SMOKE_OUT")
-speedup_4t=$(awk -F'"speedup_vs_1_thread": ' '/"threads": 4,/ { split($2, a, ","); print a[1] }' "$SMOKE_OUT")
+# Anchor on the batch (chunk 0) rows: streamed `--chunk` rows also carry
+# threads counts and must not shadow the floors.
+rps_1t=$(awk -F'"reads_per_sec": ' '/"threads": 1, "chunk": 0,/ { split($2, a, ","); print a[1]; exit }' "$SMOKE_OUT")
+speedup_4t=$(awk -F'"speedup_vs_1_thread": ' '/"threads": 4, "chunk": 0,/ { split($2, a, ","); print a[1]; exit }' "$SMOKE_OUT")
 
 echo "   host_cores=${cores} 1t=${rps_1t} reads/sec 4t_speedup=${speedup_4t:-n/a}"
 

@@ -25,8 +25,8 @@ cargo test -q \
 echo "== tier1: bench smoke (throughput floors) =="
 ./scripts/bench_smoke.sh
 
-echo "== tier1: cargo clippy (-D warnings) =="
-cargo clippy -p sieve-core -p sieve-genomics -p sieve-bench --all-targets -- -D warnings
+echo "== tier1: cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier1: audit #[ignore]d tests =="
 # Every #[ignore] must carry a linked justification (an issue reference or

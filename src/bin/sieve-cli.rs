@@ -231,7 +231,7 @@ fn run_pipeline(args: &[String], per_read: bool) -> Result<(), Box<dyn Error>> {
     let k = flag(&flags, "k", 31usize)?;
     let limit = flag(&flags, "limit", 10usize)?;
     let device_spec = flags.get("device").map_or("t3:8", String::as_str);
-    let etm = flags.get("etm").map_or(true, |v| v != "off");
+    let etm = flags.get("etm").is_none_or(|v| v != "off");
 
     let entries = load_reference(reference, k)?;
     let reads: Vec<DnaSequence> = fastq::parse(&fs::read_to_string(reads_path)?)?

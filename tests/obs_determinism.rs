@@ -139,6 +139,65 @@ fn snapshot_counters_reflect_the_workload() {
     }
 }
 
+/// A duplicate-heavy stream must genuinely engage the hot-k-mer cache
+/// (the grid test in parallel_determinism.rs would otherwise pass
+/// vacuously), replayed chunks must still charge the full modeled
+/// quantities, and the deterministic snapshot must stay bit-identical
+/// across thread counts with the cache on.
+#[test]
+fn cached_streams_engage_and_snapshot_identically() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 30, 31);
+    let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 3).cloned().collect();
+    let stream = |threads: usize, hot_kmers: usize| {
+        let config = SieveConfig::type3(8).with_hot_kmers(hot_kmers);
+        HostPipeline::new(device(config, threads, &ds))
+            .classify_stream(&reads, 10)
+            .unwrap()
+    };
+
+    let out = stream(1, 1 << 18);
+    let on = obs::global().snapshot();
+    assert!(
+        on.counter("cache_hits") > 0,
+        "repeated chunks never engaged the cache"
+    );
+    assert!(on.counter("cache_inserts") > 0);
+    assert!(on
+        .histogram("cache_hit_kmers")
+        .is_some_and(|h| h.count > 0 && h.sum == on.counter("cache_hits")));
+    // Replays charge the same modeled quantities the device stage would
+    // have: the model counters and histograms are cache-oblivious.
+    assert_eq!(on.counter("match_queries"), out.report.queries);
+    assert_eq!(on.counter("match_hits"), out.report.hits);
+
+    obs::global().reset();
+    let off_out = stream(1, 0);
+    let off = obs::global().snapshot();
+    assert_eq!(off_out.report, out.report, "cache changed the report");
+    assert_eq!(off.counter("cache_hits"), 0);
+    assert_eq!(off.counter("cache_inserts"), 0);
+    assert_eq!(off.counter("match_queries"), on.counter("match_queries"));
+    assert_eq!(off.counter("match_hits"), on.counter("match_hits"));
+    for hist in ["etm_rows_activated", "shard_queries"] {
+        let (a, b) = (on.histogram(hist).unwrap(), off.histogram(hist).unwrap());
+        assert_eq!((a.count, a.sum), (b.count, b.sum), "{hist} diverged");
+    }
+
+    let snaps = snapshot_sweep(|threads| {
+        stream(threads, 1 << 18);
+    });
+    for (i, snap) in snaps.iter().enumerate().skip(1) {
+        assert_eq!(
+            snap,
+            &snaps[0],
+            "cached stream threads={}: deterministic snapshot diverged",
+            THREAD_SWEEP[i]
+        );
+    }
+}
+
 #[test]
 fn cluster_runs_snapshot_identically_and_record_skew() {
     let _session = RecorderSession::begin();

@@ -149,6 +149,49 @@ fn pipelined_stream_matches_serial_for_every_chunk_size() {
     }
 }
 
+/// The device-stage optimization grid — fused plan/match pipeline on or
+/// off, hot-k-mer cache enabled or disabled — must be pure optimization:
+/// for every combination and thread count, a streamed run's per-read
+/// classifications and full modeled report are bit-identical to the
+/// unfused, uncached, single-threaded reference. The stream repeats the
+/// same reads three times so later chunks re-present earlier chunks'
+/// k-mers and the cache genuinely engages (the engagement sampler proves
+/// it on the first repeated chunk; device::tests verify the replay path
+/// fires on exactly this shape of stream).
+#[test]
+fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
+    let ds = dataset();
+    let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 30, 31);
+    let reads: Vec<DnaSequence> = pass
+        .iter()
+        .cycle()
+        .take(pass.len() * 3)
+        .cloned()
+        .collect();
+    let chunk = 10;
+    let reference = SieveConfig::type3(8).with_fused(false).with_hot_kmers(0);
+    let base = HostPipeline::new(device(reference, 1, &ds))
+        .classify_stream(&reads, chunk)
+        .unwrap();
+    for fused in [false, true] {
+        for hot_kmers in [0usize, 1 << 18] {
+            for threads in THREAD_SWEEP {
+                let config = SieveConfig::type3(8)
+                    .with_fused(fused)
+                    .with_hot_kmers(hot_kmers);
+                let out = HostPipeline::new(device(config, threads, &ds))
+                    .classify_stream(&reads, chunk)
+                    .unwrap();
+                assert_same_pipeline(
+                    &out,
+                    &base,
+                    &format!("fused={fused} hot_kmers={hot_kmers} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -131,6 +131,52 @@ fn stream_model_trace_is_byte_identical_across_thread_counts() {
     assert!(starts.windows(2).all(|w| w[0] < w[1]), "{starts:?}");
 }
 
+/// The fused plan/match pipeline and the hot-k-mer cache must not leak
+/// into the model-time event stream: for every grid point the stream is
+/// byte-identical across thread counts. Since `threads == 1` always runs
+/// the unfused path, the sweep also proves fused and unfused runs emit
+/// the same model events in the same order. The stream repeats its reads
+/// three times so the cache genuinely engages; engagement is visible as
+/// `cache.probe` instants and must appear exactly when the cache is on.
+#[test]
+fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
+    let _session = TracerSession::begin();
+    let ds = dataset();
+    let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 30, 31);
+    let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 3).cloned().collect();
+    for fused in [false, true] {
+        for hot_kmers in [0usize, 1 << 18] {
+            let runs = model_sweep(|threads| {
+                let config = SieveConfig::type3(8)
+                    .with_fused(fused)
+                    .with_hot_kmers(hot_kmers);
+                HostPipeline::new(device(config, threads, &ds))
+                    .classify_stream(&reads, 10)
+                    .unwrap();
+            });
+            let (base_lines, base_snap) = &runs[0];
+            assert!(!base_lines.is_empty());
+            for (i, (lines, _)) in runs.iter().enumerate().skip(1) {
+                assert_eq!(
+                    lines, base_lines,
+                    "fused={fused} hot_kmers={hot_kmers} threads={}: model stream diverged",
+                    THREAD_SWEEP[i]
+                );
+            }
+            let probes = base_snap
+                .model
+                .iter()
+                .filter(|e| e.name == "cache.probe")
+                .count();
+            if hot_kmers > 0 {
+                assert!(probes > 0, "fused={fused}: repeated chunks never probed the cache");
+            } else {
+                assert_eq!(probes, 0, "fused={fused}: disabled cache must not probe");
+            }
+        }
+    }
+}
+
 #[test]
 fn cluster_model_trace_is_byte_identical_and_devices_share_a_start() {
     let _session = TracerSession::begin();
