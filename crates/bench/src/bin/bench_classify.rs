@@ -3,7 +3,12 @@
 //! writes machine-readable results to `results/BENCH_classify.json`
 //! (reads/sec per thread count, speedup over the sequential run, and the
 //! host's core count — speedup beyond the physical cores cannot appear,
-//! so record both).
+//! so record both). The JSON carries the core count twice:
+//! `host_cores_detected` is always `std::thread::available_parallelism`,
+//! and `host_cores` is the *effective* value the speedup gates key on —
+//! identical unless `SIEVE_HOST_CORES=N` overrides it (containers can
+//! under-report parallelism; the override lets a known-good box assert
+//! its real width without editing scripts).
 //!
 //! Each measured cell is timed in paired recorder-disabled / enabled
 //! runs (order alternated, each state summarized by its median sample —
@@ -76,9 +81,15 @@ fn main() {
 
     let ds = synth::make_dataset_with(16, 8192, 31, 1001);
     let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), n_reads, 1002);
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let detected = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = std::env::var("SIEVE_HOST_CORES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(detected);
     println!(
-        "classify throughput: {n_reads} reads, median of {reps} runs, {cores} host core(s)\n"
+        "classify throughput: {n_reads} reads, median of {reps} runs, \
+         {cores} host core(s) ({detected} detected)\n"
     );
 
     let mut thread_counts = vec![1usize, 2, 4];
@@ -200,6 +211,17 @@ fn main() {
         .classify_reads(&reads)
         .expect("valid workload");
     let snapshot = recorder.snapshot();
+    // And one at the *highest thread count* (same batch workload): its
+    // `wall.shard.sort` relative to the single-thread snapshot above is
+    // the planner-scaling measurement the acceptance gates track.
+    recorder.set_enabled(true);
+    recorder.reset();
+    hosts
+        .last()
+        .expect("at least one host")
+        .classify_reads(&reads)
+        .expect("valid workload");
+    let snapshot_mt = recorder.snapshot();
     recorder.set_enabled(false);
     recorder.reset();
 
@@ -286,9 +308,19 @@ fn main() {
         if let Some(dir) = std::path::Path::new(&out_path).parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
+        let mt_threads = *thread_counts.last().expect("at least one thread count");
         std::fs::write(
             &out_path,
-            render_json(n_reads, reps, cores, &measurements, &snapshot),
+            render_json(
+                n_reads,
+                reps,
+                cores,
+                detected,
+                mt_threads,
+                &measurements,
+                &snapshot,
+                &snapshot_mt,
+            ),
         )
         .expect("write the --out JSON file");
         println!("wrote {out_path}");
@@ -303,12 +335,16 @@ fn main() {
 }
 
 /// Hand-rolled JSON (the workspace builds offline, without serde).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     n_reads: usize,
     reps: usize,
     cores: usize,
+    detected: usize,
+    mt_threads: usize,
     measurements: &[Measurement],
     snapshot: &obs::MetricsSnapshot,
+    snapshot_mt: &obs::MetricsSnapshot,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -316,6 +352,7 @@ fn render_json(
     s.push_str(&format!("  \"reads\": {n_reads},\n"));
     s.push_str(&format!("  \"reps\": {reps},\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str(&format!("  \"host_cores_detected\": {detected},\n"));
     s.push_str("  \"device\": \"T3.8SA\",\n");
     s.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -333,9 +370,15 @@ fn render_json(
         ));
     }
     s.push_str("  ],\n");
-    // One instrumented run's full snapshot, reindented under "metrics".
+    // Two instrumented runs' full snapshots, reindented: "metrics" is
+    // the canonical single-thread batch profile, "metrics_mt" the same
+    // workload at the table's highest thread count (for the
+    // wall.shard.sort scaling gate).
     let metrics = snapshot.to_json().replace('\n', "\n  ");
-    s.push_str(&format!("  \"metrics\": {metrics}\n"));
+    s.push_str(&format!("  \"metrics\": {metrics},\n"));
+    s.push_str(&format!("  \"metrics_mt_threads\": {mt_threads},\n"));
+    let metrics_mt = snapshot_mt.to_json().replace('\n', "\n  ");
+    s.push_str(&format!("  \"metrics_mt\": {metrics_mt}\n"));
     s.push_str("}\n");
     s
 }

@@ -126,6 +126,16 @@ pub struct SieveConfig {
     /// by `tests/parallel_determinism.rs`). A *simulator* knob, not a
     /// modeled device parameter.
     pub fused: bool,
+    /// Work stealing between match/sort workers (default `true`): tasks
+    /// and radix buckets are dealt to workers as contiguous owned runs,
+    /// and a worker whose run drains early steals from the heavy end of a
+    /// neighbour's queue stripe instead of idling. Stealing only moves
+    /// *which worker* executes a unit of work — the deterministic reduce
+    /// consumes outcomes in task-id order either way, so output is
+    /// bit-identical with the knob off (proven by
+    /// `tests/parallel_determinism.rs`). A *simulator* knob, not a
+    /// modeled device parameter.
+    pub steal: bool,
     /// Capacity of the cross-chunk hot-k-mer cache, in entries; `0`
     /// disables it. Streaming classification (`classify_stream`) sees the
     /// same hot k-mers chunk after chunk; the cache replays a k-mer's
@@ -178,6 +188,7 @@ impl SieveConfig {
             threads: 0,
             dedup: true,
             fused: true,
+            steal: true,
             hot_kmers: 1 << 18,
         }
     }
@@ -241,6 +252,15 @@ impl SieveConfig {
     #[must_use]
     pub fn with_fused(mut self, fused: bool) -> Self {
         self.fused = fused;
+        self
+    }
+
+    /// Toggles work stealing between match/sort workers (builder style).
+    /// Output is bit-identical for either value (see
+    /// [`SieveConfig::steal`]).
+    #[must_use]
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
         self
     }
 
@@ -489,12 +509,14 @@ mod tests {
             .with_threads(2)
             .with_dedup(false)
             .with_fused(false)
+            .with_steal(false)
             .with_hot_kmers(1024);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
         assert!(!c.dedup);
         assert!(!c.fused);
+        assert!(!c.steal);
         assert_eq!(c.hot_kmers, 1024);
         c.validate().unwrap();
     }

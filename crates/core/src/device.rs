@@ -168,15 +168,6 @@ struct TaskOutcome {
     work: Vec<QueryWork>,
 }
 
-/// A sealed match task in flight from the fused planner to a worker: the
-/// task's slice of the sorted pair array, pinned by task id for the
-/// deterministic reduce.
-struct FusedTask<'data> {
-    idx: usize,
-    subarray: usize,
-    pairs: &'data [radix::Pair],
-}
-
 /// A loaded Sieve device.
 ///
 /// # Example
@@ -407,6 +398,11 @@ impl SieveDevice {
         // rest, and — unless the fused pipeline takes over — sort and
         // route them into the shard plan.
         let mut cached_queries = 0u64;
+        // OR-fold of `bits ^ first_bits` over the pairs, built while they
+        // are pushed: hands the radix sort its digit window without a
+        // second scan over the keys (`radix::sort_pairs` docs).
+        let mut first_key: Option<u64> = None;
+        let mut spread = 0u64;
         let (fused, inserting) = {
             let _span = rec.span("device.plan");
             let _wall = tr.span("device.plan");
@@ -431,6 +427,7 @@ impl SieveDevice {
                     for (g, q) in space_queries.iter().enumerate() {
                         let bits = q.bits();
                         let Some(e) = cache.get(bits) else {
+                            spread |= bits ^ *first_key.get_or_insert(bits);
                             pairs.push((bits, g as u32));
                             continue;
                         };
@@ -461,12 +458,11 @@ impl SieveDevice {
                     }
                 }
                 _ => {
-                    pairs.extend(
-                        space_queries
-                            .iter()
-                            .enumerate()
-                            .map(|(g, q)| (q.bits(), g as u32)),
-                    );
+                    pairs.extend(space_queries.iter().enumerate().map(|(g, q)| {
+                        let bits = q.bits();
+                        spread |= bits ^ *first_key.get_or_insert(bits);
+                        (bits, g as u32)
+                    }));
                 }
             }
             if engagement == cache::Engagement::Probe {
@@ -483,7 +479,8 @@ impl SieveDevice {
                 .is_some_and(cache::KmerCache::accepts_inserts);
             let fused = self.config.fused && threads > 1 && !pairs.is_empty();
             if !fused {
-                plan.rebuild(index, pairs, pairs_scratch, threads);
+                let diff = (!pairs.is_empty()).then_some(spread);
+                plan.rebuild(index, pairs, pairs_scratch, threads, self.config.steal, diff);
             }
             (fused, inserting)
         };
@@ -494,79 +491,99 @@ impl SieveDevice {
             loads.iter().map(|l| l.hits).sum::<u64>(),
         );
 
-        // Match. Fused: the planner thread streams the radix partition,
-        // sealing each task the moment its slice of the sorted array is
-        // final and handing it to match workers over a channel — sort and
-        // match overlap instead of running as strict barriers. Unfused
-        // (single thread, knob off, or nothing left to match): the
-        // pre-built plan fans out as an indexed map. Either way the
+        // Match. Fused: the planner partitions the batch, pre-sorts only
+        // the boundary buckets, and seals the whole array into per-task
+        // `&mut` slices; the tasks are dealt to workers as contiguous
+        // owned runs through a work-stealing queue, and each worker
+        // finishes the sort *inside its tasks* (bucket segments) before
+        // matching them — the dominant comparison-sort cost fans out
+        // across every worker instead of serializing on the planner.
+        // Unfused (single thread, knob off, or nothing left to match):
+        // the pre-built plan fans out as an indexed map. Either way the
         // outcomes land indexed by task id, so the reduce below is
         // order-identical.
         let outcomes: Vec<TaskOutcome> = if fused {
             let _span = rec.span("device.match");
             let _wall = tr.span("device.match");
-            let (task_tx, task_rx) = mpsc::channel::<FusedTask<'_>>();
-            let task_rx = Mutex::new(task_rx);
             let (done_tx, done_rx) = mpsc::channel::<(usize, TaskOutcome)>();
+            let task_count;
             {
-                let task_rx = &task_rx;
-                let worker = |done: &mpsc::Sender<(usize, TaskOutcome)>| loop {
-                    let task = {
-                        let rx = task_rx.lock().expect("task queue");
-                        rx.recv()
-                    };
-                    let Ok(task) = task else { break };
-                    let out = self.match_pairs(
-                        task.subarray,
-                        task.pairs,
-                        mult,
-                        &table,
-                        esp_table.as_ref(),
-                        keep_work,
-                    );
-                    if done.send((task.idx, out)).is_err() {
-                        break;
-                    }
+                let fused_tasks = {
+                    let _pspan = rec.span("device.plan");
+                    let _pwall = tr.span("device.plan");
+                    plan.rebuild_tasks(index, pairs, pairs_scratch, threads, Some(spread))
                 };
-                std::thread::scope(|scope| {
-                    let worker = &worker;
-                    for _ in 0..threads - 1 {
-                        let done = done_tx.clone();
-                        scope.spawn(move || worker(&done));
+                task_count = fused_tasks.tasks.len();
+                let bucket_ends = fused_tasks.bucket_ends;
+                // Deal tasks to workers in contiguous runs balanced by
+                // pair count (tasks ascend in key order, so a run is a
+                // contiguous key range — the bucket-ownership shape).
+                let total: usize = fused_tasks.tasks.iter().map(|t| t.pairs.len()).sum();
+                let workers = threads.min(task_count.max(1));
+                let mut queue = par::StealQueue::new(workers, self.config.steal);
+                let mut acc = 0usize;
+                let mut owner = 0usize;
+                for task in fused_tasks.tasks {
+                    acc += task.pairs.len();
+                    queue.push(owner, task);
+                    while owner + 1 < workers && acc * workers >= total * (owner + 1) {
+                        owner += 1;
                     }
-                    {
-                        let _pspan = rec.span("device.plan");
-                        let _pwall = tr.span("device.plan");
-                        plan.rebuild_streamed(
-                            index,
-                            pairs,
-                            pairs_scratch,
-                            threads,
-                            |idx, subarray, slice| {
-                                task_tx
-                                    .send(FusedTask {
-                                        idx,
-                                        subarray,
-                                        pairs: slice,
-                                    })
-                                    .expect("match workers outlive the planner");
-                            },
+                }
+                let queue = &queue;
+                let bucket_ends = &bucket_ends;
+                let worker = |wid: usize, done: &mpsc::Sender<(usize, TaskOutcome)>| {
+                    let mut stolen = 0u64;
+                    while let Some((task, was_stolen)) = queue.pop(wid) {
+                        stolen += u64::from(was_stolen);
+                        if !bucket_ends.is_empty() && task.pairs.len() > 1 {
+                            let _sspan = rec.span("task.sort");
+                            let _swall = tr.span("task.sort");
+                            radix::sort_segments(task.pairs, task.lo, bucket_ends);
+                        }
+                        let out = self.match_pairs(
+                            task.subarray,
+                            task.pairs,
+                            mult,
+                            &table,
+                            esp_table.as_ref(),
+                            keep_work,
                         );
+                        if done.send((task.idx, out)).is_err() {
+                            break;
+                        }
                     }
-                    drop(task_tx);
-                    // The planner joins the match pool to drain the queue.
-                    worker(&done_tx);
+                    stolen
+                };
+                let stolen: u64 = std::thread::scope(|scope| {
+                    let worker = &worker;
+                    let handles: Vec<_> = (1..workers)
+                        .map(|wid| {
+                            let done = done_tx.clone();
+                            scope.spawn(move || worker(wid, &done))
+                        })
+                        .collect();
+                    let own = worker(0, &done_tx);
+                    own + handles
+                        .into_iter()
+                        .map(|handle| match handle.join() {
+                            Ok(count) => count,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        })
+                        .sum::<u64>()
                 });
+                if stolen > 0 {
+                    rec.add(obs::CounterId::StealTasks, stolen);
+                }
+                // `queue` (and the sealed task slices) borrow the scatter
+                // buffer; this scope releases them before the swap below.
             }
             drop(done_tx);
-            // The receiver's queued tasks borrowed the scatter buffer;
-            // release it before the swap below.
-            drop(task_rx);
             // Sorted pairs ended up in the scatter buffer; swap so `pairs`
             // holds them for the reduce/scheduler, like the unfused path.
             std::mem::swap(pairs, pairs_scratch);
-            let mut collected: Vec<Option<TaskOutcome>> = Vec::with_capacity(plan.task_count());
-            collected.resize_with(plan.task_count(), || None);
+            let mut collected: Vec<Option<TaskOutcome>> = Vec::with_capacity(task_count);
+            collected.resize_with(task_count, || None);
             for (idx, out) in done_rx {
                 debug_assert!(collected[idx].is_none());
                 collected[idx] = Some(out);

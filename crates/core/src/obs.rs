@@ -23,6 +23,9 @@
 //! **disabled by default**: when disabled, every record path is a single
 //! relaxed load and branch (the no-op fast path), which keeps the metrics
 //! overhead within the ≤ 3 % budget tracked by `bench_classify --json`.
+//! When enabled, the hot counter/histogram paths are striped per thread
+//! (cache-line-aligned stripes, summed at snapshot time) so the overhead
+//! stays flat as workers multiply instead of growing with write-sharing.
 //!
 //! # Example
 //!
@@ -50,8 +53,10 @@ pub const BUCKETS: usize = 64;
 /// back to no-op spans.
 const MAX_SPANS: usize = 32;
 
-/// Identifiers of the built-in pipeline counters. All are **model
-/// metrics**: deterministic functions of the workload.
+/// Identifiers of the built-in pipeline counters. All but
+/// [`Self::StealTasks`] are **model metrics**: deterministic functions
+/// of the workload. `StealTasks` counts scheduling events and carries the
+/// `wall.` prefix so [`MetricsSnapshot::deterministic`] drops it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterId {
     /// Chunks processed by `classify_stream`.
@@ -84,11 +89,16 @@ pub enum CounterId {
     CacheMisses,
     /// Entries inserted into the hot-k-mer cache.
     CacheInserts,
+    /// Work items a fused-match or bucket-sort worker stole from another
+    /// worker's queue stripe. A **wall metric**: which worker runs a task
+    /// is scheduling-dependent, so the count varies run to run (the work
+    /// itself, and thus every model metric, does not).
+    StealTasks,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [Self; 14] = [
+    pub const ALL: [Self; 15] = [
         Self::HostChunks,
         Self::HostReads,
         Self::HostKmers,
@@ -103,6 +113,7 @@ impl CounterId {
         Self::CacheHits,
         Self::CacheMisses,
         Self::CacheInserts,
+        Self::StealTasks,
     ];
 
     /// Snapshot/Prometheus name.
@@ -123,6 +134,7 @@ impl CounterId {
             Self::CacheHits => "cache_hits",
             Self::CacheMisses => "cache_misses",
             Self::CacheInserts => "cache_inserts",
+            Self::StealTasks => "wall.steal_tasks",
         }
     }
 }
@@ -485,14 +497,63 @@ impl SpanTable {
     }
 }
 
+/// Stripe count for the hot counter/histogram paths. A power of two a
+/// little above the thread counts the bench sweeps: enough that workers
+/// land on distinct stripes with high probability, small enough that the
+/// snapshot merge stays trivial.
+const STRIPES: usize = 8;
+
+/// One stripe of the built-in counters, aligned to its own cache line so
+/// workers on different stripes never write-share a line — the contention
+/// that made obs overhead grow with the thread count when every worker
+/// bumped one shared atomic array.
+#[repr(align(64))]
+#[derive(Debug)]
+struct CounterStripe([AtomicU64; CounterId::ALL.len()]);
+
+impl CounterStripe {
+    const fn new() -> Self {
+        Self([const { AtomicU64::new(0) }; CounterId::ALL.len()])
+    }
+}
+
+/// This thread's stripe index: assigned round-robin on first use, stable
+/// for the thread's lifetime. Which stripe a worker lands on only affects
+/// *where* its deltas accumulate; the snapshot sums all stripes, so
+/// totals are independent of the assignment.
+fn stripe() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|slot| {
+        let mut s = slot.get();
+        if s == usize::MAX {
+            s = NEXT_STRIPE.fetch_add(1, Relaxed) % STRIPES;
+            slot.set(s);
+        }
+        s
+    })
+}
+
 /// A set of pipeline metrics: the built-in counters and histograms plus
 /// the dynamic span table. The process-wide instance is [`global`]; tests
 /// and tools can own private instances.
+///
+/// Counters and built-in histograms are striped [`STRIPES`] ways and each
+/// thread records into its own stripe; [`Recorder::snapshot`] sums the
+/// stripes. Every merge is an order-independent integer sum (or min/max),
+/// so the striping is invisible in snapshots — it exists purely to keep
+/// concurrent workers off each other's cache lines. The span table stays
+/// unstriped: spans fire once per pipeline *phase*, not per query, so
+/// they never contend.
 #[derive(Debug)]
 pub struct Recorder {
     enabled: AtomicBool,
-    counters: [AtomicU64; CounterId::ALL.len()],
-    hists: [Histogram; HistId::ALL.len()],
+    counters: [CounterStripe; STRIPES],
+    hists: [[Histogram; HistId::ALL.len()]; STRIPES],
     spans: SpanTable,
 }
 
@@ -502,8 +563,8 @@ impl Recorder {
     pub const fn new() -> Self {
         Self {
             enabled: AtomicBool::new(false),
-            counters: [const { AtomicU64::new(0) }; CounterId::ALL.len()],
-            hists: [const { Histogram::new() }; HistId::ALL.len()],
+            counters: [const { CounterStripe::new() }; STRIPES],
+            hists: [const { [const { Histogram::new() }; HistId::ALL.len()] }; STRIPES],
             spans: SpanTable::new(),
         }
     }
@@ -520,25 +581,27 @@ impl Recorder {
         self.enabled.load(Relaxed)
     }
 
-    /// Adds `delta` to a counter (no-op while disabled).
+    /// Adds `delta` to a counter in this thread's stripe (no-op while
+    /// disabled).
     pub fn add(&self, id: CounterId, delta: u64) {
         if self.is_enabled() {
-            self.counters[id as usize].fetch_add(delta, Relaxed);
+            self.counters[stripe()].0[id as usize].fetch_add(delta, Relaxed);
         }
     }
 
-    /// Records `value` into a histogram (no-op while disabled).
+    /// Records `value` into this thread's stripe of a histogram (no-op
+    /// while disabled).
     pub fn record(&self, id: HistId, value: u64) {
         if self.is_enabled() {
-            self.hists[id as usize].record(value);
+            self.hists[stripe()][id as usize].record(value);
         }
     }
 
-    /// Merges a worker's [`LocalHistogram`] into a shared histogram
-    /// (no-op while disabled).
+    /// Merges a worker's [`LocalHistogram`] into this thread's stripe of
+    /// a shared histogram (no-op while disabled).
     pub fn merge_local(&self, id: HistId, local: &LocalHistogram) {
         if self.is_enabled() {
-            self.hists[id as usize].merge_local(local);
+            self.hists[stripe()][id as usize].merge_local(local);
         }
     }
 
@@ -558,23 +621,31 @@ impl Recorder {
         }
     }
 
-    /// A point-in-time copy of every metric. Counters and built-in
-    /// histograms come first in [`CounterId::ALL`]/[`HistId::ALL`] order;
-    /// wall-span histograms (`wall.*`) follow.
+    /// A point-in-time copy of every metric, stripes summed. Counters and
+    /// built-in histograms come first in [`CounterId::ALL`]/[`HistId::ALL`]
+    /// order; wall-span histograms (`wall.*`) follow.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = CounterId::ALL
             .iter()
             .map(|&id| {
-                (
-                    id.name().to_string(),
-                    self.counters[id as usize].load(Relaxed),
-                )
+                let total = self
+                    .counters
+                    .iter()
+                    .map(|s| s.0[id as usize].load(Relaxed))
+                    .sum();
+                (id.name().to_string(), total)
             })
             .collect();
         let mut histograms: Vec<(String, HistogramSnapshot)> = HistId::ALL
             .iter()
-            .map(|&id| (id.name().to_string(), self.hists[id as usize].snapshot()))
+            .map(|&id| {
+                let mut merged = HistogramSnapshot::default();
+                for stripe in &self.hists {
+                    merged.merge(&stripe[id as usize].snapshot());
+                }
+                (id.name().to_string(), merged)
+            })
             .collect();
         self.spans.snapshot_into(&mut histograms);
         MetricsSnapshot {
@@ -585,11 +656,15 @@ impl Recorder {
 
     /// Zeroes every metric (leaves the enabled flag and span names alone).
     pub fn reset(&self) {
-        for c in &self.counters {
-            c.store(0, Relaxed);
+        for stripe in &self.counters {
+            for c in &stripe.0 {
+                c.store(0, Relaxed);
+            }
         }
-        for h in &self.hists {
-            h.reset();
+        for stripe in &self.hists {
+            for h in stripe {
+                h.reset();
+            }
         }
         self.spans.reset();
     }
@@ -631,13 +706,19 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// The deterministic subset: drops the wall-clock (`wall.*`) span
-    /// histograms, leaving only model metrics — the part that is
-    /// bit-identical across simulator thread counts.
+    /// The deterministic subset: drops the wall-clock (`wall.*`) entries
+    /// — span histograms and scheduling counters like `wall.steal_tasks`
+    /// — leaving only model metrics, the part that is bit-identical
+    /// across simulator thread counts.
     #[must_use]
     pub fn deterministic(&self) -> Self {
         Self {
-            counters: self.counters.clone(),
+            counters: self
+                .counters
+                .iter()
+                .filter(|(name, _)| !name.starts_with("wall."))
+                .cloned()
+                .collect(),
             histograms: self
                 .histograms
                 .iter()
@@ -729,6 +810,7 @@ impl MetricsSnapshot {
         }
         let mut s = String::new();
         for (name, value) in &self.counters {
+            // Counter names can carry dots too (`wall.steal_tasks`).
             let name = sanitize(name);
             s.push_str(&format!(
                 "# TYPE sieve_{name} counter\nsieve_{name} {value}\n"
@@ -918,12 +1000,57 @@ mod tests {
         {
             let _s = r.span("match");
         }
+        r.add(CounterId::StealTasks, 2);
         let snap = r.snapshot();
         assert!(snap.histogram("wall.match.ns").is_some());
+        assert_eq!(snap.counter("wall.steal_tasks"), 2);
         let det = snap.deterministic();
         assert!(det.histogram("wall.match.ns").is_none());
         assert!(det.histogram("etm_rows_activated").is_some());
-        assert_eq!(det.counters, snap.counters);
+        // Scheduling counters are wall metrics: dropped with the spans.
+        assert!(!det.counters.iter().any(|(n, _)| n.starts_with("wall.")));
+        assert_eq!(det.counter("wall.steal_tasks"), 0);
+        let model: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|(n, _)| !n.starts_with("wall."))
+            .cloned()
+            .collect();
+        assert_eq!(det.counters, model);
+    }
+
+    #[test]
+    fn striped_updates_sum_in_snapshots() {
+        // Deltas recorded from many threads — each on its own stripe —
+        // must sum to the same totals a single-threaded recorder shows.
+        let r = Recorder::new();
+        r.set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..2 * STRIPES {
+                scope.spawn(|| {
+                    r.add(CounterId::MatchQueries, 3);
+                    r.record(HistId::ShardQueries, 40);
+                    let mut local = LocalHistogram::new();
+                    local.record(7);
+                    local.record(9);
+                    r.merge_local(HistId::EtmRowsActivated, &local);
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("match_queries"), 3 * 2 * STRIPES as u64);
+        let shard = snap.histogram("shard_queries").unwrap();
+        assert_eq!(shard.count, 2 * STRIPES as u64);
+        assert_eq!(shard.sum, 40 * 2 * STRIPES as u64);
+        assert_eq!(shard.min, 40);
+        assert_eq!(shard.max, 40);
+        let etm = snap.histogram("etm_rows_activated").unwrap();
+        assert_eq!(etm.count, 4 * STRIPES as u64);
+        assert_eq!(etm.min, 7);
+        assert_eq!(etm.max, 9);
+        r.reset();
+        assert_eq!(r.snapshot().counter("match_queries"), 0);
+        assert_eq!(r.snapshot().histogram("shard_queries").unwrap().count, 0);
     }
 
     #[test]

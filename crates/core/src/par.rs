@@ -8,15 +8,85 @@
 //! schedulers, this is what makes `threads = N` bit-identical to
 //! `threads = 1` (see DESIGN.md §6).
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Mutex, OnceLock};
 
 /// Resolves the configured thread knob: `0` means "use all available
 /// parallelism", anything else is taken literally.
 pub(crate) fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        host_parallelism()
     } else {
         requested
+    }
+}
+
+/// The host's physical parallelism, probed once per process. Stages whose
+/// parallel form duplicates work (the owned-bucket scatter re-scans the
+/// source per worker) cap their fan-out here so an oversubscribed
+/// `threads` knob never multiplies total work beyond what real cores can
+/// absorb.
+pub(crate) fn host_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// A mutex-striped work queue for the fused match phase and the bucket
+/// sorts: one stripe per worker, filled completely *before* any worker
+/// starts (so an empty pop means "done", never "wait"). A worker pops the
+/// front of its own stripe; once that runs dry and stealing is enabled it
+/// pops the *back* of the other stripes, so a worker that finishes its
+/// owned run early drains the heaviest remainder of a loaded neighbour
+/// instead of idling.
+///
+/// Determinism: the queue only changes *which worker* executes an item,
+/// never the item set; every consumer collects outcomes keyed by task id
+/// (or sorts disjoint slices in place), so output is identical with
+/// stealing on or off, for any interleaving.
+pub(crate) struct StealQueue<T> {
+    stripes: Vec<Mutex<VecDeque<T>>>,
+    steal: bool,
+}
+
+impl<T> StealQueue<T> {
+    pub(crate) fn new(workers: usize, steal: bool) -> Self {
+        let workers = workers.max(1);
+        Self {
+            stripes: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steal,
+        }
+    }
+
+    /// Appends `item` to `worker`'s stripe. Requires `&mut self`: filling
+    /// happens strictly before the workers share the queue.
+    pub(crate) fn push(&mut self, worker: usize, item: T) {
+        let stripe = worker % self.stripes.len();
+        self.stripes[stripe]
+            .get_mut()
+            .expect("stripe lock cannot be poisoned before workers start")
+            .push_back(item);
+    }
+
+    /// Next item for `worker`; the flag reports whether it was stolen
+    /// from another stripe. `None` means every reachable stripe is empty
+    /// and the worker can exit — with stealing off only the worker's own
+    /// stripe is reachable.
+    pub(crate) fn pop(&self, worker: usize) -> Option<(T, bool)> {
+        let stripes = self.stripes.len();
+        let own = worker % stripes;
+        if let Some(item) = self.stripes[own].lock().expect("stripe lock").pop_front() {
+            return Some((item, false));
+        }
+        if self.steal {
+            for delta in 1..stripes {
+                let victim = (own + delta) % stripes;
+                if let Some(item) = self.stripes[victim].lock().expect("stripe lock").pop_back() {
+                    return Some((item, true));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -132,5 +202,72 @@ mod tests {
     fn effective_threads_resolves_auto() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn steal_queue_drains_every_item_exactly_once() {
+        for workers in [1usize, 2, 4, 8] {
+            for steal in [false, true] {
+                let mut queue = StealQueue::new(workers, steal);
+                for item in 0..37u32 {
+                    queue.push(item as usize % workers, item);
+                }
+                let mut seen: Vec<u32> = Vec::new();
+                for w in 0..workers {
+                    while let Some((item, _stolen)) = queue.pop(w) {
+                        seen.push(item);
+                    }
+                }
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..37).collect::<Vec<u32>>(),
+                    "workers={workers} steal={steal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steal_queue_steals_from_the_back_only_when_enabled() {
+        // Worker 1's stripe is empty; with stealing on it takes worker
+        // 0's back item, with stealing off it sees an empty queue.
+        let mut stealing = StealQueue::new(2, true);
+        for item in [10u32, 20, 30] {
+            stealing.push(0, item);
+        }
+        assert_eq!(stealing.pop(1), Some((30, true)));
+        assert_eq!(stealing.pop(0), Some((10, false)));
+
+        let mut pinned = StealQueue::new(2, false);
+        pinned.push(0, 1u32);
+        assert_eq!(pinned.pop(1), None);
+        assert_eq!(pinned.pop(0), Some((1, false)));
+    }
+
+    #[test]
+    fn steal_queue_drains_under_concurrent_workers() {
+        let workers = 4usize;
+        let mut queue = StealQueue::new(workers, true);
+        // Forced imbalance: every item lands on stripe 0.
+        for item in 0..500u32 {
+            queue.push(0, item);
+        }
+        let queue = &queue;
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let sum = &sum;
+                scope.spawn(move || {
+                    while let Some((item, _)) = queue.pop(w) {
+                        sum.fetch_add(u64::from(item), std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::Relaxed),
+            (0..500u64).sum::<u64>()
+        );
     }
 }

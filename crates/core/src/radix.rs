@@ -5,26 +5,45 @@
 //! be matched with a forward-only merge cursor. A full comparison sort
 //! makes that the dominant planning cost (O(n log n) with a branchy
 //! comparator over 16-byte records); this module replaces it with one
-//! most-significant-digit counting-sort pass over the top 16 *differing*
-//! key bits — a single O(n) scatter that leaves ~n/65536 pairs per bucket
-//! — followed by tiny per-bucket comparison sorts, O(n log(n/2^16))
-//! overall with contiguous memory traffic.
+//! most-significant-digit counting-sort pass over the top [`RADIX_BITS`]
+//! *differing* key bits — a single O(n) scatter that leaves ~n/4096
+//! pairs per bucket — followed by tiny per-bucket comparison sorts,
+//! O(n log(n/2^12)) overall with contiguous memory traffic.
 //!
 //! One wide MSD pass beats the classic multi-pass LSD form here: 62-bit
 //! random k-mer keys would need 4–8 stable LSD passes, each a full
 //! scatter of the 16-byte pair array, where this shape pays for exactly
-//! one. The scatter itself stays sequential — parallelizing a stable
-//! scatter without `unsafe` forces every worker to re-scan the whole
-//! source for its digits, multiplying total work by the worker count,
-//! which destroys oversubscribed hosts (1-core CI) for a bounded Amdahl
-//! win on real ones. Digit counting and the per-bucket sorts fan out
-//! work-efficiently (disjoint chunks / disjoint bucket slices).
+//! one. Every stage of the pass fans out:
+//!
+//! * **counting** — per-worker private count arrays over disjoint chunks
+//!   of the key stream, merged by a striped column-sum reduce (each merge
+//!   worker owns a contiguous bucket range and sums it across all chunk
+//!   histograms — no atomics anywhere on the path);
+//! * **scatter** — buckets are assigned to workers in contiguous *owned
+//!   runs* sized by the merged histogram; each worker re-scans the source
+//!   and writes only the pairs whose digit falls in its run, into its own
+//!   disjoint region of the output (`split_at_mut`, no `unsafe`). A
+//!   pair's destination is `starts[bucket] + rank-in-input-order`, fixed
+//!   by the histogram alone, so the result is byte-identical to the
+//!   sequential stable scatter for any worker count. Because each scatter
+//!   worker re-reads the full source, the fan-out is capped at the host's
+//!   *physical* core count ([`par::host_parallelism`]): on an
+//!   oversubscribed host the duplicated reads would cost wall-clock time
+//!   with no cores to absorb them, so the scatter simply stays sequential
+//!   there;
+//! * **per-bucket sorts** — buckets are handed to workers as contiguous
+//!   owned runs balanced by the histogram, through a work-stealing queue
+//!   ([`par::StealQueue`]): a worker whose run finishes early steals
+//!   buckets from the heavy end of a neighbour's run instead of idling,
+//!   which is what keeps a skewed batch (one giant bucket) from
+//!   serializing the phase.
 //!
 //! Determinism: bucket boundaries are pure functions of the key bits and
 //! every stage is order-preserving or keyed by the total `(key, id)`
 //! order, so the output is a pure function of the input for every
-//! `threads` value.
+//! `threads` value, any scatter-worker count, and stealing on or off.
 
+use crate::obs;
 use crate::par;
 
 /// A sort record: the 2-bit-packed k-mer value and the query id it came
@@ -35,11 +54,16 @@ use crate::par;
 pub(crate) type Pair = (u64, u32);
 
 /// Below this many pairs a comparison sort beats the radix setup cost
-/// (the counting pass allocates and zeroes a 65,536-entry table).
+/// (the counting pass allocates and zeroes a [`BUCKETS`]-entry table).
 const SMALL_SORT: usize = 2_048;
 
-/// Digit width of the single MSD counting pass.
-const RADIX_BITS: u32 = 16;
+/// Digit width of the single MSD counting pass. 12 bits (4096 buckets)
+/// is the measured sweet spot for bench-scale batches: the scatter is
+/// memory-bandwidth-bound and insensitive to the bucket count, so a
+/// wider digit only grows the count/merge tables while a narrower one
+/// inflates the per-bucket comparison sorts — and those fan out across
+/// workers, making them the cheaper place to leave the residual work.
+pub(crate) const RADIX_BITS: u32 = 12;
 
 /// Bucket count of the MSD pass.
 const BUCKETS: usize = 1 << RADIX_BITS;
@@ -68,8 +92,54 @@ pub(crate) enum Partition {
 /// into `out`. The input is left untouched; `out` is fully overwritten and
 /// holds every pair, grouped by ascending MSD digit when the radix path
 /// runs. The per-bucket sorts are left to the caller so it can interleave
-/// them with downstream work (see `ShardPlan::rebuild_streamed`).
-pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> Partition {
+/// them with downstream work (see `ShardPlan::rebuild_tasks`).
+/// `diff`, when the caller has it, is the OR-fold of `key ^ pairs[0].0`
+/// over the whole batch — builders that stream every key anyway (the
+/// device's pair-construction loop) compute it for free, saving this
+/// function a full scan. `None` recomputes it here.
+pub(crate) fn partition(
+    pairs: &[Pair],
+    out: &mut Vec<Pair>,
+    threads: usize,
+    diff: Option<u64>,
+) -> Partition {
+    // Counting with more workers than physical cores is pure overhead —
+    // the extra workers serialize the same scans behind spawn and merge
+    // costs — so the in-partition fan-out follows the hardware, like the
+    // scatter. The `threads` knob still governs everything downstream.
+    let count_threads = threads.min(par::host_parallelism()).max(1);
+    partition_with(
+        pairs,
+        out,
+        count_threads,
+        scatter_workers(threads, pairs.len()),
+        diff,
+    )
+}
+
+/// Scatter fan-out for an `n`-pair batch at a given `threads` knob: capped
+/// at the host's physical parallelism because each scatter worker re-scans
+/// the full source (see the module docs), and 1 for batches too small to
+/// amortize a spawn.
+fn scatter_workers(threads: usize, n: usize) -> usize {
+    if threads > 1 && n >= PARALLEL_SORT {
+        threads.min(par::host_parallelism())
+    } else {
+        1
+    }
+}
+
+/// [`partition`] with the scatter fan-out chosen by the caller — the test
+/// seam that exercises the owned-run parallel scatter on hosts whose
+/// physical core count would cap [`partition`] to a sequential one. The
+/// output is identical for every `scatter_workers` value.
+pub(crate) fn partition_with(
+    pairs: &[Pair],
+    out: &mut Vec<Pair>,
+    threads: usize,
+    scatter_workers: usize,
+    diff: Option<u64>,
+) -> Partition {
     let n = pairs.len();
     out.clear();
     if n < SMALL_SORT {
@@ -82,32 +152,42 @@ pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> 
     // keys differ: the MSD digit window is anchored at the highest one,
     // so shared high bits (the always-zero top of a 62-bit k=31 key, or a
     // common prefix of an already subarray-local batch) never waste
-    // bucket range.
+    // bucket range. Callers that already streamed every key pass the fold
+    // in; otherwise it costs one scan here.
     let first = pairs[0].0;
-    let diff = if threads > 1 && n >= PARALLEL_SORT {
-        let chunk = n.div_ceil(threads);
-        let chunks = n.div_ceil(chunk);
-        par::map_indexed(threads, chunks, |c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            pairs[lo..hi]
+    let diff = diff.unwrap_or_else(|| {
+        if threads > 1 && n >= PARALLEL_SORT {
+            let chunk = n.div_ceil(threads);
+            let chunks = n.div_ceil(chunk);
+            par::map_indexed(threads, chunks, |c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                pairs[lo..hi]
+                    .iter()
+                    .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
+            })
+            .into_iter()
+            .fold(0, |acc, d| acc | d)
+        } else {
+            pairs
                 .iter()
                 .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
-        })
-        .into_iter()
-        .fold(0, |acc, d| acc | d)
-    } else {
+        }
+    });
+    debug_assert_eq!(
+        diff,
         pairs
             .iter()
-            .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
-    };
+            .fold(0u64, |acc, &(key, _)| acc | (key ^ first)),
+        "caller-supplied diff mask must equal the batch's OR-fold"
+    );
     if diff == 0 {
         // All keys equal; input order is already the stable order.
         out.extend_from_slice(pairs);
         return Partition::Sorted;
     }
     // Bits at and above `sig` are identical across the batch, so the
-    // masked window [shift, shift + 16) preserves the key order.
+    // masked window [shift, shift + RADIX_BITS) preserves the key order.
     let sig = 64 - diff.leading_zeros();
     let shift = sig.saturating_sub(RADIX_BITS);
     let high = if sig >= 64 {
@@ -116,7 +196,10 @@ pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> 
         (first >> sig) << sig
     };
 
-    // Count pass: chunked fan-out, summed in chunk order.
+    // Count pass: per-worker private histograms over disjoint chunks,
+    // merged by a striped column-sum (merge worker `m` owns a contiguous
+    // bucket range and sums it across every chunk histogram). Both halves
+    // are deterministic integer sums over fixed index rules.
     let counts: Vec<u32> = if threads > 1 && n >= PARALLEL_SORT {
         let chunk = n.div_ceil(threads);
         let chunks = n.div_ceil(chunk);
@@ -129,13 +212,20 @@ pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> 
             }
             counts
         });
-        let mut totals = chunk_counts[0].clone();
-        for counts in &chunk_counts[1..] {
-            for (total, &c) in totals.iter_mut().zip(counts.iter()) {
-                *total += c;
+        let stripes = threads.min(BUCKETS);
+        let stripe_len = BUCKETS.div_ceil(stripes);
+        let merged: Vec<Vec<u32>> = par::map_indexed(threads, stripes, |m| {
+            let lo = m * stripe_len;
+            let hi = (lo + stripe_len).min(BUCKETS);
+            let mut totals = chunk_counts[0][lo..hi].to_vec();
+            for counts in &chunk_counts[1..] {
+                for (total, &c) in totals.iter_mut().zip(counts[lo..hi].iter()) {
+                    *total += c;
+                }
             }
-        }
-        totals
+            totals
+        });
+        merged.concat()
     } else {
         let mut counts = vec![0u32; BUCKETS];
         for &(key, _) in pairs.iter() {
@@ -144,54 +234,126 @@ pub(crate) fn partition(pairs: &[Pair], out: &mut Vec<Pair>, threads: usize) -> 
         counts
     };
 
-    // Sequential stable scatter into the bucket regions of `out`. The
-    // scatter writes every one of the n slots (counts sum to n), so
-    // reused capacity is never re-zeroed — only growth pays a fill.
+    // Stable scatter into the bucket regions of `out`. The scatter writes
+    // every one of the n slots (counts sum to n), so reused capacity is
+    // never re-zeroed — only growth pays a fill.
     if out.len() < n {
         out.resize(n, (0, 0));
     } else {
         out.truncate(n);
     }
-    let mut cursors = counts;
+    // Exclusive prefix sum: `starts[b]` is bucket b's first offset.
+    let mut starts = counts;
     let mut acc = 0u32;
-    for cursor in &mut cursors {
-        let count = *cursor;
-        *cursor = acc;
+    for start in &mut starts {
+        let count = *start;
+        *start = acc;
         acc += count;
     }
-    for &pair in pairs.iter() {
-        let cursor = &mut cursors[digit(pair.0, shift)];
-        out[*cursor as usize] = pair;
-        *cursor += 1;
+    let scatter_workers = scatter_workers.clamp(1, n);
+    let ends = if scatter_workers > 1 {
+        scatter_owned(pairs, out, &starts, shift, scatter_workers)
+    } else {
+        // Sequential: reuse `starts` as write cursors; after the scatter
+        // each cursor has advanced to its bucket's END offset.
+        let mut cursors = starts;
+        for &pair in pairs.iter() {
+            let cursor = &mut cursors[digit(pair.0, shift)];
+            out[*cursor as usize] = pair;
+            *cursor += 1;
+        }
+        cursors
+    };
+    Partition::Buckets { ends, shift, high }
+}
+
+/// Stable parallel scatter by bucket ownership: buckets are cut into
+/// `workers` contiguous runs of near-equal pair count (from the merged
+/// histogram), the output splits into the matching disjoint regions, and
+/// each worker scans the full source writing only the pairs whose digit
+/// falls in its run. Within a bucket, writes happen in source order, so
+/// the result equals the sequential stable scatter exactly. Returns each
+/// bucket's END offset.
+fn scatter_owned(
+    pairs: &[Pair],
+    out: &mut [Pair],
+    starts: &[u32],
+    shift: u32,
+    workers: usize,
+) -> Vec<u32> {
+    let n = pairs.len();
+    let bound = |b: usize| -> u32 {
+        if b < BUCKETS {
+            starts[b]
+        } else {
+            n as u32
+        }
+    };
+    // Run r covers buckets `cuts[r]..cuts[r + 1]`; each cut lands on the
+    // first bucket at or past the r-th equal slice of the pair count, so
+    // runs are contiguous in bucket (= key) order and balanced by the
+    // histogram, not by bucket count.
+    let mut cuts: Vec<usize> = Vec::with_capacity(workers + 1);
+    cuts.push(0);
+    for r in 1..workers {
+        let target = ((n as u64 * r as u64) / workers as u64) as u32;
+        let cut = starts.partition_point(|&s| s < target).max(cuts[r - 1]);
+        cuts.push(cut);
     }
-    // After the scatter, `cursors[b]` is bucket b's END offset.
-    Partition::Buckets {
-        ends: cursors,
-        shift,
-        high,
+    cuts.push(BUCKETS);
+
+    let mut regions: Vec<&mut [Pair]> = Vec::with_capacity(workers);
+    let mut rest: &mut [Pair] = &mut out[..n];
+    for r in 0..workers {
+        let (region, tail) = rest.split_at_mut((bound(cuts[r + 1]) - bound(cuts[r])) as usize);
+        regions.push(region);
+        rest = tail;
     }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .into_iter()
+            .enumerate()
+            .filter(|(_, region)| !region.is_empty())
+            .map(|(r, region)| {
+                let (lo_b, hi_b) = (cuts[r], cuts[r + 1]);
+                let base = bound(lo_b);
+                scope.spawn(move || {
+                    let mut cursors: Vec<u32> =
+                        starts[lo_b..hi_b].iter().map(|&s| s - base).collect();
+                    for &pair in pairs {
+                        let d = digit(pair.0, shift);
+                        if (lo_b..hi_b).contains(&d) {
+                            let cursor = &mut cursors[d - lo_b];
+                            region[*cursor as usize] = pair;
+                            *cursor += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    let mut ends: Vec<u32> = Vec::with_capacity(BUCKETS);
+    ends.extend_from_slice(&starts[1..]);
+    ends.push(n as u32);
+    ends
 }
 
 /// Sorts each bucket of a partitioned buffer in place. An adversarial
 /// batch that collapses into one bucket degrades to the comparison sort
 /// this module replaced — never worse.
-pub(crate) fn sort_buckets(scattered: &mut [Pair], ends: &[u32], threads: usize) {
-    if threads > 1 {
-        let mut slices: Vec<&mut [Pair]> = Vec::with_capacity(1024);
-        let mut rest: &mut [Pair] = scattered;
-        let mut start = 0u32;
-        for &end in ends {
-            let (bucket, tail) = rest.split_at_mut((end - start) as usize);
-            rest = tail;
-            start = end;
-            if bucket.len() > 1 {
-                slices.push(bucket);
-            }
-        }
-        par::for_each_mut(threads, &mut slices, |bucket| {
-            bucket.sort_unstable_by_key(|&(key, id)| (key, id));
-        });
-    } else {
+///
+/// At `threads > 1` buckets are dealt to workers as contiguous owned
+/// runs balanced by pair count, through a [`par::StealQueue`]: when
+/// `steal` is on, a worker whose run drains early pulls buckets from the
+/// heavy end of a neighbour's run. The sorts are in-place on disjoint
+/// slices, so the result never depends on who sorted what.
+pub(crate) fn sort_buckets(scattered: &mut [Pair], ends: &[u32], threads: usize, steal: bool) {
+    if threads <= 1 {
         let mut start = 0u32;
         for &end in ends {
             if end - start > 1 {
@@ -200,24 +362,108 @@ pub(crate) fn sort_buckets(scattered: &mut [Pair], ends: &[u32], threads: usize)
             }
             start = end;
         }
+        return;
+    }
+    let mut slices: Vec<&mut [Pair]> = Vec::with_capacity(1024);
+    let mut rest: &mut [Pair] = scattered;
+    let mut start = 0u32;
+    for &end in ends {
+        let (bucket, tail) = rest.split_at_mut((end - start) as usize);
+        rest = tail;
+        start = end;
+        if bucket.len() > 1 {
+            slices.push(bucket);
+        }
+    }
+    if slices.is_empty() {
+        return;
+    }
+    let total: usize = slices.iter().map(|bucket| bucket.len()).sum();
+    let workers = threads.min(slices.len());
+    let mut queue = par::StealQueue::new(workers, steal);
+    let mut acc = 0usize;
+    let mut owner = 0usize;
+    for bucket in slices {
+        acc += bucket.len();
+        queue.push(owner, bucket);
+        while owner + 1 < workers && acc * workers >= total * (owner + 1) {
+            owner += 1;
+        }
+    }
+    let queue = &queue;
+    let stolen: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut stolen = 0u64;
+                    while let Some((bucket, was_stolen)) = queue.pop(w) {
+                        bucket.sort_unstable_by_key(|&(key, id)| (key, id));
+                        stolen += u64::from(was_stolen);
+                    }
+                    stolen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(count) => count,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .sum()
+    });
+    if stolen > 0 {
+        obs::global().add(obs::CounterId::StealTasks, stolen);
     }
 }
 
 /// Sorts `pairs` by `(key, id)` in place. `scratch` is the scatter
 /// target, retained capacity is reused across calls; `threads` bounds the
-/// fan-out and has no effect on the result.
-pub(crate) fn sort_pairs(pairs: &mut Vec<Pair>, scratch: &mut Vec<Pair>, threads: usize) {
+/// fan-out, `steal` the bucket-sort stealing, and `diff` is the optional
+/// precomputed key-spread mask (see [`partition`]) — none affect the
+/// result.
+pub(crate) fn sort_pairs(
+    pairs: &mut Vec<Pair>,
+    scratch: &mut Vec<Pair>,
+    threads: usize,
+    steal: bool,
+    diff: Option<u64>,
+) {
     if pairs.len() <= 1 {
         return;
     }
-    if let Partition::Buckets { ends, .. } = partition(pairs, scratch, threads) {
-        sort_buckets(scratch, &ends, threads);
+    if let Partition::Buckets { ends, .. } = partition(pairs, scratch, threads, diff) {
+        sort_buckets(scratch, &ends, threads, steal);
     }
     std::mem::swap(pairs, scratch);
 }
 
+/// Sorts the bucket segments of a task slice in place: `pairs` starts at
+/// global offset `lo` of a partitioned array whose bucket END offsets are
+/// `ends`, and each maximal run of one bucket's pairs inside the slice is
+/// sorted independently. The fully sorted array is "every bucket sorted in
+/// place", so once every task slice has been segment-sorted the array as a
+/// whole is sorted — a bucket cut by a slice edge must have been pre-sorted
+/// by the planner (`ShardPlan::rebuild_tasks` does), in which case its
+/// fringes are already-sorted runs this re-sort leaves unchanged.
+pub(crate) fn sort_segments(pairs: &mut [Pair], lo: usize, ends: &[u32]) {
+    let hi = lo + pairs.len();
+    let mut b = ends.partition_point(|&end| (end as usize) <= lo);
+    let mut seg_lo = lo;
+    while seg_lo < hi {
+        let seg_hi = (ends[b] as usize).min(hi);
+        if seg_hi - seg_lo > 1 {
+            pairs[seg_lo - lo..seg_hi - lo].sort_unstable_by_key(|&(key, id)| (key, id));
+        }
+        seg_lo = seg_hi;
+        b += 1;
+    }
+}
+
+/// MSD digit of `key` for a window anchored at `shift`: the bucket index
+/// of the single counting pass.
 #[inline]
-fn digit(key: u64, shift: u32) -> usize {
+pub(crate) fn digit(key: u64, shift: u32) -> usize {
     ((key >> shift) as usize) & (BUCKETS - 1)
 }
 
@@ -252,10 +498,15 @@ mod tests {
                 let input = pseudo_random_pairs(n, mask, 42 + n as u64);
                 let expected = reference_sort(&input);
                 for threads in [1, 2, 4, 7] {
-                    let mut pairs = input.clone();
-                    let mut scratch = Vec::new();
-                    sort_pairs(&mut pairs, &mut scratch, threads);
-                    assert_eq!(pairs, expected, "n={n} mask={mask:#x} threads={threads}");
+                    for steal in [false, true] {
+                        let mut pairs = input.clone();
+                        let mut scratch = Vec::new();
+                        sort_pairs(&mut pairs, &mut scratch, threads, steal, None);
+                        assert_eq!(
+                            pairs, expected,
+                            "n={n} mask={mask:#x} threads={threads} steal={steal}"
+                        );
+                    }
                 }
             }
         }
@@ -273,7 +524,7 @@ mod tests {
         for threads in [1, 4] {
             let mut pairs = input.clone();
             let mut scratch = Vec::new();
-            sort_pairs(&mut pairs, &mut scratch, threads);
+            sort_pairs(&mut pairs, &mut scratch, threads, true, None);
             assert_eq!(pairs, expected, "threads={threads}");
         }
     }
@@ -284,7 +535,7 @@ mod tests {
         let input: Vec<Pair> = (0..10_000).map(|i| (7, i as u32)).collect();
         let mut pairs = input.clone();
         let mut scratch = Vec::new();
-        sort_pairs(&mut pairs, &mut scratch, 4);
+        sort_pairs(&mut pairs, &mut scratch, 4, true, None);
         assert_eq!(pairs, input);
     }
 
@@ -292,7 +543,7 @@ mod tests {
     fn scratch_capacity_is_reused() {
         let mut scratch = Vec::new();
         let mut pairs = pseudo_random_pairs(30_000, u64::MAX, 1);
-        sort_pairs(&mut pairs, &mut scratch, 2);
+        sort_pairs(&mut pairs, &mut scratch, 2, true, None);
         assert!(scratch.capacity() >= 30_000);
         // The final swap trades the two buffers, so measure the pair: a
         // second, smaller sort must keep serving from the two existing
@@ -300,11 +551,73 @@ mod tests {
         let total = pairs.capacity() + scratch.capacity();
         pairs.clear();
         pairs.extend(pseudo_random_pairs(20_000, u64::MAX, 2));
-        sort_pairs(&mut pairs, &mut scratch, 2);
+        sort_pairs(&mut pairs, &mut scratch, 2, true, None);
         assert_eq!(
             pairs.capacity() + scratch.capacity(),
             total,
             "second sort must not reallocate"
         );
+    }
+
+    /// The owned-run parallel scatter must be byte-identical to the
+    /// sequential stable scatter for every worker count — including more
+    /// workers than occupied buckets. `partition_with` is the seam: the
+    /// public `partition` caps the fan-out at physical cores, which on a
+    /// 1-core CI host would never exercise the parallel path.
+    #[test]
+    fn parallel_scatter_matches_sequential_for_any_worker_count() {
+        for &(n, mask) in &[
+            (40_000usize, u64::MAX),
+            (40_000, 0x3FFFF),
+            // 3 occupied buckets — fewer buckets than workers.
+            (PARALLEL_SORT, 0x3_0000_0000_0000u64),
+        ] {
+            let input = pseudo_random_pairs(n, mask, 7 + n as u64);
+            let mut seq_out = Vec::new();
+            let seq = partition_with(&input, &mut seq_out, 1, 1, None);
+            let (seq_ends, seq_shift, seq_high) = match seq {
+                Partition::Buckets { ends, shift, high } => (ends, shift, high),
+                Partition::Sorted => panic!("radix path expected for n={n}"),
+            };
+            for workers in [2usize, 3, 4, 8] {
+                let mut out = Vec::new();
+                match partition_with(&input, &mut out, 4, workers, None) {
+                    Partition::Buckets { ends, shift, high } => {
+                        assert_eq!(shift, seq_shift, "workers={workers}");
+                        assert_eq!(high, seq_high, "workers={workers}");
+                        assert_eq!(ends, seq_ends, "workers={workers}");
+                    }
+                    Partition::Sorted => panic!("radix path expected"),
+                }
+                assert_eq!(out, seq_out, "n={n} mask={mask:#x} workers={workers}");
+            }
+        }
+    }
+
+    /// One giant bucket plus a fringe of tiny ones: with stealing on,
+    /// idle workers must still produce the exact sorted output (the
+    /// imbalance shape the steal queue exists for).
+    #[test]
+    fn forced_imbalance_sorts_identically_with_and_without_stealing() {
+        // ~90% of keys share one MSD digit; the rest spread out.
+        let input: Vec<Pair> = pseudo_random_pairs(30_000, u64::MAX, 11)
+            .into_iter()
+            .map(|(key, id)| {
+                if id % 10 != 0 {
+                    ((key & 0xFFFF_FFFF) | 0x7777_0000_0000, id)
+                } else {
+                    (key, id)
+                }
+            })
+            .collect();
+        let expected = reference_sort(&input);
+        for threads in [2, 4, 8] {
+            for steal in [false, true] {
+                let mut pairs = input.clone();
+                let mut scratch = Vec::new();
+                sort_pairs(&mut pairs, &mut scratch, threads, steal, None);
+                assert_eq!(pairs, expected, "threads={threads} steal={steal}");
+            }
+        }
     }
 }

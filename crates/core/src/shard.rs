@@ -12,14 +12,17 @@
 //! shards cannot cap parallelism: each task restarts its own forward-only
 //! merge cursor at the split boundary.
 //!
-//! [`ShardPlan::rebuild_streamed`] fuses the two stages: because the MSD
-//! partition leaves buckets in ascending key order, a subarray's shard is
-//! complete as soon as the partition cursor passes its upper boundary —
-//! the planner seals and *dispatches* each task the moment its bucket
-//! range is sorted, so downstream match workers overlap with the
-//! remaining per-bucket sorts instead of waiting behind a global sort
-//! barrier. The sealed plan, the sorted array, and the task sequence are
-//! bit-identical to the barriered [`ShardPlan::rebuild`].
+//! [`ShardPlan::rebuild_tasks`] fuses the two stages by moving the
+//! per-bucket sorts *into the match tasks*: the MSD partition fixes every
+//! bucket's position up front, so the planner only pre-sorts the handful
+//! of buckets that contain a shard or task boundary (routing needs their
+//! exact interior order), carves the whole bucketed array into sealed
+//! per-task slices, and hands the bulk of the comparison-sort work to the
+//! match workers — each sorts its task's bucket segments just before
+//! matching them, so the dominant sort cost fans out across every worker
+//! instead of serializing on the planner thread. The sealed plan, the
+//! final sorted array, and the task sequence are bit-identical to the
+//! barriered [`ShardPlan::rebuild`].
 //!
 //! The reduce step scatters per-query results back by id and merges
 //! per-subarray resource loads with integer sums, so the run's output is
@@ -66,7 +69,9 @@ impl ShardPlan {
     /// Rebuilds the plan in place (all buffers reuse their capacity),
     /// sorting and routing the caller-filled `pairs` through `index`.
     /// `pairs_scratch` is the radix scatter buffer, owned by the caller's
-    /// scratch arena.
+    /// scratch arena. `diff` optionally carries the batch's precomputed
+    /// OR-fold of `key ^ first_key` (see [`radix::sort_pairs`]) so the
+    /// sort can skip its own scan over the keys.
     ///
     /// The sort is stable on k-mer bits whenever ids are assigned in
     /// input order, and the boundary searches are pure functions of the
@@ -78,6 +83,8 @@ impl ShardPlan {
         pairs: &mut Vec<radix::Pair>,
         pairs_scratch: &mut Vec<radix::Pair>,
         threads: usize,
+        steal: bool,
+        diff: Option<u64>,
     ) {
         self.starts.clear();
         self.subarrays.clear();
@@ -93,7 +100,7 @@ impl ShardPlan {
 
         {
             let _span = obs::span("shard.sort");
-            radix::sort_pairs(pairs, pairs_scratch, threads);
+            radix::sort_pairs(pairs, pairs_scratch, threads, steal, diff);
         }
 
         // Route by boundary: subarray d's shard is the sorted range below
@@ -125,31 +132,33 @@ impl ShardPlan {
         self.emit_trace();
     }
 
-    /// [`Self::rebuild`] fused with task dispatch: `sink(task, subarray,
-    /// pairs)` fires for every task **in task order**, as soon as that
-    /// task's slice of the sorted array is final — for most of the batch
-    /// that is long before the whole array is sorted. On return the plan
-    /// and the sorted pairs (left in `scratch`; callers swap buffers) are
-    /// bit-identical to what [`Self::rebuild`] produces.
+    /// [`Self::rebuild`] fused with task dispatch, the bulk sort moved
+    /// into the tasks themselves: partitions `pairs` into `scratch`,
+    /// pre-sorts only the buckets a shard or task boundary lands inside
+    /// (routing needs their exact interior order — everything else can
+    /// stay bucket-granular), builds the identical plan, and returns the
+    /// whole array carved into disjoint `&mut` per-task slices plus the
+    /// partition's bucket table. Match workers call
+    /// [`radix::sort_segments`] on a task before matching it; once every
+    /// task has run, `scratch` holds exactly the array
+    /// [`Self::rebuild`] would have produced (callers swap buffers).
     ///
-    /// The streaming works because the MSD partition's buckets are in
-    /// ascending key order: after sorting bucket `b` in place, every
-    /// boundary `firsts[d]` at or below the smallest key any later bucket
-    /// can hold is final, so the shards below it can be sealed and their
-    /// tasks handed out while later buckets are still unsorted. The sink
-    /// receives disjoint `&mut`-derived slices of `scratch`, which is
-    /// what lets match workers read them while the planner keeps sorting
-    /// the tail.
-    pub fn rebuild_streamed<'data, F>(
+    /// Correctness of the boundary trick: the MSD partition leaves
+    /// buckets in ascending key order, so the fully sorted array is "each
+    /// bucket sorted, in place". A boundary key `K` falls inside exactly
+    /// one bucket; sorting that bucket makes `partition_point` inside it
+    /// exact, and every earlier bucket contributes its full length —
+    /// the same position the sorted array yields. A bucket cut by a task
+    /// boundary is pre-sorted too, so the two task fringes each hold a
+    /// sorted run that segment re-sorting leaves unchanged.
+    pub fn rebuild_tasks<'data>(
         &mut self,
         index: &SubarrayIndex,
         pairs: &[radix::Pair],
         scratch: &'data mut Vec<radix::Pair>,
         threads: usize,
-        mut sink: F,
-    ) where
-        F: FnMut(usize, usize, &'data [radix::Pair]),
-    {
+        diff: Option<u64>,
+    ) -> FusedTasks<'data> {
         self.starts.clear();
         self.subarrays.clear();
         self.tasks.clear();
@@ -159,73 +168,138 @@ impl ShardPlan {
             "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
         );
         if n == 0 {
-            return;
+            return FusedTasks {
+                tasks: Vec::new(),
+                bucket_ends: Vec::new(),
+            };
         }
 
         let part = {
             let _span = obs::span("shard.sort");
-            radix::partition(pairs, scratch, threads)
+            radix::partition(pairs, scratch, threads, diff)
         };
 
         let _span = obs::span("shard.route");
         let firsts = index.first_bits();
-        // Progressively split the sorted prefix off `tail`: it always
-        // begins at global position `shard_lo` (everything before it has
-        // been sealed and handed to the sink).
-        let mut tail: &'data mut [radix::Pair] = scratch.as_mut_slice();
-        let mut shard_lo = 0usize;
-        let mut task_idx = 0usize;
-        let mut cur_sub = 0usize;
-        let mut next_d = 1usize;
+        let bucket_ends = match part {
+            radix::Partition::Buckets { ends, shift, high } => {
+                // `presorted` records which buckets the boundary passes
+                // sorted, in ascending bucket order (boundaries ascend).
+                let mut presorted: Vec<usize> = Vec::new();
+                // Position a boundary key would take in the fully sorted
+                // array (= count of keys < K), resolved on the bucketed
+                // one: keys share their bits at and above the digit
+                // window (`w`), buckets ascend in key order, and sorting
+                // K's own bucket makes the interior search exact.
+                let window = shift + radix::RADIX_BITS; // ≤ 64: shift = sig - RADIX_BITS
+                let w = u128::from(high) >> window;
+                let mut bound_pos = |scratch: &mut [radix::Pair], key: u64| -> usize {
+                    let wk = u128::from(key) >> window;
+                    if wk < w {
+                        return 0;
+                    }
+                    if wk > w {
+                        return n;
+                    }
+                    let b = radix::digit(key, shift);
+                    let blo = if b == 0 { 0 } else { ends[b - 1] as usize };
+                    let bhi = ends[b] as usize;
+                    if bhi - blo > 1 && presorted.last() != Some(&b) {
+                        scratch[blo..bhi].sort_unstable_by_key(|&(key, id)| (key, id));
+                        presorted.push(b);
+                    }
+                    blo + scratch[blo..bhi].partition_point(|&(k, _)| k < key)
+                };
 
-        if let radix::Partition::Buckets { ends, shift, high } = part {
-            let mut start = 0u32;
-            for (b, &end) in ends.iter().enumerate() {
-                if end == start {
-                    continue;
+                // The same routing loop as `rebuild`, on boundary
+                // positions instead of a fully sorted array.
+                let mut lo = 0usize;
+                for d in 0..firsts.len() {
+                    let hi = if d + 1 < firsts.len() {
+                        bound_pos(scratch.as_mut_slice(), firsts[d + 1]).max(lo)
+                    } else {
+                        n
+                    };
+                    if hi > lo {
+                        self.subarrays.push(d as u32);
+                        self.starts.push(lo);
+                        self.split_tasks(lo, hi);
+                        lo = hi;
+                    }
+                    if lo == n {
+                        break;
+                    }
                 }
-                let (blo, bhi) = (start as usize, end as usize);
-                start = end;
-                if bhi - blo > 1 {
-                    tail[blo - shard_lo..bhi - shard_lo]
-                        .sort_unstable_by_key(|&(key, id)| (key, id));
+                self.starts.push(n);
+
+                // Task boundaries from `split_tasks` are arithmetic cuts
+                // that can land mid-bucket: pre-sort those buckets so the
+                // cut position splits a sorted run.
+                let mut last_cut_bucket = usize::MAX;
+                for &(_, t_lo, _) in &self.tasks {
+                    let p = t_lo as usize;
+                    let b = ends.partition_point(|&e| (e as usize) <= p);
+                    let blo = if b == 0 { 0 } else { ends[b - 1] as usize };
+                    if p == blo || b == last_cut_bucket || presorted.binary_search(&b).is_ok()
+                    {
+                        continue; // aligned with a bucket edge or done
+                    }
+                    let bhi = ends[b] as usize;
+                    if bhi - blo > 1 {
+                        scratch[blo..bhi].sort_unstable_by_key(|&(key, id)| (key, id));
+                    }
+                    last_cut_bucket = b;
                 }
-                // Everything below `frontier` is now sorted and final;
-                // later buckets hold keys >= min_later, so any boundary
-                // at or below it can be resolved inside the prefix.
-                // (u128: the digit increment can overflow u64 when the
-                // window sits at the top of the key space.)
-                let frontier = bhi;
-                let min_later = u128::from(high) | ((b as u128 + 1) << shift);
-                while next_d < firsts.len() && u128::from(firsts[next_d]) <= min_later {
-                    let pos = shard_lo
-                        + tail[..frontier - shard_lo]
-                            .partition_point(|&(key, _)| key < firsts[next_d]);
-                    seal(
-                        self, cur_sub, pos, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
-                    );
-                    cur_sub = next_d;
-                    next_d += 1;
-                }
+                ends
             }
+            radix::Partition::Sorted => {
+                // Already fully sorted: route exactly like `rebuild` and
+                // return an empty bucket table (nothing left to sort).
+                let mut lo = 0usize;
+                for d in 0..firsts.len() {
+                    let hi = if d + 1 < firsts.len() {
+                        lo + scratch[lo..].partition_point(|&(key, _)| key < firsts[d + 1])
+                    } else {
+                        n
+                    };
+                    if hi > lo {
+                        self.subarrays.push(d as u32);
+                        self.starts.push(lo);
+                        self.split_tasks(lo, hi);
+                        lo = hi;
+                    }
+                    if lo == n {
+                        break;
+                    }
+                }
+                self.starts.push(n);
+                Vec::new()
+            }
+        };
+
+        // Carve the whole array into per-task `&mut` slices, in task
+        // order. Shards tile `[0, n)` and tasks tile each shard, so the
+        // split chain consumes the buffer exactly.
+        let mut sealed: Vec<SealedTask<'data>> = Vec::with_capacity(self.tasks.len());
+        let mut tail: &'data mut [radix::Pair] = scratch.as_mut_slice();
+        for (idx, &(s, t_lo, t_hi)) in self.tasks.iter().enumerate() {
+            let taken = std::mem::take(&mut tail);
+            let (head, rest) = taken.split_at_mut((t_hi - t_lo) as usize);
+            tail = rest;
+            sealed.push(SealedTask {
+                idx,
+                subarray: self.subarrays[s as usize] as usize,
+                lo: t_lo as usize,
+                pairs: head,
+            });
         }
-        // Whole array sorted (either by the bucket loop above or because
-        // the partition already produced a fully sorted buffer): resolve
-        // the remaining boundaries against the full suffix.
-        while next_d < firsts.len() {
-            let pos = shard_lo + tail.partition_point(|&(key, _)| key < firsts[next_d]);
-            seal(
-                self, cur_sub, pos, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
-            );
-            cur_sub = next_d;
-            next_d += 1;
-        }
-        seal(
-            self, cur_sub, n, &mut shard_lo, &mut tail, &mut task_idx, &mut sink,
-        );
-        self.starts.push(n);
+        debug_assert!(tail.is_empty());
 
         self.emit_trace();
+        FusedTasks {
+            tasks: sealed,
+            bucket_ends,
+        }
     }
 
     /// Splits shard range `[lo, hi)` into near-equal tasks of at most
@@ -301,37 +375,32 @@ impl ShardPlan {
     }
 }
 
-/// Seals the current shard at `hi` (global position): records it in the
-/// plan, carves its task slices off `tail`, and hands each to the sink in
-/// task order. A free function (not a method) so the borrow of the plan's
-/// vectors stays disjoint from the caller's `tail` reborrow.
-fn seal<'data, F>(
-    plan: &mut ShardPlan,
-    sub: usize,
-    hi: usize,
-    shard_lo: &mut usize,
-    tail: &mut &'data mut [radix::Pair],
-    task_idx: &mut usize,
-    sink: &mut F,
-) where
-    F: FnMut(usize, usize, &'data [radix::Pair]),
-{
-    let lo = *shard_lo;
-    if hi <= lo {
-        return;
-    }
-    plan.subarrays.push(sub as u32);
-    plan.starts.push(lo);
-    plan.split_tasks(lo, hi);
-    for t in *task_idx..plan.tasks.len() {
-        let (_, t_lo, t_hi) = plan.tasks[t];
-        let taken = std::mem::take(tail);
-        let (head, rest) = taken.split_at_mut((t_hi - t_lo) as usize);
-        *tail = rest;
-        sink(t, sub, head);
-    }
-    *task_idx = plan.tasks.len();
-    *shard_lo = hi;
+/// The output of [`ShardPlan::rebuild_tasks`]: every match task as a
+/// sealed `&mut` slice of the partitioned array, plus the bucket table
+/// the workers need to finish the sort segment by segment.
+pub(crate) struct FusedTasks<'data> {
+    /// One entry per plan task, in task order.
+    pub tasks: Vec<SealedTask<'data>>,
+    /// Bucket END offsets of the MSD partition ([`radix::Partition::Buckets`]);
+    /// empty when the partition came back fully sorted (small or
+    /// degenerate batches) and there is nothing left to sort.
+    pub bucket_ends: Vec<u32>,
+}
+
+/// One sealed match task: a disjoint `&mut` slice of the partitioned
+/// array, pinned by task id for the deterministic reduce. The worker that
+/// picks it up sorts its bucket segments ([`radix::sort_segments`]) and
+/// matches it.
+pub(crate) struct SealedTask<'data> {
+    /// Task id (plan order).
+    pub idx: usize,
+    /// Destination subarray.
+    pub subarray: usize,
+    /// Global offset of `pairs` within the full array (positions bucket
+    /// segments against the bucket table).
+    pub lo: usize,
+    /// The task's slice of the partitioned array.
+    pub pairs: &'data mut [radix::Pair],
 }
 
 #[cfg(test)]
@@ -358,7 +427,7 @@ mod tests {
         let mut plan = ShardPlan::empty();
         let mut pairs = make_pairs(queries);
         let mut scratch = Vec::new();
-        plan.rebuild(index, &mut pairs, &mut scratch, threads);
+        plan.rebuild(index, &mut pairs, &mut scratch, threads, true, None);
         (plan, pairs)
     }
 
@@ -469,7 +538,7 @@ mod tests {
     }
 
     #[test]
-    fn streamed_plan_matches_rebuild() {
+    fn fused_tasks_match_rebuild() {
         let (index, queries) = plan_inputs();
         // Cover the radix path (big), the small comparison path, and a
         // duplicate-heavy batch in one sweep.
@@ -485,40 +554,66 @@ mod tests {
                 let mut plan = ShardPlan::empty();
                 let pairs = make_pairs(batch);
                 let mut scratch = Vec::new();
-                let mut sunk: Vec<(usize, usize, Vec<radix::Pair>)> = Vec::new();
-                plan.rebuild_streamed(
-                    &index,
-                    &pairs,
-                    &mut scratch,
-                    threads,
-                    |task, sub, slice| sunk.push((task, sub, slice.to_vec())),
-                );
-                assert_eq!(scratch, want_pairs, "{name} threads={threads}");
+                let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, threads, None);
                 assert_eq!(plan.starts, want_plan.starts, "{name}");
                 assert_eq!(plan.subarrays, want_plan.subarrays, "{name}");
                 assert_eq!(plan.tasks, want_plan.tasks, "{name}");
-                // The sink saw every task exactly once, in order, with
-                // the slice the plan describes.
-                assert_eq!(sunk.len(), plan.task_count(), "{name}");
-                for (i, (task, sub, slice)) in sunk.iter().enumerate() {
-                    assert_eq!(*task, i);
+                // Every task slice is present, in order, at its plan
+                // offset; segment-sorting each one must reproduce the
+                // fully sorted array task by task.
+                assert_eq!(fused.tasks.len(), plan.task_count(), "{name}");
+                for (i, task) in fused.tasks.into_iter().enumerate() {
+                    assert_eq!(task.idx, i);
                     let (want_sub, range) = plan.task(i);
-                    assert_eq!(*sub, want_sub);
-                    assert_eq!(slice.as_slice(), &want_pairs[range], "{name} task {i}");
+                    assert_eq!(task.subarray, want_sub, "{name} task {i}");
+                    assert_eq!(task.lo, range.start, "{name} task {i}");
+                    assert_eq!(task.pairs.len(), range.len(), "{name} task {i}");
+                    if !fused.bucket_ends.is_empty() {
+                        radix::sort_segments(task.pairs, task.lo, &fused.bucket_ends);
+                    }
+                    assert_eq!(
+                        &*task.pairs,
+                        &want_pairs[range],
+                        "{name} threads={threads} task {i}"
+                    );
                 }
+                assert_eq!(scratch, want_pairs, "{name} threads={threads}");
             }
         }
     }
 
     #[test]
-    fn streamed_empty_batch_sinks_nothing() {
+    fn fused_tasks_empty_batch_seals_nothing() {
         let (index, _) = plan_inputs();
         let mut plan = ShardPlan::empty();
         let pairs = Vec::new();
         let mut scratch = Vec::new();
-        let mut calls = 0usize;
-        plan.rebuild_streamed(&index, &pairs, &mut scratch, 2, |_, _, _| calls += 1);
-        assert_eq!(calls, 0);
+        let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, 2, None);
+        assert!(fused.tasks.is_empty());
+        assert!(fused.bucket_ends.is_empty());
         assert_eq!(plan.shard_count(), 0);
+    }
+
+    /// A forced-imbalance batch — thousands of copies of a handful of
+    /// keys, so a few giant buckets dwarf the rest — must still seal
+    /// tasks that segment-sort to the exact `rebuild` array (the
+    /// degenerate shape where boundary buckets ARE the bulk).
+    #[test]
+    fn fused_tasks_survive_one_giant_bucket() {
+        let (index, queries) = plan_inputs();
+        let mut batch: Vec<Kmer> = vec![queries[7]; 4 * TASK_TARGET];
+        batch.extend(queries.iter().take(50).copied());
+        let (want_plan, want_pairs) = build(&index, &batch, 4);
+        let mut plan = ShardPlan::empty();
+        let pairs = make_pairs(&batch);
+        let mut scratch = Vec::new();
+        let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, 4, None);
+        assert_eq!(plan.tasks, want_plan.tasks);
+        for task in fused.tasks {
+            if !fused.bucket_ends.is_empty() {
+                radix::sort_segments(task.pairs, task.lo, &fused.bucket_ends);
+            }
+        }
+        assert_eq!(scratch, want_pairs);
     }
 }

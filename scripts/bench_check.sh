@@ -78,7 +78,8 @@ if ! awk -v l="$loss_pct" -v max="$CHECK_MAX_LOSS_PCT" 'BEGIN { exit !(l <= max)
 fi
 
 # Each fresh row's obs overhead (the rows are one-per-line, so pull all).
-cores=$(awk -F'[ ,]' '/"host_cores"/ { print $4 }' "$CHECK_OUT")
+# The ":" in the anchor matters: "host_cores_detected" must not match.
+cores=$(awk -F'[ ,]' '/"host_cores":/ { print $4 }' "$CHECK_OUT")
 while read -r threads pct; do
     if [ "$threads" -gt "${cores:-1}" ]; then
         echo "   obs overhead: threads=${threads} ${pct}% (SKIP: host has ${cores:-?} core(s), oversubscribed rows measure scheduler noise)"

@@ -46,6 +46,28 @@ echo "== heaviest folded stacks (top 12 by weight) =="
 sort -k2 -n -r "$FOLDED" | head -n 12 | awk '{ printf "  %-56s %s\n", $1, $2 }'
 
 echo
+echo "== per-worker sort-span balance (wall lane) =="
+# Fused-path bucket sorts run inside per-task "task.sort" wall spans, one
+# tid per worker thread (pid 2 = wall clock). A max/min busy ratio near
+# 1.0 means the steal queue kept the workers level; a high ratio flags a
+# bucket-ownership imbalance the stealer could not drain.
+awk -F'"tid":' '/"pid":2/ && /"name":"task.sort"/ && /"ph":"X"/ {
+    split($2, t, ","); tid = t[1]
+    split($0, d, /"dur":/); split(d[2], v, "[,}]")
+    if (!(tid in busy)) nw++
+    busy[tid] += v[1]; n[tid]++
+} END {
+    if (nw == 0) { print "  (no task.sort spans: single-thread or unfused run)"; exit }
+    minb = -1; maxb = 0
+    for (w in busy) {
+        printf "  worker %-3s %12.1f us busy  (%d spans)\n", w, busy[w], n[w]
+        if (busy[w] > maxb) maxb = busy[w]
+        if (minb < 0 || busy[w] < minb) minb = busy[w]
+    }
+    if (minb > 0) printf "  max/min busy ratio: %.2f over %d workers\n", maxb / minb, nw
+}' "$CHROME"
+
+echo
 echo "== timeline mass by domain =="
 # %.0f, not %d: picosecond masses exceed 32-bit printf on mawk.
 awk '{ split($1, p, ";"); mass[p[1]] += $NF }

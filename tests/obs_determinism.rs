@@ -102,6 +102,42 @@ fn seeded_device_runs_snapshot_identically_across_thread_counts() {
     }
 }
 
+/// Work stealing only moves tasks between workers, so the deterministic
+/// snapshot (model counters + histograms, `wall.*` dropped — including
+/// the new `wall.steal_tasks`) must be bit-identical across steal on/off
+/// × the full worker sweep, even on a forced-imbalance batch where one
+/// radix bucket holds nearly everything and stealing genuinely fires.
+#[test]
+fn steal_grid_snapshots_identically_across_worker_counts() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let mut queries: Vec<Kmer> = (0..6_000u64)
+        .map(|i| Kmer::from_u64(0x2AAA_0000_0000 | i, 31).unwrap())
+        .collect();
+    queries.extend(ds.entries.iter().map(|&(k, _)| k).take(64));
+    let mut reference: Option<obs::MetricsSnapshot> = None;
+    for steal in [false, true] {
+        for threads in THREAD_SWEEP {
+            obs::global().reset();
+            device(SieveConfig::type3(8).with_steal(steal), threads, &ds)
+                .run(&queries)
+                .unwrap();
+            let snap = obs::global().snapshot().deterministic();
+            assert!(
+                snap.counter("wall.steal_tasks") == 0,
+                "steal accounting leaked into the deterministic view"
+            );
+            match &reference {
+                None => reference = Some(snap),
+                Some(base) => assert_eq!(
+                    &snap, base,
+                    "steal={steal} threads={threads}: deterministic snapshot diverged"
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn snapshot_counters_reflect_the_workload() {
     let _session = RecorderSession::begin();

@@ -175,18 +175,63 @@ fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
         .unwrap();
     for fused in [false, true] {
         for hot_kmers in [0usize, 1 << 18] {
-            for threads in THREAD_SWEEP {
-                let config = SieveConfig::type3(8)
-                    .with_fused(fused)
-                    .with_hot_kmers(hot_kmers);
-                let out = HostPipeline::new(device(config, threads, &ds))
-                    .classify_stream(&reads, chunk)
-                    .unwrap();
-                assert_same_pipeline(
-                    &out,
-                    &base,
-                    &format!("fused={fused} hot_kmers={hot_kmers} threads={threads}"),
-                );
+            for steal in [false, true] {
+                for threads in THREAD_SWEEP {
+                    let config = SieveConfig::type3(8)
+                        .with_fused(fused)
+                        .with_hot_kmers(hot_kmers)
+                        .with_steal(steal);
+                    let out = HostPipeline::new(device(config, threads, &ds))
+                        .classify_stream(&reads, chunk)
+                        .unwrap();
+                    assert_same_pipeline(
+                        &out,
+                        &base,
+                        &format!(
+                            "fused={fused} hot_kmers={hot_kmers} steal={steal} threads={threads}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The work-stealing planner grid (DESIGN.md §6): steal on/off × worker
+/// counts {1,2,4,8} must be bit-identical to the sequential no-steal
+/// reference — functional results and the full modeled report — on three
+/// adversarial batch shapes:
+///
+/// * `giant` — thousands of distinct keys differing only in their low
+///   bits, so the radix partition funnels nearly the whole batch into
+///   one bucket (forced imbalance: one worker owns almost everything and
+///   the others can only steal);
+/// * `narrow` — three distinct keys cycled past the radix threshold, so
+///   every multi-worker setting has more workers than occupied buckets;
+/// * `mixed` — a spread of stored entries, the balanced common case.
+#[test]
+fn steal_grid_is_bit_identical_across_worker_counts() {
+    let ds = dataset();
+    let spread: Vec<Kmer> = ds.entries.iter().map(|&(k, _)| k).take(64).collect();
+    let mut giant: Vec<Kmer> = (0..6_000u64)
+        .map(|i| Kmer::from_u64(0x2AAA_0000_0000 | i, 31).unwrap())
+        .collect();
+    giant.extend(spread.iter().copied());
+    let narrow: Vec<Kmer> = spread.iter().take(3).cycle().take(4_096).copied().collect();
+    let mixed: Vec<Kmer> = spread.iter().cycle().take(5_000).copied().collect();
+    for (name, queries) in [("giant", &giant), ("narrow", &narrow), ("mixed", &mixed)] {
+        let base = device(SieveConfig::type3(8).with_steal(false), 1, &ds)
+            .run(queries)
+            .unwrap();
+        for steal in [false, true] {
+            for fused in [false, true] {
+                for threads in THREAD_SWEEP {
+                    let config = SieveConfig::type3(8).with_fused(fused).with_steal(steal);
+                    let out = device(config, threads, &ds).run(queries).unwrap();
+                    let ctx = format!("{name} steal={steal} fused={fused} threads={threads}");
+                    assert_eq!(out.results, base.results, "{ctx}: results diverged");
+                    assert_eq!(out.report, base.report, "{ctx}: report diverged");
+                }
             }
         }
     }

@@ -177,6 +177,39 @@ fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
     }
 }
 
+/// Work stealing reassigns fused tasks between wall-clock workers but
+/// never touches model time, so the canonical model-stream rendering
+/// must stay byte-identical across steal on/off × worker counts
+/// {1,2,4,8} — including on a forced-imbalance batch (nearly every pair
+/// in one radix bucket) where the stealer genuinely migrates work.
+#[test]
+fn steal_grid_keeps_the_model_trace_byte_identical() {
+    let _session = TracerSession::begin();
+    let ds = dataset();
+    let mut queries: Vec<Kmer> = (0..6_000u64)
+        .map(|i| Kmer::from_u64(0x2AAA_0000_0000 | i, 31).unwrap())
+        .collect();
+    queries.extend(ds.entries.iter().map(|&(k, _)| k).take(64));
+    let mut reference: Option<String> = None;
+    for steal in [false, true] {
+        for threads in [1usize, 2, 4, 8] {
+            trace::global().reset();
+            device(SieveConfig::type3(8).with_steal(steal), threads, &ds)
+                .run(&queries)
+                .unwrap();
+            let lines = trace::global().snapshot().model_lines();
+            assert!(!lines.is_empty());
+            match &reference {
+                None => reference = Some(lines),
+                Some(base) => assert_eq!(
+                    &lines, base,
+                    "steal={steal} threads={threads}: model stream diverged"
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn cluster_model_trace_is_byte_identical_and_devices_share_a_start() {
     let _session = TracerSession::begin();
