@@ -53,6 +53,58 @@ fn bench_engine_lookup(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scalar/SWAR host-kernel twins (DESIGN.md §9) over the same read
+/// batch: packed rolling extraction versus the per-base iterator, and the
+/// branchless majority vote versus the streak-boundary scan. Same group
+/// as the match kernel so one `match_kernel` filter covers the host hot
+/// path end to end.
+fn bench_host_kernels(c: &mut Criterion) {
+    use sieve_core::{vote_reads, HostKernels, HostPipeline, SieveDevice};
+    use sieve_genomics::TaxonId;
+    let ds = synth::make_dataset_with(2, 2048, 31, 3);
+    let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 100, 4);
+    let total: usize = reads.iter().map(|r| r.kmer_count(31)).sum();
+    let host_for = |kernels: HostKernels| {
+        let config = SieveConfig::type3(8)
+            .with_geometry(Geometry::scaled_medium())
+            .with_host_kernels(kernels);
+        HostPipeline::new(SieveDevice::new(config, ds.entries.clone()).unwrap())
+    };
+    // Vote input: the real pipeline shape — owners grouped per read with
+    // a mix of misses, unanimous reads, and contested reads.
+    let n_reads = 4096usize;
+    let mut owners = Vec::new();
+    let mut results: Vec<Option<TaxonId>> = Vec::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for read in 0..n_reads {
+        for _ in 0..24 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            owners.push(read as u32);
+            results.push(match state >> 61 {
+                0 => None,
+                v => Some(TaxonId(v as u32 % 5)),
+            });
+        }
+    }
+    let mut g = c.benchmark_group("match_kernel");
+    g.throughput(Throughput::Elements(total as u64));
+    for kernels in [HostKernels::Swar, HostKernels::Scalar] {
+        let host = host_for(kernels);
+        g.bench_function(format!("extract_{}", kernels.label()).as_str(), |b| {
+            b.iter(|| std::hint::black_box(host.extract_kmers(&reads)).0.len());
+        });
+    }
+    g.throughput(Throughput::Elements(results.len() as u64));
+    for kernels in [HostKernels::Swar, HostKernels::Scalar] {
+        g.bench_function(format!("vote_{}", kernels.label()).as_str(), |b| {
+            b.iter(|| {
+                std::hint::black_box(vote_reads(n_reads, &owners, &results, kernels)).len()
+            });
+        });
+    }
+    g.finish();
+}
+
 /// The device match kernel's two shapes over identical radix-sorted
 /// input: one `MergeCursor::lookup` call per query (rows computed live)
 /// versus `lookup_block` over 512-key blocks with the precomputed
@@ -154,6 +206,7 @@ criterion_group!(
     kernels,
     bench_kmer_extraction,
     bench_engine_lookup,
+    bench_host_kernels,
     bench_match_kernel,
     bench_bitsim_lookup,
     bench_layout_build,

@@ -34,7 +34,7 @@
 use std::time::Instant;
 
 use sieve_bench::table::Table;
-use sieve_core::{obs, HostPipeline, SieveConfig, SieveDevice};
+use sieve_core::{obs, HostKernels, HostPipeline, SieveConfig, SieveDevice};
 use sieve_dram::Geometry;
 use sieve_genomics::synth;
 
@@ -78,6 +78,12 @@ fn main() {
         .map_or(0, |v| v.parse().expect("--chunk takes a read count"));
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
     let trace_path = arg_value(&args, "--trace");
+    let kernels = match arg_value(&args, "--kernels").as_deref() {
+        None => HostKernels::default(),
+        Some("swar") => HostKernels::Swar,
+        Some("scalar") => HostKernels::Scalar,
+        Some(other) => panic!("--kernels takes scalar or swar, got {other:?}"),
+    };
 
     let ds = synth::make_dataset_with(16, 8192, 31, 1001);
     let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), n_reads, 1002);
@@ -89,7 +95,8 @@ fn main() {
         .unwrap_or(detected);
     println!(
         "classify throughput: {n_reads} reads, median of {reps} runs, \
-         {cores} host core(s) ({detected} detected)\n"
+         {cores} host core(s) ({detected} detected), {} host kernels\n",
+        kernels.label()
     );
 
     let mut thread_counts = vec![1usize, 2, 4];
@@ -104,6 +111,7 @@ fn main() {
             let device = SieveDevice::new(
                 SieveConfig::type3(8)
                     .with_geometry(Geometry::scaled_medium())
+                    .with_host_kernels(kernels)
                     .with_threads(threads),
                 ds.entries.clone(),
             )
@@ -316,6 +324,7 @@ fn main() {
                 reps,
                 cores,
                 detected,
+                kernels,
                 mt_threads,
                 &measurements,
                 &snapshot,
@@ -341,6 +350,7 @@ fn render_json(
     reps: usize,
     cores: usize,
     detected: usize,
+    kernels: HostKernels,
     mt_threads: usize,
     measurements: &[Measurement],
     snapshot: &obs::MetricsSnapshot,
@@ -354,6 +364,7 @@ fn render_json(
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str(&format!("  \"host_cores_detected\": {detected},\n"));
     s.push_str("  \"device\": \"T3.8SA\",\n");
+    s.push_str(&format!("  \"host_kernels\": \"{}\",\n", kernels.label()));
     s.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         s.push_str(&format!(

@@ -39,6 +39,36 @@ impl DeviceKind {
     }
 }
 
+/// Which implementation of the host-side hot kernels to run: k-mer
+/// extraction, revcomp/canonical packing, the per-read majority vote, and
+/// the merge cursor's key compares.
+///
+/// Both variants are maintained in lockstep: `Scalar` is the readable
+/// per-base reference, `Swar` the 2-bit-packed production path that
+/// processes 32 bases per `u64` (DESIGN.md §9). The two are proven
+/// byte-identical — k-mer streams, vote output, and obs/trace model
+/// streams — by `tests/kernel_equivalence.rs`, so this is a *simulator*
+/// knob, not a modeled device parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HostKernels {
+    /// Per-base reference implementations.
+    Scalar,
+    /// Bit-packed SWAR implementations (the default).
+    #[default]
+    Swar,
+}
+
+impl HostKernels {
+    /// Short lowercase label for logs and bench JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Swar => "swar",
+        }
+    }
+}
+
 /// Full configuration of a Sieve device.
 ///
 /// Defaults mirror the paper's reference design: a 32 GB module
@@ -145,6 +175,10 @@ pub struct SieveConfig {
     /// results, reports, and model metrics are bit-identical with the
     /// cache off. A *simulator* knob, not a modeled device parameter.
     pub hot_kmers: usize,
+    /// Host-kernel implementation selection (default [`HostKernels::Swar`]).
+    /// Results, reports, and observability snapshots are bit-identical
+    /// for either value (see [`HostKernels`]).
+    pub host_kernels: HostKernels,
 }
 
 impl SieveConfig {
@@ -190,6 +224,7 @@ impl SieveConfig {
             fused: true,
             steal: true,
             hot_kmers: 1 << 18,
+            host_kernels: HostKernels::Swar,
         }
     }
 
@@ -270,6 +305,14 @@ impl SieveConfig {
     #[must_use]
     pub fn with_hot_kmers(mut self, hot_kmers: usize) -> Self {
         self.hot_kmers = hot_kmers;
+        self
+    }
+
+    /// Selects the host-kernel implementations (builder style). Output is
+    /// bit-identical for either value (see [`HostKernels`]).
+    #[must_use]
+    pub fn with_host_kernels(mut self, host_kernels: HostKernels) -> Self {
+        self.host_kernels = host_kernels;
         self
     }
 
@@ -510,7 +553,8 @@ mod tests {
             .with_dedup(false)
             .with_fused(false)
             .with_steal(false)
-            .with_hot_kmers(1024);
+            .with_hot_kmers(1024)
+            .with_host_kernels(HostKernels::Scalar);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
@@ -518,6 +562,14 @@ mod tests {
         assert!(!c.fused);
         assert!(!c.steal);
         assert_eq!(c.hot_kmers, 1024);
+        assert_eq!(c.host_kernels, HostKernels::Scalar);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn host_kernels_default_and_labels() {
+        assert_eq!(SieveConfig::type3(8).host_kernels, HostKernels::Swar);
+        assert_eq!(HostKernels::Swar.label(), "swar");
+        assert_eq!(HostKernels::Scalar.label(), "scalar");
     }
 }

@@ -778,7 +778,12 @@ impl SieveDevice {
                 *key = bits;
             }
             outcomes.clear();
-            cursor.lookup_block(&keys[..block.len()], table, &mut outcomes);
+            cursor.lookup_block_with(
+                &keys[..block.len()],
+                table,
+                self.config.host_kernels,
+                &mut outcomes,
+            );
             for (&(_, id), outcome) in block.iter().zip(&outcomes) {
                 let m = mult.map_or(1u64, |m| u64::from(m[id as usize]));
                 let hit = outcome.hit.is_some();

@@ -19,8 +19,9 @@
 
 use std::sync::mpsc;
 
-use sieve_genomics::{DnaSequence, Kmer, TaxonId};
+use sieve_genomics::{pack, DnaSequence, Kmer, TaxonId};
 
+use crate::config::HostKernels;
 use crate::device::SieveDevice;
 use crate::error::SieveError;
 use crate::obs;
@@ -111,6 +112,7 @@ impl HostPipeline {
         owners: &mut Vec<u32>,
     ) {
         let k = self.device.config().k;
+        let kernels = self.device.config().host_kernels;
         let upper: usize = reads
             .iter()
             .map(|r| (r.len() + 1).saturating_sub(k))
@@ -119,12 +121,8 @@ impl HostPipeline {
         owners.reserve(upper);
         let threads = par::effective_threads(self.device.config().threads);
         if threads == 1 || reads.len() < PARALLEL_EXTRACT_READS {
-            for (ri, read) in reads.iter().enumerate() {
-                for (_, kmer) in read.kmers(k) {
-                    kmers.push(kmer);
-                    owners.push(ri as u32);
-                }
-            }
+            let mut scratch = pack::Extractor::new();
+            extract_reads(reads, 0, k, kernels, &mut scratch, kmers, owners);
             return;
         }
         // A few chunks per worker smooths out read-length imbalance.
@@ -139,13 +137,16 @@ impl HostPipeline {
                 .sum();
             let mut chunk_kmers = Vec::with_capacity(cap);
             let mut chunk_owners = Vec::with_capacity(cap);
-            for (ri, read) in reads[lo..hi].iter().enumerate() {
-                let owner = (lo + ri) as u32;
-                for (_, kmer) in read.kmers(k) {
-                    chunk_kmers.push(kmer);
-                    chunk_owners.push(owner);
-                }
-            }
+            let mut scratch = pack::Extractor::new();
+            extract_reads(
+                &reads[lo..hi],
+                lo as u32,
+                k,
+                kernels,
+                &mut scratch,
+                &mut chunk_kmers,
+                &mut chunk_owners,
+            );
             (chunk_kmers, chunk_owners)
         });
         for (chunk_kmers, chunk_owners) in parts {
@@ -181,7 +182,12 @@ impl HostPipeline {
         let _span = rec.span("host.vote");
         let _wall = trace::span("host.vote");
         Ok(PipelineOutput {
-            reads: vote_reads(reads.len(), &owners, &run.results),
+            reads: vote_reads(
+                reads.len(),
+                &owners,
+                &run.results,
+                self.device.config().host_kernels,
+            ),
             report: run.report,
         })
     }
@@ -261,7 +267,12 @@ impl HostPipeline {
                 let _wall = trace::span("host.device");
                 self.device.run_streamed(&kmers)?
             };
-            all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
+            all_reads.extend(vote_reads(
+                chunk.len(),
+                &owners,
+                &run.results,
+                self.device.config().host_kernels,
+            ));
             match merged {
                 None => *merged = Some(run.report),
                 Some(m) => m.accumulate(&run.report),
@@ -327,7 +338,12 @@ impl HostPipeline {
                     let _wall = trace::span("host.device");
                     self.device.run_streamed(&kmers)?
                 };
-                all_reads.extend(vote_reads(chunk.len(), &owners, &run.results));
+                all_reads.extend(vote_reads(
+                    chunk.len(),
+                    &owners,
+                    &run.results,
+                    self.device.config().host_kernels,
+                ));
                 match &mut *merged {
                     None => *merged = Some(run.report),
                     Some(m) => m.accumulate(&run.report),
@@ -352,6 +368,7 @@ impl HostPipeline {
         pairs: &[(DnaSequence, DnaSequence)],
     ) -> Result<PipelineOutput, SieveError> {
         let k = self.device.config().k;
+        let kernels = self.device.config().host_kernels;
         let upper: usize = pairs
             .iter()
             .map(|(m1, m2)| {
@@ -360,21 +377,69 @@ impl HostPipeline {
             .sum();
         let mut kmers = Vec::with_capacity(upper);
         let mut owners = Vec::with_capacity(upper);
+        let mut scratch = pack::Extractor::new();
         for (ri, (m1, m2)) in pairs.iter().enumerate() {
-            for (_, kmer) in m1.kmers(k) {
-                kmers.push(kmer);
-                owners.push(ri as u32);
-            }
-            for (_, kmer) in m2.reverse_complement().kmers(k) {
-                kmers.push(kmer);
-                owners.push(ri as u32);
-            }
+            let ri = ri as u32;
+            extract_reads(
+                std::slice::from_ref(m1),
+                ri,
+                k,
+                kernels,
+                &mut scratch,
+                &mut kmers,
+                &mut owners,
+            );
+            let rc = m2.reverse_complement();
+            extract_reads(
+                std::slice::from_ref(&rc),
+                ri,
+                k,
+                kernels,
+                &mut scratch,
+                &mut kmers,
+                &mut owners,
+            );
         }
         let run = self.device.run(&kmers)?;
         Ok(PipelineOutput {
-            reads: vote_reads(pairs.len(), &owners, &run.results),
+            reads: vote_reads(pairs.len(), &owners, &run.results, kernels),
             report: run.report,
         })
+    }
+}
+
+/// Appends the k-mers of `reads` — owner tags starting at `first_owner` —
+/// using the selected kernel implementation. The scalar twin is the
+/// rolling per-base iterator ([`DnaSequence::kmers`]); the SWAR twin packs
+/// each read to 2 bits per base and extracts 32-per-`u64`
+/// ([`pack::Extractor`]), reusing `scratch` across the whole slice. Both
+/// produce identical `(kmers, owners)` streams
+/// (`tests/kernel_equivalence.rs`).
+fn extract_reads(
+    reads: &[DnaSequence],
+    first_owner: u32,
+    k: usize,
+    kernels: HostKernels,
+    scratch: &mut pack::Extractor,
+    kmers: &mut Vec<Kmer>,
+    owners: &mut Vec<u32>,
+) {
+    match kernels {
+        HostKernels::Scalar => {
+            for (ri, read) in reads.iter().enumerate() {
+                let owner = first_owner + ri as u32;
+                for (_, kmer) in read.kmers(k) {
+                    kmers.push(kmer);
+                    owners.push(owner);
+                }
+            }
+        }
+        HostKernels::Swar => {
+            for (ri, read) in reads.iter().enumerate() {
+                let n = scratch.extract_forward_into(read, k, kmers);
+                owners.resize(owners.len() + n, first_owner + ri as u32);
+            }
+        }
     }
 }
 
@@ -388,8 +453,25 @@ impl HostPipeline {
 /// into a reused scratch buffer, sorted, and the winner read off the
 /// longest streak — most votes, ties to the lowest taxon id, exactly the
 /// rule the per-read `HashMap` histograms applied, without any per-read
-/// allocation.
-fn vote_reads(n_reads: usize, owners: &[u32], results: &[Option<TaxonId>]) -> Vec<ReadResult> {
+/// allocation. `kernels` selects between the streak-boundary scan
+/// ([`HostKernels::Scalar`]) and the branchless conditional-move counter
+/// ([`HostKernels::Swar`]); the two are proven identical by
+/// `tests/kernel_equivalence.rs`.
+///
+/// Public so benches and differential tests can drive the vote kernels
+/// directly; the pipeline calls it with the device's configured kernels.
+///
+/// # Panics
+///
+/// Debug builds panic if `owners` and `results` disagree in length or
+/// `owners` is not non-decreasing.
+#[must_use]
+pub fn vote_reads(
+    n_reads: usize,
+    owners: &[u32],
+    results: &[Option<TaxonId>],
+    kernels: HostKernels,
+) -> Vec<ReadResult> {
     debug_assert_eq!(owners.len(), results.len());
     debug_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
     let mut out = Vec::with_capacity(n_reads);
@@ -403,19 +485,10 @@ fn vote_reads(n_reads: usize, owners: &[u32], results: &[Option<TaxonId>]) -> Ve
         scratch.clear();
         scratch.extend(results[start..pos].iter().flatten());
         scratch.sort_unstable();
-        let mut best: Option<(usize, TaxonId)> = None;
-        let mut run_start = 0usize;
-        for j in 0..scratch.len() {
-            if j + 1 == scratch.len() || scratch[j + 1] != scratch[j] {
-                let count = j + 1 - run_start;
-                // Streaks come out in ascending taxon order, so a strict
-                // comparison implements "ties to the lowest taxon".
-                if best.is_none_or(|(c, _)| count > c) {
-                    best = Some((count, scratch[j]));
-                }
-                run_start = j + 1;
-            }
-        }
+        let best = match kernels {
+            HostKernels::Scalar => majority_scalar(&scratch),
+            HostKernels::Swar => majority_swar(&scratch),
+        };
         out.push(ReadResult {
             taxon: best.map(|(_, taxon)| taxon),
             hit_kmers: scratch.len(),
@@ -423,6 +496,47 @@ fn vote_reads(n_reads: usize, owners: &[u32], results: &[Option<TaxonId>]) -> Ve
         });
     }
     out
+}
+
+/// The scalar majority twin: scan for streak boundaries, compare streak
+/// lengths at each boundary.
+fn majority_scalar(sorted: &[TaxonId]) -> Option<(usize, TaxonId)> {
+    let mut best: Option<(usize, TaxonId)> = None;
+    let mut run_start = 0usize;
+    for j in 0..sorted.len() {
+        if j + 1 == sorted.len() || sorted[j + 1] != sorted[j] {
+            let count = j + 1 - run_start;
+            // Streaks come out in ascending taxon order, so a strict
+            // comparison implements "ties to the lowest taxon".
+            if best.is_none_or(|(c, _)| count > c) {
+                best = Some((count, sorted[j]));
+            }
+            run_start = j + 1;
+        }
+    }
+    best
+}
+
+/// The branchless majority twin: every element updates a run counter and
+/// the running best through conditional moves — no streak-boundary branch
+/// for the predictor to miss on hit-dense reads. Ties still resolve to
+/// the lowest taxon: runs arrive in ascending order and only a strictly
+/// longer run displaces the best.
+fn majority_swar(sorted: &[TaxonId]) -> Option<(usize, TaxonId)> {
+    let first = *sorted.first()?;
+    let mut prev = first;
+    let mut run = 0usize;
+    let mut best_count = 0usize;
+    let mut best_taxon = first;
+    for &t in sorted {
+        let same = t == prev;
+        run = if same { run + 1 } else { 1 };
+        let better = run > best_count;
+        best_count = if better { run } else { best_count };
+        best_taxon = if better { t } else { best_taxon };
+        prev = t;
+    }
+    Some((best_count, best_taxon))
 }
 
 #[cfg(test)]

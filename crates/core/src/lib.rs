@@ -80,10 +80,10 @@ pub mod xcheck;
 
 pub use api::SieveApi;
 pub use cluster::{ClusterRun, SieveCluster};
-pub use config::{DeviceKind, SieveConfig};
+pub use config::{DeviceKind, HostKernels, SieveConfig};
 pub use device::{RunOutput, SieveDevice};
 pub use error::SieveError;
-pub use host::{HostPipeline, PipelineOutput, ReadResult};
+pub use host::{vote_reads, HostPipeline, PipelineOutput, ReadResult};
 pub use index::{SubarrayIndex, ENTRY_BYTES};
 pub use layout::{DeviceLayout, GroupShape, SubarrayView};
 pub use pcie::PcieConfig;

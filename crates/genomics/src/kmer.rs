@@ -9,6 +9,43 @@ use crate::error::GenomicsError;
 /// Maximum supported k for a 64-bit packed k-mer.
 pub const MAX_K: usize = 32;
 
+/// XOR with this mask complements every 2-bit base field at once: under
+/// the paper's encoding (A=00, C=01, T=10, G=11) complementation is
+/// exactly "flip the high bit of the field" (A↔T is 00↔10, C↔G is 01↔11).
+const COMPLEMENT_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Reverse-complements a low-aligned 2k-bit packing in a handful of
+/// full-width `u64` operations — the SWAR kernel behind
+/// [`Kmer::reverse_complement`] (DESIGN.md §9).
+///
+/// One XOR complements all 32 base fields (the unused high fields become
+/// garbage, but they land in the discarded low bits after the reversal);
+/// two mask/shift rounds plus a byte swap reverse the 32 fields; the
+/// final shift re-aligns the k real fields to the low 2k bits. Every base
+/// — including the middle base of an odd k — passes through the same XOR,
+/// so the scalar and SWAR twins agree on all 4^k values (proven
+/// exhaustively for k ≤ 11 in `tests/kernel_equivalence.rs`).
+#[inline]
+#[must_use]
+pub fn revcomp_bits(bits: u64, k: usize) -> u64 {
+    debug_assert!((1..=MAX_K).contains(&k), "k must be in 1..=32");
+    let x = bits ^ COMPLEMENT_MASK;
+    // Reverse the 32 2-bit fields: swap adjacent fields, then adjacent
+    // nibbles, then the 8 bytes.
+    let x = ((x & 0x3333_3333_3333_3333) << 2) | ((x >> 2) & 0x3333_3333_3333_3333);
+    let x = ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+    let x = x.swap_bytes();
+    x >> (64 - 2 * k)
+}
+
+/// Canonical form of a low-aligned 2k-bit packing: the branchless minimum
+/// of the forward packing and its reverse complement.
+#[inline]
+#[must_use]
+pub fn canonical_bits(bits: u64, k: usize) -> u64 {
+    bits.min(revcomp_bits(bits, k))
+}
+
 /// A k-mer packed into a `u64`, first base in the most significant bits.
 ///
 /// Because the first base occupies the high bits, **integer order equals
@@ -75,6 +112,17 @@ impl Kmer {
             return Err(GenomicsError::InvalidK { k });
         }
         Ok(Self { bits, k: k as u8 })
+    }
+
+    /// Builds a k-mer from pre-validated packed bits — the hot-path
+    /// constructor for [`crate::pack`]'s extractor, which maintains the
+    /// `bits >> 2k == 0` invariant itself.
+    #[inline]
+    #[must_use]
+    pub(crate) fn from_bits_unchecked(bits: u64, k: usize) -> Self {
+        debug_assert!((1..=MAX_K).contains(&k), "k must be in 1..=32");
+        debug_assert!(k == MAX_K || bits >> (2 * k) == 0, "bits above 2k");
+        Self { bits, k: k as u8 }
     }
 
     /// The k of this k-mer.
@@ -156,9 +204,21 @@ impl Kmer {
         }
     }
 
-    /// The reverse complement of this k-mer.
+    /// The reverse complement of this k-mer ([`revcomp_bits`], the SWAR
+    /// kernel). Bit-identical to [`Kmer::reverse_complement_scalar`].
     #[must_use]
     pub fn reverse_complement(&self) -> Self {
+        Self {
+            bits: revcomp_bits(self.bits, self.k()),
+            k: self.k,
+        }
+    }
+
+    /// The scalar twin of [`Kmer::reverse_complement`]: one
+    /// base-unpack/complement/repack per position. Kept as the readable
+    /// reference the differential tests compare the SWAR kernel against.
+    #[must_use]
+    pub fn reverse_complement_scalar(&self) -> Self {
         let mut bits = 0u64;
         for i in 0..self.k() {
             bits = (bits << 2) | u64::from(self.base(self.k() - 1 - i).complement().to_bits());
@@ -168,9 +228,20 @@ impl Kmer {
 
     /// The canonical form: the lexicographic minimum of this k-mer and its
     /// reverse complement (the convention Kraken-family tools store).
+    /// Selected branchlessly via [`canonical_bits`].
     #[must_use]
     pub fn canonical(&self) -> Self {
-        let rc = self.reverse_complement();
+        Self {
+            bits: canonical_bits(self.bits, self.k()),
+            k: self.k,
+        }
+    }
+
+    /// The scalar twin of [`Kmer::canonical`], built on
+    /// [`Kmer::reverse_complement_scalar`] and an explicit comparison.
+    #[must_use]
+    pub fn canonical_scalar(&self) -> Self {
+        let rc = self.reverse_complement_scalar();
         if rc.bits < self.bits {
             rc
         } else {
@@ -293,6 +364,32 @@ mod tests {
         let canon = k.canonical();
         assert!(canon.bits() <= k.bits());
         assert_eq!(canon, k.reverse_complement().canonical());
+    }
+
+    #[test]
+    fn swar_revcomp_matches_scalar_twin() {
+        // A deterministic xorshift walk over every k, including odd k
+        // (middle base) and k=32 (no spare bits).
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for k in 1..=MAX_K {
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let bits = if k == MAX_K { x } else { x & ((1u64 << (2 * k)) - 1) };
+                let kmer = Kmer::from_u64(bits, k).unwrap();
+                assert_eq!(
+                    kmer.reverse_complement(),
+                    kmer.reverse_complement_scalar(),
+                    "revcomp twins disagree at k={k} bits={bits:#x}"
+                );
+                assert_eq!(
+                    kmer.canonical(),
+                    kmer.canonical_scalar(),
+                    "canonical twins disagree at k={k} bits={bits:#x}"
+                );
+            }
+        }
     }
 
     #[test]

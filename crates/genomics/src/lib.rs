@@ -52,6 +52,7 @@ mod error;
 pub mod fasta;
 pub mod fastq;
 mod kmer;
+pub mod pack;
 mod sequence;
 pub mod stats;
 pub mod synth;
@@ -59,6 +60,6 @@ mod taxonomy;
 
 pub use base::Base;
 pub use error::GenomicsError;
-pub use kmer::{Kmer, MAX_K};
+pub use kmer::{canonical_bits, revcomp_bits, Kmer, MAX_K};
 pub use sequence::{DnaSequence, Kmers};
 pub use taxonomy::{TaxonId, Taxonomy};

@@ -60,6 +60,16 @@ field_1t_compat() {
     fi
     echo "$v"
 }
+# Top-level host-kernels tag ("swar"/"scalar"); baselines that predate
+# the field report n/a and still gate normally (they measured the old
+# scalar-only pipeline, which the throughput margin absorbs).
+host_kernels() {
+    awk -F'"' '/"host_kernels":/ { print $4; exit }' "$1"
+}
+base_kernels=$(host_kernels "$BASELINE")
+fresh_kernels=$(host_kernels "$CHECK_OUT")
+echo "   host kernels: baseline=${base_kernels:-n/a} fresh=${fresh_kernels:-n/a}"
+
 base_rps=$(field_1t_compat "$BASELINE" reads_per_sec)
 fresh_rps=$(field_1t_compat "$CHECK_OUT" reads_per_sec)
 

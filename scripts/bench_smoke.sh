@@ -43,13 +43,14 @@ cargo run -q --release -p sieve-bench --bin bench_classify -- \
 # The hand-rolled JSON is line-per-row, so awk is enough to pull fields.
 # The ":" in the anchor matters: "host_cores_detected" must not match.
 cores=$(awk -F'[ ,]' '/"host_cores":/ { print $4 }' "$SMOKE_OUT")
+kernels=$(awk -F'"' '/"host_kernels":/ { print $4; exit }' "$SMOKE_OUT")
 # Anchor batch floors on the chunk-0 rows and the streamed floor on the
 # non-zero chunk rows: both row families carry the same thread counts.
 rps_1t=$(awk -F'"reads_per_sec": ' '/"threads": 1, "chunk": 0,/ { split($2, a, ","); print a[1]; exit }' "$SMOKE_OUT")
 speedup_2t=$(awk -F'"speedup_vs_1_thread": ' '/"threads": 2, "chunk": [1-9]/ { split($2, a, ","); print a[1]; exit }' "$SMOKE_OUT")
 speedup_4t=$(awk -F'"speedup_vs_1_thread": ' '/"threads": 4, "chunk": 0,/ { split($2, a, ","); print a[1]; exit }' "$SMOKE_OUT")
 
-echo "   host_cores=${cores} 1t=${rps_1t} reads/sec 2t_streamed_speedup=${speedup_2t:-n/a} 4t_speedup=${speedup_4t:-n/a}"
+echo "   host_cores=${cores} kernels=${kernels:-n/a} 1t=${rps_1t} reads/sec 2t_streamed_speedup=${speedup_2t:-n/a} 4t_speedup=${speedup_4t:-n/a}"
 
 fail=0
 if ! awk -v v="$rps_1t" -v floor="$SMOKE_FLOOR_1T" 'BEGIN { exit !(v >= floor) }'; then

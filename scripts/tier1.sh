@@ -22,6 +22,14 @@ cargo test -q \
     --test cluster_edge \
     --test parallel_determinism
 
+echo "== tier1: kernel differential suite under overflow checks =="
+# The scalar/SWAR twins (DESIGN.md §9) lean on wrapping-free bit algebra
+# (LCP-from-XOR, mask erosion, rolling shifts); overflow checks turn any
+# silent wrap in that algebra into a test failure. A separate target dir
+# keeps the special RUSTFLAGS from invalidating the main cache.
+RUSTFLAGS="-C overflow-checks=on" CARGO_TARGET_DIR=target/overflow \
+    cargo test -q --test kernel_equivalence
+
 echo "== tier1: bench smoke (throughput floors) =="
 ./scripts/bench_smoke.sh
 

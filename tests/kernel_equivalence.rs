@@ -1,0 +1,520 @@
+//! Differential harness for the host kernels (DESIGN.md §9): every SWAR
+//! kernel — packed k-mer extraction, revcomp/canonical, the branchless
+//! majority vote, the merge cursor's key compares — must be byte-identical
+//! to its scalar twin on *every* input, not just typical reads. This file
+//! drives both implementations over adversarial grids (N-density sweeps,
+//! reads straddling the 32-base word boundary, palindromes, empty and
+//! sub-k reads), over seeded random inputs, and through the full pipeline
+//! including the obs/trace model streams.
+//!
+//! tier1.sh additionally runs this binary under
+//! `RUSTFLAGS="-C overflow-checks=on"` so any shift/mask arithmetic
+//! overflow in the SWAR kernels fails loudly.
+//!
+//! The recorder and tracer are process-wide; the tests that touch them
+//! serialize on a local mutex (this file is its own binary).
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use sieve::core::{obs, trace, vote_reads, HostKernels, HostPipeline, SieveConfig, SieveDevice};
+use sieve::dram::Geometry;
+use sieve::genomics::{pack, synth, DnaSequence, Kmer, TaxonId};
+
+/// The k grid: two odd ks with a middle base (one of them the paper's 31)
+/// and a divisor-of-64 k that keeps windows word-aligned.
+const KS: [usize; 3] = [15, 21, 31];
+
+/// N-density sweep, in percent.
+const DENSITIES: [u32; 4] = [0, 1, 50, 100];
+
+/// Serializes the obs/trace tests around the process-wide globals.
+static GLOBALS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic LCG read: `n_percent` of positions are `N`, the rest a
+/// seeded ACGT stream. Seeds are part of the test vector — see
+/// `kernel_equivalence.proptest-regressions` for the cases that earned a
+/// permanent slot.
+fn lcg_read(len: usize, n_percent: u32, seed: u64) -> DnaSequence {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        let r = next();
+        if r % 100 < u64::from(n_percent) {
+            s.push('N');
+        } else {
+            s.push(['A', 'C', 'G', 'T'][(r / 100 % 4) as usize]);
+        }
+    }
+    s.parse().expect("alphabet is ACGTN")
+}
+
+/// The scalar reference extraction: the rolling per-base iterator, read
+/// by read — exactly what `HostKernels::Scalar` runs inside the pipeline.
+fn scalar_extract(reads: &[DnaSequence], k: usize) -> (Vec<Kmer>, Vec<u32>) {
+    let mut kmers = Vec::new();
+    let mut owners = Vec::new();
+    for (ri, read) in reads.iter().enumerate() {
+        for (_, kmer) in read.kmers(k) {
+            kmers.push(kmer);
+            owners.push(ri as u32);
+        }
+    }
+    (kmers, owners)
+}
+
+/// The SWAR extraction driven directly through `pack::Extractor`, with
+/// owner tags assigned the same way the pipeline does.
+fn swar_extract(reads: &[DnaSequence], k: usize) -> (Vec<Kmer>, Vec<u32>) {
+    let mut kmers = Vec::new();
+    let mut owners = Vec::new();
+    let mut ex = pack::Extractor::new();
+    for (ri, read) in reads.iter().enumerate() {
+        let n = ex.extract_forward_into(read, k, &mut kmers);
+        owners.resize(owners.len() + n, ri as u32);
+    }
+    (kmers, owners)
+}
+
+/// Asserts both extraction twins agree on `reads` — forward stream,
+/// owner tags, and canonical stream.
+fn assert_extract_twins(reads: &[DnaSequence], k: usize, label: &str) {
+    let scalar = scalar_extract(reads, k);
+    let swar = swar_extract(reads, k);
+    assert_eq!(swar, scalar, "forward extraction diverged: {label}");
+    // Canonical: SWAR branchless min(fwd, rc) vs the scalar-twin
+    // composition of the iterator and the per-base revcomp.
+    let mut ex = pack::Extractor::new();
+    for (ri, read) in reads.iter().enumerate() {
+        let mut canon_swar = Vec::new();
+        ex.extract_canonical_into(read, k, &mut canon_swar);
+        let canon_scalar: Vec<Kmer> = read
+            .kmers(k)
+            .map(|(_, kmer)| kmer.canonical_scalar())
+            .collect();
+        assert_eq!(
+            canon_swar, canon_scalar,
+            "canonical extraction diverged: {label}, read {ri}"
+        );
+    }
+}
+
+fn host_for(ds: &synth::SyntheticDataset, k: usize, kernels: HostKernels) -> HostPipeline {
+    let config = SieveConfig::type3(8)
+        .with_geometry(Geometry::scaled_medium())
+        .with_k(k)
+        .with_host_kernels(kernels)
+        .with_threads(1);
+    HostPipeline::new(SieveDevice::new(config, ds.entries.clone()).expect("dataset fits"))
+}
+
+// ---------------------------------------------------------------------
+// Extraction: deterministic grids
+// ---------------------------------------------------------------------
+
+#[test]
+fn extraction_grid_densities_and_lengths() {
+    // The satellite grid: N densities × read lengths around k and the
+    // 32-base word boundary × the k grid, single reads and batches.
+    for &k in &KS {
+        let lens = [0, 1, k - 1, k, k + 1, 31, 32, 33, 1000];
+        for &density in &DENSITIES {
+            let mut batch = Vec::new();
+            for (i, &len) in lens.iter().enumerate() {
+                let read = lcg_read(len, density, (k * 1000 + len * 7 + i) as u64);
+                assert_extract_twins(
+                    std::slice::from_ref(&read),
+                    k,
+                    &format!("k={k} len={len} density={density}%"),
+                );
+                batch.push(read);
+            }
+            // The whole length grid as one batch: owner tags must track
+            // the read boundaries identically.
+            assert_extract_twins(&batch, k, &format!("k={k} density={density}% batch"));
+        }
+    }
+}
+
+#[test]
+fn extraction_n_at_every_offset_mod_32() {
+    // A single N walked across a 100-base read hits every offset mod 32,
+    // in particular the 31/32/33 word-boundary cluster; windows covering
+    // the N must vanish identically in both twins.
+    for &k in &[15usize, 31] {
+        let clean = lcg_read(100, 0, 0xBEEF ^ k as u64);
+        for off in 0..clean.len() {
+            let mut bytes = clean.as_bytes().to_vec();
+            bytes[off] = b'N';
+            let read = DnaSequence::from_bytes(&bytes).unwrap();
+            assert_extract_twins(
+                std::slice::from_ref(&read),
+                k,
+                &format!("k={k} N at offset {off}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn extraction_palindromic_windows() {
+    // s + revcomp(s) makes the central window its own reverse complement
+    // (even k): the canonical tie (fwd == rc) must break identically.
+    for &k in &[16usize, 20, 32] {
+        let half = lcg_read(k / 2 + 40, 0, k as u64 * 31);
+        let mut bytes = half.as_bytes().to_vec();
+        bytes.extend(half.reverse_complement().as_bytes());
+        let read = DnaSequence::from_bytes(&bytes).unwrap();
+        assert_extract_twins(std::slice::from_ref(&read), k, &format!("palindrome k={k}"));
+    }
+}
+
+#[test]
+fn extraction_homopolymers_and_max_k() {
+    // Homopolymers stress the all-equal compare paths; k=32 exercises the
+    // no-spare-bits masks (kmask == u64::MAX, shift-by-zero realignment).
+    for base in ["A", "C", "G", "T"] {
+        let read: DnaSequence = base.repeat(200).parse().unwrap();
+        for &k in &[15usize, 31, 32] {
+            assert_extract_twins(
+                std::slice::from_ref(&read),
+                k,
+                &format!("homopolymer {base} k={k}"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extraction: checked-in regression cases
+// ---------------------------------------------------------------------
+// Mirrors kernel_equivalence.proptest-regressions: the vendored proptest
+// derives its seed stream from the test name and cannot replay stored
+// seeds, so each archived case is also pinned here as a plain test.
+
+#[test]
+fn regression_all_n_read() {
+    for &k in &KS {
+        let read: DnaSequence = "N".repeat(64).parse().unwrap();
+        assert_extract_twins(std::slice::from_ref(&read), k, "all-N");
+        assert_eq!(swar_extract(std::slice::from_ref(&read), k).0, vec![]);
+    }
+}
+
+#[test]
+fn regression_n_straddles_word_boundary() {
+    // 31 bases + N + 31 bases: the N sits at packed-word offset 31; the
+    // two flanks each emit exactly one 31-mer.
+    let read: DnaSequence = format!("{}N{}", "ACGTACG".repeat(5).get(0..31).unwrap(), "TGCATGC".repeat(5).get(0..31).unwrap())
+        .parse()
+        .unwrap();
+    assert_extract_twins(std::slice::from_ref(&read), 31, "N at word boundary");
+    assert_eq!(swar_extract(std::slice::from_ref(&read), 31).0.len(), 2);
+}
+
+#[test]
+fn regression_one_base_reads_and_empty_batch() {
+    let reads: Vec<DnaSequence> = ["A", "C", "G", "T", "N", ""]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for &k in &KS {
+        assert_extract_twins(&reads, k, "1-base reads");
+    }
+    // k=1: every valid base is its own window.
+    let (kmers, owners) = swar_extract(&reads, 1);
+    assert_eq!(kmers.len(), 4);
+    assert_eq!(owners, vec![0, 1, 2, 3]);
+    assert_extract_twins(&reads, 1, "1-base reads, k=1");
+    assert_extract_twins(&[], 31, "empty batch");
+}
+
+#[test]
+fn regression_alternating_n() {
+    // "ANANAN…": no valid window for any k > 1, every k windows poisoned.
+    let read: DnaSequence = "AN".repeat(50).parse().unwrap();
+    for &k in &[2usize, 15, 31] {
+        assert_extract_twins(std::slice::from_ref(&read), k, "alternating N");
+        assert!(swar_extract(std::slice::from_ref(&read), k).0.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Revcomp/canonical kernels: exhaustive small-k equivalence
+// ---------------------------------------------------------------------
+
+#[test]
+fn revcomp_twins_exhaustive_small_k() {
+    // All 4^k values for every k ≤ 11 — in particular every odd k, whose
+    // middle base must come back complemented (not copied) by the SWAR
+    // field reversal. This grid would have caught any middle-base or
+    // realignment-shift mismatch.
+    for k in 1..=11usize {
+        for bits in 0..1u64 << (2 * k) {
+            let kmer = Kmer::from_u64(bits, k).unwrap();
+            let swar = kmer.reverse_complement();
+            let scalar = kmer.reverse_complement_scalar();
+            assert_eq!(swar, scalar, "revcomp diverged at k={k} bits={bits:#x}");
+            assert_eq!(
+                kmer.canonical(),
+                kmer.canonical_scalar(),
+                "canonical diverged at k={k} bits={bits:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn revcomp_is_an_involution_at_full_width() {
+    // k=32 cannot be swept exhaustively; a seeded walk checks the
+    // involution and twin agreement where no spare bits exist.
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    for _ in 0..10_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let kmer = Kmer::from_u64(x, 32).unwrap();
+        assert_eq!(kmer.reverse_complement(), kmer.reverse_complement_scalar());
+        assert_eq!(kmer.reverse_complement().reverse_complement(), kmer);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vote kernels
+// ---------------------------------------------------------------------
+
+/// Builds a non-decreasing `owners` run plus per-k-mer outcomes from a
+/// seed: taxon ids are drawn from a small range so ties are common.
+fn vote_inputs(n_reads: usize, seed: u64) -> (Vec<u32>, Vec<Option<TaxonId>>) {
+    let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut owners = Vec::new();
+    let mut results = Vec::new();
+    for ri in 0..n_reads {
+        for _ in 0..(next() % 7) {
+            owners.push(ri as u32);
+            let r = next();
+            results.push((r % 3 != 0).then_some(TaxonId((r >> 8) as u32 % 5)));
+        }
+    }
+    (owners, results)
+}
+
+#[test]
+fn vote_twins_agree_over_seeded_runs() {
+    for seed in 0..200u64 {
+        let n_reads = (seed as usize % 9) + 1;
+        let (owners, results) = vote_inputs(n_reads, seed);
+        let scalar = vote_reads(n_reads, &owners, &results, HostKernels::Scalar);
+        let swar = vote_reads(n_reads, &owners, &results, HostKernels::Swar);
+        assert_eq!(scalar, swar, "vote diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn vote_ties_resolve_to_lowest_taxon_in_both_kernels() {
+    // Two-way tie (2 vs 1): both kernels must pick taxon 1, and a read
+    // with no hits must stay unclassified.
+    let owners = vec![0, 0, 0, 0, 1];
+    let results = vec![
+        Some(TaxonId(2)),
+        Some(TaxonId(1)),
+        Some(TaxonId(2)),
+        Some(TaxonId(1)),
+        None,
+    ];
+    for kernels in [HostKernels::Scalar, HostKernels::Swar] {
+        let out = vote_reads(2, &owners, &results, kernels);
+        assert_eq!(out[0].taxon, Some(TaxonId(1)), "{}", kernels.label());
+        assert_eq!(out[0].hit_kmers, 4);
+        assert_eq!(out[0].total_kmers, 4);
+        assert_eq!(out[1].taxon, None);
+        assert_eq!(out[1].total_kmers, 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full pipeline, including obs/trace model streams
+// ---------------------------------------------------------------------
+
+/// A read set mixing simulated dataset reads with adversarial LCG reads
+/// (N runs, sub-k lengths, word-boundary lengths).
+fn mixed_reads(ds: &synth::SyntheticDataset, k: usize) -> Vec<DnaSequence> {
+    let (mut reads, _) = synth::simulate_reads(
+        ds,
+        synth::ReadSimConfig {
+            read_len: 90,
+            from_reference: 0.7,
+            error_rate: 0.02,
+            n_rate: 0.01,
+        },
+        24,
+        (k as u64) * 13 + 1,
+    );
+    for &density in &DENSITIES {
+        for &len in &[0usize, 1, k - 1, k, 31, 32, 33, 200] {
+            reads.push(lcg_read(len, density, (len * 31 + density as usize) as u64));
+        }
+    }
+    reads
+}
+
+#[test]
+fn pipeline_outputs_identical_across_kernels() {
+    for &k in &KS {
+        let ds = synth::make_dataset_with(8, 2048, k, 55);
+        let reads = mixed_reads(&ds, k);
+        let scalar = host_for(&ds, k, HostKernels::Scalar)
+            .classify_reads(&reads)
+            .unwrap();
+        let swar = host_for(&ds, k, HostKernels::Swar)
+            .classify_reads(&reads)
+            .unwrap();
+        assert_eq!(scalar.reads, swar.reads, "k={k}: classifications diverged");
+        assert_eq!(scalar.report, swar.report, "k={k}: report diverged");
+        // Streaming path too (serial; the threaded grids live in
+        // tests/parallel_determinism.rs).
+        let s_stream = host_for(&ds, k, HostKernels::Scalar)
+            .classify_stream(&reads, 7)
+            .unwrap();
+        let w_stream = host_for(&ds, k, HostKernels::Swar)
+            .classify_stream(&reads, 7)
+            .unwrap();
+        assert_eq!(s_stream.reads, w_stream.reads, "k={k}: stream diverged");
+        assert_eq!(s_stream.report, w_stream.report);
+    }
+}
+
+#[test]
+fn paired_pipeline_identical_across_kernels() {
+    let ds = synth::make_dataset_with(8, 2048, 31, 55);
+    let config = synth::ReadSimConfig {
+        read_len: 80,
+        from_reference: 1.0,
+        error_rate: 0.02,
+        n_rate: 0.005,
+    };
+    let (pairs, _) = synth::simulate_paired_reads(&ds, config, 250, 30, 17);
+    let scalar = host_for(&ds, 31, HostKernels::Scalar)
+        .classify_pairs(&pairs)
+        .unwrap();
+    let swar = host_for(&ds, 31, HostKernels::Swar)
+        .classify_pairs(&pairs)
+        .unwrap();
+    assert_eq!(scalar.reads, swar.reads);
+    assert_eq!(scalar.report, swar.report);
+}
+
+#[test]
+fn obs_model_snapshot_identical_across_kernels() {
+    let _guard = GLOBALS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ds = synth::make_dataset_with(8, 2048, 31, 4242);
+    let reads = mixed_reads(&ds, 31);
+    let rec = obs::global();
+    let snaps: Vec<obs::MetricsSnapshot> = [HostKernels::Scalar, HostKernels::Swar]
+        .iter()
+        .map(|&kernels| {
+            rec.reset();
+            rec.set_enabled(true);
+            host_for(&ds, 31, kernels)
+                .classify_stream(&reads, 11)
+                .unwrap();
+            let snap = rec.snapshot().deterministic();
+            rec.set_enabled(false);
+            rec.reset();
+            snap
+        })
+        .collect();
+    assert_eq!(
+        snaps[0], snaps[1],
+        "deterministic obs snapshot diverged across kernels"
+    );
+}
+
+#[test]
+fn trace_model_stream_identical_across_kernels() {
+    let _guard = GLOBALS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ds = synth::make_dataset_with(8, 2048, 31, 4242);
+    let reads = mixed_reads(&ds, 31);
+    let tracer = trace::global();
+    let lines: Vec<String> = [HostKernels::Scalar, HostKernels::Swar]
+        .iter()
+        .map(|&kernels| {
+            tracer.reset();
+            tracer.set_enabled(true);
+            host_for(&ds, 31, kernels)
+                .classify_stream(&reads, 11)
+                .unwrap();
+            let snap = tracer.snapshot();
+            tracer.set_enabled(false);
+            tracer.reset();
+            snap.model_lines()
+        })
+        .collect();
+    assert!(!lines[0].is_empty(), "workload must emit model events");
+    assert_eq!(
+        lines[0], lines[1],
+        "model trace stream diverged across kernels"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property-based sweeps
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random ACGTN strings: both twins, forward and canonical, all ks.
+    #[test]
+    fn prop_extract_twins_agree(
+        raw in prop::collection::vec("[ACGTN]{0,120}", 0..10),
+        k in prop::sample::select(vec![15usize, 21, 31, 32]),
+    ) {
+        let reads: Vec<DnaSequence> = raw.iter().map(|s| s.parse().unwrap()).collect();
+        let scalar = scalar_extract(&reads, k);
+        let swar = swar_extract(&reads, k);
+        prop_assert_eq!(swar, scalar);
+    }
+
+    /// The density sweep as a property: exact N fraction and length drawn
+    /// per case, twins compared on the emitted streams.
+    #[test]
+    fn prop_density_sweep(
+        len in 0usize..600,
+        density in prop::sample::select(vec![0u32, 1, 50, 100]),
+        seed in any::<u64>(),
+    ) {
+        let read = lcg_read(len, density, seed);
+        for &k in &KS {
+            let reads = std::slice::from_ref(&read);
+            prop_assert_eq!(swar_extract(reads, k), scalar_extract(reads, k),
+                "k={} len={} density={}% seed={:#x}", k, len, density, seed);
+        }
+    }
+
+    /// Random vote inputs: run lengths, misses, and heavy taxon ties.
+    #[test]
+    fn prop_vote_twins_agree(n_reads in 1usize..12, seed in any::<u64>()) {
+        let (owners, results) = vote_inputs(n_reads, seed);
+        prop_assert_eq!(
+            vote_reads(n_reads, &owners, &results, HostKernels::Scalar),
+            vote_reads(n_reads, &owners, &results, HostKernels::Swar)
+        );
+    }
+}

@@ -138,6 +138,48 @@ fn steal_grid_snapshots_identically_across_worker_counts() {
     }
 }
 
+/// The host-kernel axis (DESIGN.md §9): scalar and SWAR kernels extract
+/// identical k-mer streams and vote identically, so the deterministic
+/// snapshot of a streamed classification — host counters, chunk
+/// histograms, device model metrics — must be bit-identical across
+/// kernels × fused × cache × threads {1,2,4}.
+#[test]
+fn kernel_grid_snapshots_identically() {
+    let _session = RecorderSession::begin();
+    let ds = dataset();
+    let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 25, 31);
+    let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 2).cloned().collect();
+    for (fused, hot_kmers) in [(false, 0usize), (true, 1 << 18)] {
+        // Cache counters legitimately differ across the cache axis, so the
+        // reference snapshot is per-(fused, cache) point; only the kernels
+        // and thread axes must leave it bit-identical.
+        let mut reference: Option<obs::MetricsSnapshot> = None;
+        for kernels in [sieve::core::HostKernels::Scalar, sieve::core::HostKernels::Swar] {
+            for threads in [1usize, 2, 4] {
+                obs::global().reset();
+                let config = SieveConfig::type3(8)
+                    .with_host_kernels(kernels)
+                    .with_fused(fused)
+                    .with_hot_kmers(hot_kmers);
+                HostPipeline::new(device(config, threads, &ds))
+                    .classify_stream(&reads, 10)
+                    .unwrap();
+                let snap = obs::global().snapshot().deterministic();
+                match &reference {
+                    None => reference = Some(snap),
+                    Some(base) => assert_eq!(
+                        &snap,
+                        base,
+                        "kernels={} fused={fused} hot_kmers={hot_kmers} threads={threads}: \
+                         deterministic snapshot diverged",
+                        kernels.label()
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn snapshot_counters_reflect_the_workload() {
     let _session = RecorderSession::begin();

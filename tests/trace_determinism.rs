@@ -10,7 +10,9 @@
 
 use std::sync::Mutex;
 
-use sieve::core::{trace, HostPipeline, PcieConfig, SieveCluster, SieveConfig, SieveDevice};
+use sieve::core::{
+    trace, HostKernels, HostPipeline, PcieConfig, SieveCluster, SieveConfig, SieveDevice,
+};
 use sieve::dram::Geometry;
 use sieve::genomics::{synth, Kmer};
 
@@ -204,6 +206,41 @@ fn steal_grid_keeps_the_model_trace_byte_identical() {
                 Some(base) => assert_eq!(
                     &lines, base,
                     "steal={steal} threads={threads}: model stream diverged"
+                ),
+            }
+        }
+    }
+}
+
+/// The SWAR host kernels (packed extraction, branchless vote) change how
+/// k-mers are computed, not which k-mers exist, so the model-time event
+/// stream must be byte-identical across the kernels axis — crossed with
+/// thread counts, where `threads == 1` also covers the unfused path.
+#[test]
+fn kernel_grid_keeps_the_model_trace_byte_identical() {
+    let _session = TracerSession::begin();
+    let ds = dataset();
+    let reads = stream_workload(&ds);
+    let mut reference: Option<String> = None;
+    for kernels in [HostKernels::Scalar, HostKernels::Swar] {
+        for threads in THREAD_SWEEP {
+            trace::global().reset();
+            HostPipeline::new(device(
+                SieveConfig::type3(8).with_host_kernels(kernels),
+                threads,
+                &ds,
+            ))
+            .classify_stream(&reads, 25)
+            .unwrap();
+            let lines = trace::global().snapshot().model_lines();
+            assert!(!lines.is_empty());
+            match &reference {
+                None => reference = Some(lines),
+                Some(base) => assert_eq!(
+                    &lines,
+                    base,
+                    "kernels={} threads={threads}: model stream diverged",
+                    kernels.label()
                 ),
             }
         }
