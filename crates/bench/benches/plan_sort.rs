@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the planner's pair sort: the radix
+//! counting pipeline against the comparison sort, across batch sizes and
+//! key distributions. This is the calibration source for the adaptive
+//! cutover's cost constants in `core::radix` (`CMP_NS_X16_PER_KEY_LEVEL`
+//! and friends): rerun `plan_sort` after touching the sort loops and
+//! retune the constants from the ns/key these groups report.
+//!
+//! Distributions pick the shapes the pipeline special-cases: `uniform`
+//! exercises the full pass plan, `one_giant_bucket` collapses the global
+//! pass's histogram mass onto one segment (the steal queue's worst
+//! case), `pre_sorted` rewards nothing (counting passes are oblivious to
+//! input order — the comparison sort's pattern-defeating pivots are
+//! not), and `duplicate_heavy` narrows the diff window so per-segment
+//! replans skip passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sieve_core::sort_bench::SortHarness;
+use sieve_core::SortPolicy;
+
+const SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
+
+/// splitmix64, the same stream the core's sort tests draw from.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Key sets shaped like the planner's inputs: 62-bit k-mer codes.
+fn keys(dist: &str, n: usize) -> Vec<u64> {
+    const MASK: u64 = (1 << 62) - 1;
+    let mut state = 0x5EED ^ n as u64;
+    match dist {
+        "uniform" => (0..n).map(|_| splitmix(&mut state) & MASK).collect(),
+        // ~95% of keys share the top 11 bits; the fringe spreads out.
+        "one_giant_bucket" => (0..n)
+            .map(|i| {
+                let k = splitmix(&mut state) & MASK;
+                if i % 20 == 0 {
+                    k
+                } else {
+                    (k & (MASK >> 11)) | (0x2AB << 51)
+                }
+            })
+            .collect(),
+        "pre_sorted" => {
+            let mut v: Vec<u64> = (0..n).map(|_| splitmix(&mut state) & MASK).collect();
+            v.sort_unstable();
+            v
+        }
+        // 1023 distinct keys: heavy duplication, diff confined to the
+        // spread of the survivors.
+        "duplicate_heavy" => (0..n)
+            .map(|_| {
+                let mut pick = 0xD1CE ^ (splitmix(&mut state) & 0x3FF);
+                (splitmix(&mut pick)) & MASK
+            })
+            .collect(),
+        other => unreachable!("unknown distribution {other}"),
+    }
+}
+
+fn bench_plan_sort(c: &mut Criterion) {
+    for dist in ["uniform", "one_giant_bucket", "pre_sorted", "duplicate_heavy"] {
+        let mut g = c.benchmark_group(format!("plan_sort/{dist}"));
+        for n in SIZES {
+            let mut harness = SortHarness::new(&keys(dist, n));
+            // The two policies must agree on the fold of the sorted
+            // order — a cheap cross-check that the bench measures two
+            // implementations of the same sort.
+            let want = harness.run(SortPolicy::Comparison, 1);
+            assert_eq!(harness.run(SortPolicy::Lsd, 1), want, "{dist}/{n}");
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::new("lsd", n), &n, |b, _| {
+                b.iter(|| harness.run(SortPolicy::Lsd, 1));
+            });
+            g.bench_with_input(BenchmarkId::new("comparison", n), &n, |b, _| {
+                b.iter(|| harness.run(SortPolicy::Comparison, 1));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(plan_sort, bench_plan_sort);
+criterion_main!(plan_sort);

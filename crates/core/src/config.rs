@@ -69,6 +69,55 @@ impl HostKernels {
     }
 }
 
+/// Which sort pipeline orders the planner's `(k-mer, id)` query pairs.
+///
+/// Both pipelines produce the same stable `(key, id)` order, so — like
+/// [`HostKernels`] — this is a *simulator* knob, not a modeled device
+/// parameter: classification output, reports, and obs/trace model streams
+/// are bit-identical for every value (proven by the sort-policy grids in
+/// `tests/parallel_determinism.rs` and friends). The `SIEVE_SORT`
+/// environment variable (`adaptive` | `lsd` | `comparison`) sets the
+/// default for A/B runs without recompiling; unrecognized values fall
+/// back to [`Self::Adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortPolicy {
+    /// Pick per batch with a measured cost model: the LSD pipeline when
+    /// its predicted pass cost beats `n log n` comparisons, otherwise the
+    /// comparison sort (the default; in practice LSD wins above ~1k
+    /// pairs).
+    #[default]
+    Adaptive,
+    /// Always the multi-pass LSD radix pipeline (pass skipping,
+    /// write-combining scatter; DESIGN.md §6).
+    Lsd,
+    /// Always a single comparison sort (`sort_unstable_by_key` on
+    /// `(key, id)`) — the A/B reference path.
+    Comparison,
+}
+
+impl SortPolicy {
+    /// Short lowercase label for logs and bench JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Adaptive => "adaptive",
+            Self::Lsd => "lsd",
+            Self::Comparison => "comparison",
+        }
+    }
+
+    /// The process-wide default: `SIEVE_SORT` if set to a recognized
+    /// label, else [`Self::Adaptive`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("SIEVE_SORT").as_deref() {
+            Ok("lsd") => Self::Lsd,
+            Ok("comparison") => Self::Comparison,
+            _ => Self::Adaptive,
+        }
+    }
+}
+
 /// Full configuration of a Sieve device.
 ///
 /// Defaults mirror the paper's reference design: a 32 GB module
@@ -148,23 +197,23 @@ pub struct SieveConfig {
     /// *simulator* knob, not a modeled device parameter.
     pub dedup: bool,
     /// Fused plan/match pipeline (default `true`): with more than one
-    /// worker thread, the planner dispatches each shard task to match
-    /// workers the moment its bucket of the radix partition is sorted,
-    /// overlapping the sort with matching instead of running them as
-    /// strict barriers. The deterministic reduce consumes task results in
-    /// plan order, so output is bit-identical with the knob off (proven
-    /// by `tests/parallel_determinism.rs`). A *simulator* knob, not a
-    /// modeled device parameter.
-    pub fused: bool,
-    /// Work stealing between match/sort workers (default `true`): tasks
-    /// and radix buckets are dealt to workers as contiguous owned runs,
-    /// and a worker whose run drains early steals from the heavy end of a
-    /// neighbour's queue stripe instead of idling. Stealing only moves
-    /// *which worker* executes a unit of work — the deterministic reduce
-    /// consumes outcomes in task-id order either way, so output is
-    /// bit-identical with the knob off (proven by
+    /// worker thread, the planner seals each shard task as a borrowed
+    /// slice of the sorted pair buffer and streams the tasks to match
+    /// workers through a [`crate::par::StealQueue`], skipping the
+    /// unfused path's boundary re-scan and per-shard copies. The
+    /// deterministic reduce consumes task results in plan order, so
+    /// output is bit-identical with the knob off (proven by
     /// `tests/parallel_determinism.rs`). A *simulator* knob, not a
     /// modeled device parameter.
+    pub fused: bool,
+    /// Work stealing between fused match workers (default `true`): tasks
+    /// are dealt to workers as contiguous owned runs, and a worker whose
+    /// run drains early steals from the heavy end of a neighbour's queue
+    /// stripe instead of idling. Stealing only moves *which worker*
+    /// executes a task — the deterministic reduce consumes outcomes in
+    /// task-id order either way, so output is bit-identical with the
+    /// knob off (proven by `tests/parallel_determinism.rs`). A
+    /// *simulator* knob, not a modeled device parameter.
     pub steal: bool,
     /// Capacity of the cross-chunk hot-k-mer cache, in entries; `0`
     /// disables it. Streaming classification (`classify_stream`) sees the
@@ -179,6 +228,11 @@ pub struct SieveConfig {
     /// Results, reports, and observability snapshots are bit-identical
     /// for either value (see [`HostKernels`]).
     pub host_kernels: HostKernels,
+    /// Which pipeline sorts the planner's query pairs (default
+    /// [`SortPolicy::from_env`], i.e. `SIEVE_SORT` or
+    /// [`SortPolicy::Adaptive`]). Results, reports, and observability
+    /// snapshots are bit-identical for every value (see [`SortPolicy`]).
+    pub sort_policy: SortPolicy,
 }
 
 impl SieveConfig {
@@ -225,6 +279,7 @@ impl SieveConfig {
             steal: true,
             hot_kmers: 1 << 18,
             host_kernels: HostKernels::Swar,
+            sort_policy: SortPolicy::from_env(),
         }
     }
 
@@ -313,6 +368,14 @@ impl SieveConfig {
     #[must_use]
     pub fn with_host_kernels(mut self, host_kernels: HostKernels) -> Self {
         self.host_kernels = host_kernels;
+        self
+    }
+
+    /// Selects the planner's sort pipeline (builder style). Output is
+    /// bit-identical for every value (see [`SortPolicy`]).
+    #[must_use]
+    pub fn with_sort_policy(mut self, sort_policy: SortPolicy) -> Self {
+        self.sort_policy = sort_policy;
         self
     }
 
@@ -554,7 +617,8 @@ mod tests {
             .with_fused(false)
             .with_steal(false)
             .with_hot_kmers(1024)
-            .with_host_kernels(HostKernels::Scalar);
+            .with_host_kernels(HostKernels::Scalar)
+            .with_sort_policy(SortPolicy::Comparison);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
@@ -563,6 +627,7 @@ mod tests {
         assert!(!c.steal);
         assert_eq!(c.hot_kmers, 1024);
         assert_eq!(c.host_kernels, HostKernels::Scalar);
+        assert_eq!(c.sort_policy, SortPolicy::Comparison);
         c.validate().unwrap();
     }
 
@@ -571,5 +636,15 @@ mod tests {
         assert_eq!(SieveConfig::type3(8).host_kernels, HostKernels::Swar);
         assert_eq!(HostKernels::Swar.label(), "swar");
         assert_eq!(HostKernels::Scalar.label(), "scalar");
+    }
+
+    #[test]
+    fn sort_policy_default_and_labels() {
+        // The test process does not set SIEVE_SORT, so the env default
+        // resolves to Adaptive.
+        assert_eq!(SortPolicy::default(), SortPolicy::Adaptive);
+        assert_eq!(SortPolicy::Adaptive.label(), "adaptive");
+        assert_eq!(SortPolicy::Lsd.label(), "lsd");
+        assert_eq!(SortPolicy::Comparison.label(), "comparison");
     }
 }

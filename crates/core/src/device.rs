@@ -58,6 +58,8 @@ struct RunScratch {
     /// Radix-sort ping-pong buffers for the planner.
     pairs: Vec<radix::Pair>,
     pairs_scratch: Vec<radix::Pair>,
+    /// The sort's count/staging tables (see [`radix::SortScratch`]).
+    sort: radix::SortScratch,
     plan: ShardPlan,
     /// Match-space result/work arrays (dedup on; with dedup off the
     /// results scatter straight into the output vector).
@@ -253,8 +255,9 @@ impl SieveDevice {
     /// [`SieveConfig::dedup`] is off), radix-sorts and boundary-routes
     /// the distinct set into per-subarray shards, resolves the shards —
     /// split into bounded tasks — functionally on worker threads (with
-    /// [`SieveConfig::fused`], tasks dispatch as their slice of the sort
-    /// completes), schedules the merged work on the configured design
+    /// [`SieveConfig::fused`], tasks stream to the match workers as
+    /// sealed slices of the sorted batch, skipping the unfused path's
+    /// re-scans), schedules the merged work on the configured design
     /// point with every duplicate charged its cached outcome's full cost,
     /// and scatters results back to all occurrences.
     ///
@@ -334,6 +337,7 @@ impl SieveDevice {
             uniq_of,
             pairs,
             pairs_scratch,
+            sort,
             plan,
             space_results,
             space_work,
@@ -428,7 +432,7 @@ impl SieveDevice {
                         let bits = q.bits();
                         let Some(e) = cache.get(bits) else {
                             spread |= bits ^ *first_key.get_or_insert(bits);
-                            pairs.push((bits, g as u32));
+                            pairs.push(radix::Pair::new(bits, g as u32));
                             continue;
                         };
                         let m = mult.map_or(1u64, |m| u64::from(m[g]));
@@ -461,7 +465,7 @@ impl SieveDevice {
                     pairs.extend(space_queries.iter().enumerate().map(|(g, q)| {
                         let bits = q.bits();
                         spread |= bits ^ *first_key.get_or_insert(bits);
-                        (bits, g as u32)
+                        radix::Pair::new(bits, g as u32)
                     }));
                 }
             }
@@ -480,7 +484,15 @@ impl SieveDevice {
             let fused = self.config.fused && threads > 1 && !pairs.is_empty();
             if !fused {
                 let diff = (!pairs.is_empty()).then_some(spread);
-                plan.rebuild(index, pairs, pairs_scratch, threads, self.config.steal, diff);
+                plan.rebuild(
+                    index,
+                    pairs,
+                    pairs_scratch,
+                    sort,
+                    threads,
+                    diff,
+                    self.config.sort_policy,
+                );
             }
             (fused, inserting)
         };
@@ -491,39 +503,43 @@ impl SieveDevice {
             loads.iter().map(|l| l.hits).sum::<u64>(),
         );
 
-        // Match. Fused: the planner partitions the batch, pre-sorts only
-        // the boundary buckets, and seals the whole array into per-task
-        // `&mut` slices; the tasks are dealt to workers as contiguous
-        // owned runs through a work-stealing queue, and each worker
-        // finishes the sort *inside its tasks* (bucket segments) before
-        // matching them — the dominant comparison-sort cost fans out
-        // across every worker instead of serializing on the planner.
-        // Unfused (single thread, knob off, or nothing left to match):
-        // the pre-built plan fans out as an indexed map. Either way the
-        // outcomes land indexed by task id, so the reduce below is
-        // order-identical.
+        // Match. Fused: the planner sorts and routes the batch, then
+        // seals the sorted array into per-task slices that are dealt to
+        // workers as contiguous owned runs through a work-stealing queue
+        // — tasks stream straight from the plan into matching with zero
+        // copies. Unfused (single thread, knob off, or nothing left to
+        // match): the pre-built plan fans out as an indexed map. Either
+        // way the outcomes land indexed by task id, so the reduce below
+        // is order-identical.
         let outcomes: Vec<TaskOutcome> = if fused {
             let _span = rec.span("device.match");
             let _wall = tr.span("device.match");
             let (done_tx, done_rx) = mpsc::channel::<(usize, TaskOutcome)>();
             let task_count;
             {
-                let fused_tasks = {
+                let tasks = {
                     let _pspan = rec.span("device.plan");
                     let _pwall = tr.span("device.plan");
-                    plan.rebuild_tasks(index, pairs, pairs_scratch, threads, Some(spread))
+                    plan.rebuild_tasks(
+                        index,
+                        pairs,
+                        pairs_scratch,
+                        sort,
+                        threads,
+                        Some(spread),
+                        self.config.sort_policy,
+                    )
                 };
-                task_count = fused_tasks.tasks.len();
-                let bucket_ends = fused_tasks.bucket_ends;
+                task_count = tasks.len();
                 // Deal tasks to workers in contiguous runs balanced by
                 // pair count (tasks ascend in key order, so a run is a
                 // contiguous key range — the bucket-ownership shape).
-                let total: usize = fused_tasks.tasks.iter().map(|t| t.pairs.len()).sum();
+                let total: usize = tasks.iter().map(|t| t.pairs.len()).sum();
                 let workers = threads.min(task_count.max(1));
                 let mut queue = par::StealQueue::new(workers, self.config.steal);
                 let mut acc = 0usize;
                 let mut owner = 0usize;
-                for task in fused_tasks.tasks {
+                for task in tasks {
                     acc += task.pairs.len();
                     queue.push(owner, task);
                     while owner + 1 < workers && acc * workers >= total * (owner + 1) {
@@ -531,16 +547,10 @@ impl SieveDevice {
                     }
                 }
                 let queue = &queue;
-                let bucket_ends = &bucket_ends;
                 let worker = |wid: usize, done: &mpsc::Sender<(usize, TaskOutcome)>| {
                     let mut stolen = 0u64;
                     while let Some((task, was_stolen)) = queue.pop(wid) {
                         stolen += u64::from(was_stolen);
-                        if !bucket_ends.is_empty() && task.pairs.len() > 1 {
-                            let _sspan = rec.span("task.sort");
-                            let _swall = tr.span("task.sort");
-                            radix::sort_segments(task.pairs, task.lo, bucket_ends);
-                        }
                         let out = self.match_pairs(
                             task.subarray,
                             task.pairs,
@@ -575,13 +585,11 @@ impl SieveDevice {
                 if stolen > 0 {
                     rec.add(obs::CounterId::StealTasks, stolen);
                 }
-                // `queue` (and the sealed task slices) borrow the scatter
-                // buffer; this scope releases them before the swap below.
+                // `queue` (and the sealed task slices) borrow the sorted
+                // pair buffer; this scope releases them so the reduce and
+                // scheduler below can read `pairs` directly.
             }
             drop(done_tx);
-            // Sorted pairs ended up in the scatter buffer; swap so `pairs`
-            // holds them for the reduce/scheduler, like the unfused path.
-            std::mem::swap(pairs, pairs_scratch);
             let mut collected: Vec<Option<TaskOutcome>> = Vec::with_capacity(task_count);
             collected.resize_with(task_count, || None);
             for (idx, out) in done_rx {
@@ -654,21 +662,21 @@ impl SieveDevice {
                     let task_pairs = &pairs[range];
                     debug_assert_eq!(task_pairs.len(), outcome.work.len());
                     if type1 {
-                        for (&(_, id), &w) in task_pairs.iter().zip(&outcome.work) {
-                            space_work[id as usize] = w;
+                        for (&p, &w) in task_pairs.iter().zip(&outcome.work) {
+                            space_work[p.id() as usize] = w;
                         }
                     }
                     if inserting {
                         let cache = cache_guard.as_deref_mut().expect("cache engaged");
                         let mut hit_iter = outcome.hits.iter();
-                        for (&(bits, _), w) in task_pairs.iter().zip(&outcome.work) {
+                        for (&p, w) in task_pairs.iter().zip(&outcome.work) {
                             let taxon = if w.hit {
                                 Some(hit_iter.next().expect("hit per flagged query").1)
                             } else {
                                 None
                             };
                             if cache.insert(
-                                bits,
+                                p.key(),
                                 cache::Cached {
                                     sub: outcome.subarray as u32,
                                     rows: w.rows,
@@ -774,8 +782,8 @@ impl SieveDevice {
         let mut keys = [0u64; MATCH_BLOCK];
         let mut outcomes: Vec<engine::MatchOutcome> = Vec::with_capacity(MATCH_BLOCK);
         for block in task_pairs.chunks(MATCH_BLOCK) {
-            for (key, &(bits, _)) in keys.iter_mut().zip(block) {
-                *key = bits;
+            for (key, &p) in keys.iter_mut().zip(block) {
+                *key = p.key();
             }
             outcomes.clear();
             cursor.lookup_block_with(
@@ -784,7 +792,8 @@ impl SieveDevice {
                 self.config.host_kernels,
                 &mut outcomes,
             );
-            for (&(_, id), outcome) in block.iter().zip(&outcomes) {
+            for (&p, outcome) in block.iter().zip(&outcomes) {
+                let id = p.id();
                 let m = mult.map_or(1u64, |m| u64::from(m[id as usize]));
                 let hit = outcome.hit.is_some();
                 let rows = match (esp_table, hit) {

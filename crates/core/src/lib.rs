@@ -72,6 +72,8 @@ mod pcie;
 mod radix;
 mod sched;
 mod shard;
+#[doc(hidden)]
+pub mod sort_bench;
 mod stats;
 pub mod thermal;
 pub mod trace;
@@ -80,7 +82,7 @@ pub mod xcheck;
 
 pub use api::SieveApi;
 pub use cluster::{ClusterRun, SieveCluster};
-pub use config::{DeviceKind, HostKernels, SieveConfig};
+pub use config::{DeviceKind, HostKernels, SieveConfig, SortPolicy};
 pub use device::{RunOutput, SieveDevice};
 pub use error::SieveError;
 pub use host::{vote_reads, HostPipeline, PipelineOutput, ReadResult};

@@ -53,10 +53,12 @@ pub const BUCKETS: usize = 64;
 /// back to no-op spans.
 const MAX_SPANS: usize = 32;
 
-/// Identifiers of the built-in pipeline counters. All but
-/// [`Self::StealTasks`] are **model metrics**: deterministic functions
-/// of the workload. `StealTasks` counts scheduling events and carries the
-/// `wall.` prefix so [`MetricsSnapshot::deterministic`] drops it.
+/// Identifiers of the built-in pipeline counters. Most are **model
+/// metrics**: deterministic functions of the workload. The exceptions —
+/// [`Self::StealTasks`] (scheduling events) and
+/// [`Self::SortPassesRun`] / [`Self::SortPassesSkipped`] (host sort
+/// implementation detail, varies with the sort policy) — carry the
+/// `wall.` prefix so [`MetricsSnapshot::deterministic`] drops them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterId {
     /// Chunks processed by `classify_stream`.
@@ -94,11 +96,24 @@ pub enum CounterId {
     /// is scheduling-dependent, so the count varies run to run (the work
     /// itself, and thus every model metric, does not).
     StealTasks,
+    /// Counting passes the radix sort pipeline executed: the global MSD
+    /// pass plus every bucket-local LSD pass (segments that take the
+    /// comparison cutover contribute none). A **wall metric**: the count
+    /// is a host-implementation detail that depends on the sort policy
+    /// (the comparison path runs zero passes) while the sorted output —
+    /// and every model metric — is identical across policies.
+    SortPassesRun,
+    /// Radix passes dropped by planning because their digit window was
+    /// constant — across the whole batch, or across one bucket segment
+    /// during its replan (a stable counting pass on a constant digit is
+    /// the identity). A **wall metric**, paired with
+    /// [`Self::SortPassesRun`].
+    SortPassesSkipped,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [Self; 15] = [
+    pub const ALL: [Self; 17] = [
         Self::HostChunks,
         Self::HostReads,
         Self::HostKmers,
@@ -114,6 +129,8 @@ impl CounterId {
         Self::CacheMisses,
         Self::CacheInserts,
         Self::StealTasks,
+        Self::SortPassesRun,
+        Self::SortPassesSkipped,
     ];
 
     /// Snapshot/Prometheus name.
@@ -135,6 +152,8 @@ impl CounterId {
             Self::CacheMisses => "cache_misses",
             Self::CacheInserts => "cache_inserts",
             Self::StealTasks => "wall.steal_tasks",
+            Self::SortPassesRun => "wall.sort_passes_run",
+            Self::SortPassesSkipped => "wall.sort_passes_skipped",
         }
     }
 }

@@ -136,6 +136,39 @@ where
         .collect()
 }
 
+/// Maps `f` over up to `threads` contiguous index ranges covering `0..n`
+/// and returns the per-chunk outputs in chunk order. The chunk boundaries
+/// (`⌈n/threads⌉`-sized blocks) depend only on `n` and `threads`, so any
+/// order-independent reduction of the outputs — an OR-fold, a column sum —
+/// is identical for every thread count.
+pub(crate) fn map_chunks<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return vec![f(0..n)];
+    }
+    let block = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let range = (t * block).min(n)..((t + 1) * block).min(n);
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(value) => value,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
 /// Applies `f` to every element of `items` in place, fanning the elements
 /// out over up to `threads` scoped worker threads in contiguous blocks.
 pub(crate) fn for_each_mut<T, F>(threads: usize, items: &mut [T], f: F)
@@ -196,6 +229,16 @@ mod tests {
             for_each_mut(threads, &mut items, |x| *x += 100);
             assert_eq!(items, (100..123).collect::<Vec<u32>>());
         }
+    }
+
+    #[test]
+    fn map_chunks_covers_every_index_once_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let chunks = map_chunks(threads, 37, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..37).collect::<Vec<usize>>(), "threads={threads}");
+        }
+        assert_eq!(map_chunks(4, 0, |r| r.len()), vec![0]);
     }
 
     #[test]

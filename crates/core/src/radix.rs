@@ -1,126 +1,257 @@
-//! Radix partition sort for the shard planner's `(k-mer bits, id)` pairs.
+//! Multi-pass radix sort for the shard planner's `(k-mer bits, id)`
+//! pairs.
 //!
 //! The planner needs its query batch ordered by k-mer integer value so
 //! that routing degenerates to a streaming merge-join and each shard can
-//! be matched with a forward-only merge cursor. A full comparison sort
-//! makes that the dominant planning cost (O(n log n) with a branchy
-//! comparator over 16-byte records); this module replaces it with one
-//! most-significant-digit counting-sort pass over the top [`RADIX_BITS`]
-//! *differing* key bits — a single O(n) scatter that leaves ~n/4096
-//! pairs per bucket — followed by tiny per-bucket comparison sorts,
-//! O(n log(n/2^12)) overall with contiguous memory traffic.
+//! be matched with a forward-only merge cursor. Earlier revisions ran one
+//! MSD counting pass and finished each bucket with a comparison sort; at
+//! bench scale those per-bucket `sort_unstable` calls were still
+//! ~38 ns/key — the dominant planning cost. This module replaces the
+//! comparison sorts with **counting passes end to end**, planned over the
+//! *varying-bit window* of the batch:
 //!
-//! One wide MSD pass beats the classic multi-pass LSD form here: 62-bit
-//! random k-mer keys would need 4–8 stable LSD passes, each a full
-//! scatter of the 16-byte pair array, where this shape pays for exactly
-//! one. Every stage of the pass fans out:
+//! * **pass planning** — the OR-fold of `key ^ first_key` (`diff`) marks
+//!   every bit position where at least two keys differ. The window
+//!   `[trailing_zeros(diff), 64 - leading_zeros(diff))` is carved into
+//!   near-equal digits of at most [`MAX_DIGIT_BITS`] bits, and any digit
+//!   whose `diff` slice is zero is **skipped** outright: a stable
+//!   counting pass on a constant digit is the identity permutation.
+//!   Synthetic databases and deduped streams often vary in far fewer
+//!   than 64 bits, so skipping regularly removes whole passes. The
+//!   [`crate::obs::CounterId::SortPassesRun`] /
+//!   [`crate::obs::CounterId::SortPassesSkipped`] counters report the
+//!   split;
+//! * **one global pass, then cache-resident LSD** — a counting scatter
+//!   over the full batch is DRAM-bound: every pass reads the whole pair
+//!   array and write-allocates the whole destination, so its cost is
+//!   nearly independent of digit width (measured ~9 ns/key here against
+//!   ~1.3 ns/key for the histogram). Chaining 5–6 such passes LSD-style
+//!   would move the entire batch through DRAM once per pass and lose to
+//!   the comparison sort it replaces. Instead the pipeline runs exactly
+//!   **one** global pass — an MSD scatter on the *most significant*
+//!   planned window — and finishes each resulting bucket with **LSD
+//!   counting passes over the remaining windows**, where both ping-pong
+//!   buffers fit in cache and a pass costs ~3 ns/key instead of ~9.
+//!   Within a bucket the top window is constant, so each segment
+//!   *replans* from its own diff fold: segments whose keys cluster skip
+//!   further windows, and a segment whose keys are all equal does no
+//!   work at all;
+//! * **ping-pong buffers** — the global pass scatters `pairs → scratch`
+//!   and the two `Vec`s swap (an O(1) pointer exchange); each bucket
+//!   then ping-pongs between the *same index range* of the two buffers,
+//!   pre-copying once when its pass count is odd so the sorted result
+//!   always lands back in `pairs`. No pass allocates: the buffers and
+//!   every count/staging table live in the caller's [`SortScratch`],
+//!   recycled through the device's scratch arena;
+//! * **write-combining scatter** — a naive counting scatter writes one
+//!   12-byte pair at a time to `buckets` random cursors, which is
+//!   bandwidth-bound on partial cache lines. The global pass stages
+//!   pairs in a per-worker, per-bucket buffer of [`STAGE`] slots
+//!   (~1.5 cache lines) and flushes full groups with one wide
+//!   `copy_from_slice`, so the destination sees mostly full-line writes.
+//!   A pair's final position is `starts[digit] + rank-in-input-order`,
+//!   fixed by the histogram alone — staging changes *when* bytes move,
+//!   never *where* — so the output is byte-identical to the unstaged
+//!   scatter. Bucket-local passes skip the staging: their destinations
+//!   are already cache-resident, where staging is pure overhead;
+//! * **compact pairs** — [`Pair`] packs to 12 bytes
+//!   (`#[repr(C, packed(4))]`, `u64` key + `u32` id; ids fit because
+//!   `SieveError::BatchTooLarge` caps batches at `u32::MAX`), so each
+//!   pass moves 25% fewer bytes than the old 16-byte tuple;
+//! * **parallel machinery** — at [`PARALLEL_SORT`] pairs and up, the
+//!   global pass keeps the owned-run design: per-worker chunk
+//!   histograms, then buckets cut into contiguous runs of near-equal
+//!   pair mass, each worker re-scanning the source and writing only its
+//!   run's pairs into its own disjoint region (`split_at_mut`, no
+//!   `unsafe`). Because each worker re-reads the full source, the
+//!   fan-out is capped at the host's *physical* core count
+//!   ([`par::host_parallelism`]). The bucket-local sorts are dealt
+//!   round-robin over a [`par::StealQueue`] of disjoint segment slices,
+//!   so a worker that drains its stripe steals the heaviest remainder of
+//!   a neighbour;
+//! * **adaptive cutover** — per segment (and for the whole batch), a
+//!   cost model built from measured constants (see [`lsd_is_cheaper`],
+//!   calibrated by the `plan_sort` bench) decides between counting
+//!   passes and a comparison sort: tiny segments can't amortize their
+//!   digit tables. [`crate::SortPolicy`] / `SIEVE_SORT` can pin either
+//!   path for A/B runs.
 //!
-//! * **counting** — per-worker private count arrays over disjoint chunks
-//!   of the key stream, merged by a striped column-sum reduce (each merge
-//!   worker owns a contiguous bucket range and sums it across all chunk
-//!   histograms — no atomics anywhere on the path);
-//! * **scatter** — buckets are assigned to workers in contiguous *owned
-//!   runs* sized by the merged histogram; each worker re-scans the source
-//!   and writes only the pairs whose digit falls in its run, into its own
-//!   disjoint region of the output (`split_at_mut`, no `unsafe`). A
-//!   pair's destination is `starts[bucket] + rank-in-input-order`, fixed
-//!   by the histogram alone, so the result is byte-identical to the
-//!   sequential stable scatter for any worker count. Because each scatter
-//!   worker re-reads the full source, the fan-out is capped at the host's
-//!   *physical* core count ([`par::host_parallelism`]): on an
-//!   oversubscribed host the duplicated reads would cost wall-clock time
-//!   with no cores to absorb them, so the scatter simply stays sequential
-//!   there;
-//! * **per-bucket sorts** — buckets are handed to workers as contiguous
-//!   owned runs balanced by the histogram, through a work-stealing queue
-//!   ([`par::StealQueue`]): a worker whose run finishes early steals
-//!   buckets from the heavy end of a neighbour's run instead of idling,
-//!   which is what keeps a skewed batch (one giant bucket) from
-//!   serializing the phase.
-//!
-//! Determinism: bucket boundaries are pure functions of the key bits and
-//! every stage is order-preserving or keyed by the total `(key, id)`
-//! order, so the output is a pure function of the input for every
-//! `threads` value, any scatter-worker count, and stealing on or off.
+//! Determinism: every pass is a stable counting scatter whose
+//! destinations are pure functions of the key bits and input ranks, and
+//! segment boundaries depend only on the histogram, so the output equals
+//! a stable sort by key — and, since callers assign ids in input order,
+//! `sort_unstable_by_key` on `(key, id)` — for every policy, thread
+//! count, and scatter-worker count.
 
+use crate::config::SortPolicy;
 use crate::obs;
 use crate::par;
+use crate::trace;
 
 /// A sort record: the 2-bit-packed k-mer value and the query id it came
-/// from. Ids are unique, so `(key, id)` is a total order and
-/// `sort_unstable_by_key` on it equals a stable sort by `key` whenever ids
-/// are assigned in input order — the property the radix path guarantees by
-/// construction and the comparison fallback relies on.
-pub(crate) type Pair = (u64, u32);
+/// from, packed to 12 bytes so each radix pass moves 25% fewer bytes than
+/// the naturally-aligned 16-byte tuple. Ids are unique, so `(key, id)` is
+/// a total order and `sort_unstable_by_key` on it equals a stable sort by
+/// `key` whenever ids are assigned in input order — the property the
+/// radix pipeline guarantees by construction and the comparison fallback
+/// relies on. Fields are private because a packed struct cannot hand out
+/// field references; the by-value accessors copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C, packed(4))]
+pub(crate) struct Pair {
+    key: u64,
+    id: u32,
+}
 
-/// Below this many pairs a comparison sort beats the radix setup cost
-/// (the counting pass allocates and zeroes a [`BUCKETS`]-entry table).
-const SMALL_SORT: usize = 2_048;
+impl Pair {
+    /// Builds a record.
+    #[inline]
+    pub(crate) fn new(key: u64, id: u32) -> Self {
+        Self { key, id }
+    }
 
-/// Digit width of the single MSD counting pass. 12 bits (4096 buckets)
-/// is the measured sweet spot for bench-scale batches: the scatter is
-/// memory-bandwidth-bound and insensitive to the bucket count, so a
-/// wider digit only grows the count/merge tables while a narrower one
-/// inflates the per-bucket comparison sorts — and those fan out across
-/// workers, making them the cheaper place to leave the residual work.
-pub(crate) const RADIX_BITS: u32 = 12;
+    /// The k-mer bits (sort key).
+    #[inline]
+    pub(crate) fn key(self) -> u64 {
+        self.key
+    }
 
-/// Bucket count of the MSD pass.
-const BUCKETS: usize = 1 << RADIX_BITS;
+    /// The query id (tie order / scatter target).
+    #[inline]
+    pub(crate) fn id(self) -> u32 {
+        self.id
+    }
+}
 
-/// Below this many pairs the diff-mask fold stays sequential.
+/// Widest digit a single pass may cover. 11 bits (≤ 2048 buckets) keeps a
+/// worker's staging area (`2048 × STAGE × 12 B = 192 KB`) plus its count
+/// tables cache-resident, which is what makes the write-combining staging
+/// pay; a wider digit would trade pass count for staging that thrashes.
+const MAX_DIGIT_BITS: u32 = 11;
+
+/// Narrowest digit a segment replan may choose: below 16 buckets the
+/// extra passes cost more than the table overhead they avoid.
+const MIN_DIGIT_BITS: u32 = 4;
+
+/// Most passes any plan can hold (a full 64-bit span at minimum width).
+const MAX_PASSES: usize = 64usize.div_ceil(MIN_DIGIT_BITS as usize);
+
+/// Pair slots staged per bucket before a wide flush: 8 × 12 B = 96 B,
+/// 1.5 cache lines — enough that most destination traffic moves in full
+/// lines, small enough that the whole staging area stays cache-resident.
+const STAGE: usize = 8;
+
+/// Below this many pairs the per-pass fan-out (histograms, scatter, and
+/// the segment queue) stays sequential: a spawn costs more than it saves.
 const PARALLEL_SORT: usize = 1 << 14;
 
-/// Result of [`partition`]: how the pairs landed in the output buffer.
-pub(crate) enum Partition {
-    /// The output buffer holds the pairs bucketed by their MSD digit but
-    /// not yet sorted within buckets. `ends[b]` is bucket `b`'s END offset;
-    /// `shift`/`high` reconstruct the key range each bucket covers: every
-    /// key in bucket `b` lies in `[high | (b << shift), high | ((b+1) << shift))`
-    /// and buckets are in ascending key order.
-    Buckets {
-        ends: Vec<u32>,
-        shift: u32,
-        high: u64,
-    },
-    /// The output buffer is already fully sorted by `(key, id)` (small
-    /// input, or all keys equal).
-    Sorted,
+/// One counting pass: a stable scatter on the `bits`-wide digit at bit
+/// offset `shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Pass {
+    shift: u32,
+    bits: u32,
 }
 
-/// Buckets (or, for small/degenerate inputs, fully sorts) `pairs` by key
-/// into `out`. The input is left untouched; `out` is fully overwritten and
-/// holds every pair, grouped by ascending MSD digit when the radix path
-/// runs. The per-bucket sorts are left to the caller so it can interleave
-/// them with downstream work (see `ShardPlan::rebuild_tasks`).
-/// `diff`, when the caller has it, is the OR-fold of `key ^ pairs[0].0`
-/// over the whole batch — builders that stream every key anyway (the
-/// device's pair-construction loop) compute it for free, saving this
-/// function a full scan. `None` recomputes it here.
-pub(crate) fn partition(
-    pairs: &[Pair],
-    out: &mut Vec<Pair>,
-    threads: usize,
-    diff: Option<u64>,
-) -> Partition {
-    // Counting with more workers than physical cores is pure overhead —
-    // the extra workers serialize the same scans behind spawn and merge
-    // costs — so the in-partition fan-out follows the hardware, like the
-    // scatter. The `threads` knob still governs everything downstream.
-    let count_threads = threads.min(par::host_parallelism()).max(1);
-    partition_with(
-        pairs,
-        out,
-        count_threads,
-        scatter_workers(threads, pairs.len()),
-        diff,
-    )
+/// Digit of `key` under `pass`.
+#[inline]
+fn pdigit(key: u64, pass: Pass) -> usize {
+    ((key >> pass.shift) as usize) & ((1usize << pass.bits) - 1)
 }
 
-/// Scatter fan-out for an `n`-pair batch at a given `threads` knob: capped
-/// at the host's physical parallelism because each scatter worker re-scans
-/// the full source (see the module docs), and 1 for batches too small to
-/// amortize a spawn.
+/// Carves the varying-bit window of `diff` into balanced digits of at
+/// most `width` bits and drops every digit whose `diff` slice is zero (a
+/// stable scatter on a constant digit is the identity). Returns the
+/// surviving passes in LSD order plus the skipped count. `diff` must be
+/// nonzero; the window's edge digits always survive (the lowest and
+/// highest set bits of `diff` land inside them).
+fn plan_passes(diff: u64, width: u32) -> ([Pass; MAX_PASSES], usize, u64) {
+    debug_assert_ne!(diff, 0);
+    debug_assert!((MIN_DIGIT_BITS..=MAX_DIGIT_BITS).contains(&width));
+    let lo = diff.trailing_zeros();
+    let hi = 64 - diff.leading_zeros();
+    let span = hi - lo;
+    let windows = span.div_ceil(width);
+    let mut passes = [Pass::default(); MAX_PASSES];
+    let mut run = 0usize;
+    let mut skipped = 0u64;
+    for w in 0..windows {
+        let start = lo + span * w / windows;
+        let bits = lo + span * (w + 1) / windows - start;
+        if (diff >> start) & ((1u64 << bits) - 1) == 0 {
+            skipped += 1;
+        } else {
+            passes[run] = Pass { shift: start, bits };
+            run += 1;
+        }
+    }
+    debug_assert!(run >= 1);
+    (passes, run, skipped)
+}
+
+/// Measured 1-thread cost constants for the adaptive cutover, in
+/// sixteenths of a nanosecond (integer arithmetic, no floats on the plan
+/// path). Calibrated against the `plan_sort` criterion group: the
+/// comparison sort runs at ~2.3 ns/key per log₂ level; a cache-resident
+/// counting pass costs ~1.9 ns/key of scan+scatter plus ~1 ns per table
+/// entry for zeroing and prefix-summing — the charge that makes counting
+/// passes lose on segments too small to fill their digit tables. The
+/// exact crossover (a couple hundred keys under a full-width plan)
+/// barely matters because both paths are microseconds there.
+const CMP_NS_X16_PER_KEY_LEVEL: u64 = 36;
+const LSD_NS_X16_PER_KEY_PASS: u64 = 30;
+const LSD_NS_X16_PER_BUCKET_PASS: u64 = 16;
+
+/// The adaptive policy's cost model: predicted counting-pipeline time vs.
+/// predicted comparison time for `n` pairs under `passes`. A pure
+/// function of the batch (never of threads), so the choice — and with it
+/// the output — is identical across thread counts.
+fn lsd_is_cheaper(n: usize, passes: &[Pass]) -> bool {
+    let n = n as u64;
+    let levels = u64::from(64 - n.leading_zeros());
+    let cmp = n * levels * CMP_NS_X16_PER_KEY_LEVEL;
+    let lsd: u64 = passes
+        .iter()
+        .map(|p| n * LSD_NS_X16_PER_KEY_PASS + (1u64 << p.bits) * LSD_NS_X16_PER_BUCKET_PASS)
+        .sum();
+    lsd < cmp
+}
+
+/// Reusable tables of the sort pipeline, checked out of the device's
+/// scratch arena alongside the pair buffers so no pass allocates once the
+/// capacities are warm.
+#[derive(Debug, Default)]
+pub(crate) struct SortScratch {
+    /// Histogram of the global pass (bucket counts).
+    counts: Vec<u32>,
+    /// Exclusive prefix sums of `counts` (bucket start offsets).
+    starts: Vec<u32>,
+    /// Owned-run cut points of the parallel scatter.
+    cuts: Vec<usize>,
+    /// Per-worker staging/cursor/count tables; index 0 serves the
+    /// sequential path.
+    workers: Vec<WorkerScratch>,
+}
+
+/// One worker's private tables (see [`scatter_run`] and
+/// [`sort_segment`]).
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Write-combining staging: [`STAGE`] pair slots per owned bucket.
+    stage: Vec<Pair>,
+    /// Staged-pair count per owned bucket.
+    fill: Vec<u32>,
+    /// Write cursor per owned bucket, relative to the worker's region.
+    cursors: Vec<u32>,
+    /// Digit count table: a chunk histogram during the global pass, then
+    /// the per-pass table of every bucket-local sort this worker runs.
+    table: Vec<u32>,
+}
+
+/// Scatter fan-out for an `n`-pair batch at a given `threads` knob:
+/// capped at the host's physical parallelism because each scatter worker
+/// re-scans the full source (see the module docs), and 1 for batches too
+/// small to amortize a spawn.
 fn scatter_workers(threads: usize, n: usize) -> usize {
     if threads > 1 && n >= PARALLEL_SORT {
         threads.min(par::host_parallelism())
@@ -129,161 +260,219 @@ fn scatter_workers(threads: usize, n: usize) -> usize {
     }
 }
 
-/// [`partition`] with the scatter fan-out chosen by the caller — the test
-/// seam that exercises the owned-run parallel scatter on hosts whose
-/// physical core count would cap [`partition`] to a sequential one. The
-/// output is identical for every `scatter_workers` value.
-pub(crate) fn partition_with(
-    pairs: &[Pair],
-    out: &mut Vec<Pair>,
+/// Sorts `pairs` by `(key, id)` in place, leaving the result in `pairs`
+/// for every pass count (the ping-pong swaps are O(1) pointer
+/// exchanges). `scratch` is the alternate pass buffer and `ss` holds the
+/// count/staging tables — both retain capacity across calls; `threads`
+/// bounds the per-pass fan-out, `diff` optionally carries the batch's
+/// precomputed OR-fold of `key ^ first_key` (builders that stream every
+/// key anyway compute it for free; `None` recomputes it here), and
+/// `policy` picks the pipeline ([`SortPolicy::Adaptive`] applies the
+/// measured cost model). None of the knobs affect the result.
+pub(crate) fn sort_pairs(
+    pairs: &mut Vec<Pair>,
+    scratch: &mut Vec<Pair>,
+    ss: &mut SortScratch,
     threads: usize,
-    scatter_workers: usize,
     diff: Option<u64>,
-) -> Partition {
+    policy: SortPolicy,
+) {
+    // Histogram/scatter fan-out beyond physical cores is pure overhead
+    // (the extra workers serialize the same scans behind spawn and merge
+    // costs), so the in-sort parallelism follows the hardware; the
+    // `threads` knob still governs everything downstream.
+    let fan = threads.min(par::host_parallelism()).max(1);
+    sort_pairs_with(pairs, scratch, ss, fan, scatter_workers(threads, pairs.len()), diff, policy);
+}
+
+/// [`sort_pairs`] with the scatter/segment fan-out chosen by the caller —
+/// the test seam that exercises the owned-run parallel scatter and the
+/// stolen segment sorts on hosts whose physical core count would cap
+/// [`sort_pairs`] to a sequential run. The output is identical for every
+/// `workers` value.
+pub(crate) fn sort_pairs_with(
+    pairs: &mut Vec<Pair>,
+    scratch: &mut Vec<Pair>,
+    ss: &mut SortScratch,
+    threads: usize,
+    workers: usize,
+    diff: Option<u64>,
+    policy: SortPolicy,
+) {
     let n = pairs.len();
-    out.clear();
-    if n < SMALL_SORT {
-        out.extend_from_slice(pairs);
-        out.sort_unstable_by_key(|&(key, id)| (key, id));
-        return Partition::Sorted;
+    if n <= 1 {
+        return;
     }
 
     // OR-fold of `key ^ first` finds the bit positions where at least two
-    // keys differ: the MSD digit window is anchored at the highest one,
-    // so shared high bits (the always-zero top of a 62-bit k=31 key, or a
-    // common prefix of an already subarray-local batch) never waste
-    // bucket range. Callers that already streamed every key pass the fold
-    // in; otherwise it costs one scan here.
-    let first = pairs[0].0;
-    let diff = diff.unwrap_or_else(|| {
-        if threads > 1 && n >= PARALLEL_SORT {
-            let chunk = n.div_ceil(threads);
-            let chunks = n.div_ceil(chunk);
-            par::map_indexed(threads, chunks, |c| {
-                let lo = c * chunk;
-                let hi = (lo + chunk).min(n);
-                pairs[lo..hi]
-                    .iter()
-                    .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
-            })
-            .into_iter()
-            .fold(0, |acc, d| acc | d)
-        } else {
-            pairs
-                .iter()
-                .fold(0u64, |acc, &(key, _)| acc | (key ^ first))
-        }
-    });
+    // keys differ — the pass plan's whole input. Callers that already
+    // streamed every key pass the fold in; otherwise it costs one scan.
+    let first = pairs[0].key();
+    let diff = diff.unwrap_or_else(|| fold_diff(pairs, threads));
     debug_assert_eq!(
         diff,
-        pairs
-            .iter()
-            .fold(0u64, |acc, &(key, _)| acc | (key ^ first)),
+        pairs.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first)),
         "caller-supplied diff mask must equal the batch's OR-fold"
     );
     if diff == 0 {
-        // All keys equal; input order is already the stable order.
-        out.extend_from_slice(pairs);
-        return Partition::Sorted;
+        // All keys equal: input order is already the stable order.
+        return;
     }
-    // Bits at and above `sig` are identical across the batch, so the
-    // masked window [shift, shift + RADIX_BITS) preserves the key order.
-    let sig = 64 - diff.leading_zeros();
-    let shift = sig.saturating_sub(RADIX_BITS);
-    let high = if sig >= 64 {
-        0
-    } else {
-        (first >> sig) << sig
-    };
 
-    // Count pass: per-worker private histograms over disjoint chunks,
-    // merged by a striped column-sum (merge worker `m` owns a contiguous
-    // bucket range and sums it across every chunk histogram). Both halves
-    // are deterministic integer sums over fixed index rules.
-    let counts: Vec<u32> = if threads > 1 && n >= PARALLEL_SORT {
-        let chunk = n.div_ceil(threads);
-        let chunks = n.div_ceil(chunk);
-        let chunk_counts: Vec<Vec<u32>> = par::map_indexed(threads, chunks, |c| {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(n);
-            let mut counts = vec![0u32; BUCKETS];
-            for &(key, _) in &pairs[lo..hi] {
-                counts[digit(key, shift)] += 1;
-            }
-            counts
-        });
-        let stripes = threads.min(BUCKETS);
-        let stripe_len = BUCKETS.div_ceil(stripes);
-        let merged: Vec<Vec<u32>> = par::map_indexed(threads, stripes, |m| {
-            let lo = m * stripe_len;
-            let hi = (lo + stripe_len).min(BUCKETS);
-            let mut totals = chunk_counts[0][lo..hi].to_vec();
-            for counts in &chunk_counts[1..] {
-                for (total, &c) in totals.iter_mut().zip(counts[lo..hi].iter()) {
-                    *total += c;
-                }
-            }
-            totals
-        });
-        merged.concat()
-    } else {
-        let mut counts = vec![0u32; BUCKETS];
-        for &(key, _) in pairs.iter() {
-            counts[digit(key, shift)] += 1;
-        }
-        counts
+    let (passes, run_len, skipped) = plan_passes(diff, MAX_DIGIT_BITS);
+    let plan = &passes[..run_len];
+    let lsd = match policy {
+        SortPolicy::Lsd => true,
+        SortPolicy::Comparison => false,
+        SortPolicy::Adaptive => lsd_is_cheaper(n, plan),
     };
+    if !lsd {
+        pairs.sort_unstable_by_key(|p| (p.key(), p.id()));
+        return;
+    }
 
-    // Stable scatter into the bucket regions of `out`. The scatter writes
-    // every one of the n slots (counts sum to n), so reused capacity is
-    // never re-zeroed — only growth pays a fill.
-    if out.len() < n {
-        out.resize(n, (0, 0));
+    if scratch.len() < n {
+        scratch.resize(n, Pair::default());
     } else {
-        out.truncate(n);
+        scratch.truncate(n);
+    }
+    let workers = workers.clamp(1, n);
+    let hist_workers = if threads > 1 && n >= PARALLEL_SORT {
+        threads
+    } else {
+        1
+    };
+    if ss.workers.len() < workers.max(hist_workers) {
+        ss.workers.resize_with(workers.max(hist_workers), WorkerScratch::default);
+    }
+
+    // Global pass: an MSD counting scatter on the plan's most significant
+    // window. Everything below it is finished bucket-locally, in cache.
+    let top = plan[run_len - 1];
+    let buckets = 1usize << top.bits;
+    {
+        let _span = obs::span("sort.hist");
+        let _wall = trace::span("sort.hist");
+        histogram_into(pairs, top, hist_workers, ss);
     }
     // Exclusive prefix sum: `starts[b]` is bucket b's first offset.
-    let mut starts = counts;
+    ss.starts.clear();
     let mut acc = 0u32;
-    for start in &mut starts {
-        let count = *start;
-        *start = acc;
-        acc += count;
-    }
-    let scatter_workers = scatter_workers.clamp(1, n);
-    let ends = if scatter_workers > 1 {
-        scatter_owned(pairs, out, &starts, shift, scatter_workers)
-    } else {
-        // Sequential: reuse `starts` as write cursors; after the scatter
-        // each cursor has advanced to its bucket's END offset.
-        let mut cursors = starts;
-        for &pair in pairs.iter() {
-            let cursor = &mut cursors[digit(pair.0, shift)];
-            out[*cursor as usize] = pair;
-            *cursor += 1;
+    ss.starts.extend(ss.counts[..buckets].iter().map(|&c| {
+        let s = acc;
+        acc += c;
+        s
+    }));
+    debug_assert_eq!(acc as usize, n);
+    {
+        let _span = obs::span("sort.scatter");
+        let _wall = trace::span("sort.scatter");
+        if workers <= 1 {
+            scatter_run(pairs, scratch, &ss.starts, top, 0, buckets, &mut ss.workers[0]);
+        } else {
+            scatter_parallel(pairs, scratch, &ss.starts, top, workers, &mut ss.cuts, &mut ss.workers);
         }
-        cursors
-    };
-    Partition::Buckets { ends, shift, high }
+    }
+    // O(1): the partitioned pairs are now the local phase's source.
+    std::mem::swap(pairs, scratch);
+
+    let (mut local_run, mut local_skipped) = (0u64, 0u64);
+    if run_len > 1 {
+        let _span = obs::span("sort.local");
+        let _wall = trace::span("sort.local");
+        (local_run, local_skipped) =
+            sort_segments(pairs, scratch, &ss.starts, workers, &mut ss.workers, policy);
+    }
+    let rec = obs::global();
+    rec.add(obs::CounterId::SortPassesRun, 1 + local_run);
+    rec.add(obs::CounterId::SortPassesSkipped, skipped + local_skipped);
+}
+
+/// OR-fold of `key ^ pairs[0].key()` over the batch, chunk-parallel for
+/// large inputs (chunk boundaries never change an OR).
+fn fold_diff(pairs: &[Pair], threads: usize) -> u64 {
+    let n = pairs.len();
+    let first = pairs[0].key();
+    if threads > 1 && n >= PARALLEL_SORT {
+        par::map_chunks(threads, n, |range| {
+            pairs[range].iter().fold(0u64, |acc, &p| acc | (p.key() ^ first))
+        })
+        .into_iter()
+        .fold(0, |acc, d| acc | d)
+    } else {
+        pairs.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first))
+    }
+}
+
+/// Histograms `src` under `pass` into `ss.counts`, fanning disjoint index
+/// chunks out over `workers` (each fills its own table; the tables
+/// column-sum at the end, so the result is a plain integer sum —
+/// identical for every worker count).
+fn histogram_into(src: &[Pair], pass: Pass, workers: usize, ss: &mut SortScratch) {
+    let buckets = 1usize << pass.bits;
+    let n = src.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        let table = &mut ss.workers[0].table;
+        table.clear();
+        table.resize(buckets, 0);
+        for &p in src {
+            table[pdigit(p.key(), pass)] += 1;
+        }
+        merge_tables(ss, 1);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, ws) in ss.workers[..workers].iter_mut().enumerate() {
+            ws.table.clear();
+            ws.table.resize(buckets, 0);
+            let table = &mut ws.table;
+            let src = &src[(w * chunk).min(n)..((w + 1) * chunk).min(n)];
+            scope.spawn(move || {
+                for &p in src {
+                    table[pdigit(p.key(), pass)] += 1;
+                }
+            });
+        }
+    });
+    merge_tables(ss, workers);
+}
+
+/// Promotes the per-worker chunk histograms to the global pass's bucket
+/// counts: worker 0's table swaps into `ss.counts` (O(1)) and the rest
+/// column-sum in. At ≤ 2048 buckets the sum is a few microseconds even at
+/// the widest fan-out — far below the cost of striping it.
+fn merge_tables(ss: &mut SortScratch, workers: usize) {
+    let (first, rest) = ss.workers.split_first_mut().expect("worker tables exist");
+    std::mem::swap(&mut ss.counts, &mut first.table);
+    for ws in &rest[..workers - 1] {
+        for (total, &c) in ss.counts.iter_mut().zip(&ws.table) {
+            *total += c;
+        }
+    }
 }
 
 /// Stable parallel scatter by bucket ownership: buckets are cut into
-/// `workers` contiguous runs of near-equal pair count (from the merged
+/// `workers` contiguous runs of near-equal pair mass (from the
 /// histogram), the output splits into the matching disjoint regions, and
-/// each worker scans the full source writing only the pairs whose digit
-/// falls in its run. Within a bucket, writes happen in source order, so
-/// the result equals the sequential stable scatter exactly. Returns each
-/// bucket's END offset.
-fn scatter_owned(
-    pairs: &[Pair],
-    out: &mut [Pair],
+/// each worker scans the full source writing only its run's pairs through
+/// its own write-combining staging. Within a bucket, writes happen in
+/// source order, so the result equals the sequential staged scatter
+/// exactly, for any worker count.
+fn scatter_parallel(
+    src: &[Pair],
+    dst: &mut [Pair],
     starts: &[u32],
-    shift: u32,
+    pass: Pass,
     workers: usize,
-) -> Vec<u32> {
-    let n = pairs.len();
+    cuts: &mut Vec<usize>,
+    pool: &mut [WorkerScratch],
+) {
+    let n = src.len();
+    let buckets = starts.len();
     let bound = |b: usize| -> u32 {
-        if b < BUCKETS {
+        if b < buckets {
             starts[b]
         } else {
             n as u32
@@ -291,190 +480,257 @@ fn scatter_owned(
     };
     // Run r covers buckets `cuts[r]..cuts[r + 1]`; each cut lands on the
     // first bucket at or past the r-th equal slice of the pair count, so
-    // runs are contiguous in bucket (= key) order and balanced by the
+    // runs are contiguous in bucket (= digit) order and balanced by the
     // histogram, not by bucket count.
-    let mut cuts: Vec<usize> = Vec::with_capacity(workers + 1);
+    cuts.clear();
     cuts.push(0);
     for r in 1..workers {
         let target = ((n as u64 * r as u64) / workers as u64) as u32;
         let cut = starts.partition_point(|&s| s < target).max(cuts[r - 1]);
         cuts.push(cut);
     }
-    cuts.push(BUCKETS);
+    cuts.push(buckets);
 
-    let mut regions: Vec<&mut [Pair]> = Vec::with_capacity(workers);
-    let mut rest: &mut [Pair] = &mut out[..n];
-    for r in 0..workers {
-        let (region, tail) = rest.split_at_mut((bound(cuts[r + 1]) - bound(cuts[r])) as usize);
-        regions.push(region);
-        rest = tail;
-    }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = regions
-            .into_iter()
-            .enumerate()
-            .filter(|(_, region)| !region.is_empty())
-            .map(|(r, region)| {
-                let (lo_b, hi_b) = (cuts[r], cuts[r + 1]);
-                let base = bound(lo_b);
-                scope.spawn(move || {
-                    let mut cursors: Vec<u32> =
-                        starts[lo_b..hi_b].iter().map(|&s| s - base).collect();
-                    for &pair in pairs {
-                        let d = digit(pair.0, shift);
-                        if (lo_b..hi_b).contains(&d) {
-                            let cursor = &mut cursors[d - lo_b];
-                            region[*cursor as usize] = pair;
-                            *cursor += 1;
-                        }
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
-            }
+        let mut rest: &mut [Pair] = dst;
+        for (w, ws) in pool[..workers].iter_mut().enumerate() {
+            let (lo_b, hi_b) = (cuts[w], cuts[w + 1]);
+            let taken = std::mem::take(&mut rest);
+            let (region, tail) = taken.split_at_mut((bound(hi_b) - bound(lo_b)) as usize);
+            rest = tail;
+            scope.spawn(move || {
+                scatter_run(src, region, starts, pass, lo_b, hi_b, ws);
+            });
         }
+        debug_assert!(rest.is_empty());
     });
-    let mut ends: Vec<u32> = Vec::with_capacity(BUCKETS);
-    ends.extend_from_slice(&starts[1..]);
-    ends.push(n as u32);
-    ends
 }
 
-/// Sorts each bucket of a partitioned buffer in place. An adversarial
-/// batch that collapses into one bucket degrades to the comparison sort
-/// this module replaced — never worse.
-///
-/// At `threads > 1` buckets are dealt to workers as contiguous owned
-/// runs balanced by pair count, through a [`par::StealQueue`]: when
-/// `steal` is on, a worker whose run drains early pulls buckets from the
-/// heavy end of a neighbour's run. The sorts are in-place on disjoint
-/// slices, so the result never depends on who sorted what.
-pub(crate) fn sort_buckets(scattered: &mut [Pair], ends: &[u32], threads: usize, steal: bool) {
-    if threads <= 1 {
-        let mut start = 0u32;
-        for &end in ends {
-            if end - start > 1 {
-                scattered[start as usize..end as usize]
-                    .sort_unstable_by_key(|&(key, id)| (key, id));
+/// One worker's stable scatter of bucket run `[lo_b, hi_b)` into
+/// `region` (that run's disjoint slice of the destination), staged
+/// through [`STAGE`]-slot write-combining buffers. The trailing
+/// partial-bucket drain is the `sort.flush` span.
+fn scatter_run(
+    src: &[Pair],
+    region: &mut [Pair],
+    starts: &[u32],
+    pass: Pass,
+    lo_b: usize,
+    hi_b: usize,
+    ws: &mut WorkerScratch,
+) {
+    let run = hi_b - lo_b;
+    let base = if run > 0 { starts[lo_b] } else { 0 };
+    ws.cursors.clear();
+    ws.cursors.extend(starts[lo_b..hi_b].iter().map(|&s| s - base));
+    ws.fill.clear();
+    ws.fill.resize(run, 0);
+    if ws.stage.len() < run * STAGE {
+        ws.stage.resize(run * STAGE, Pair::default());
+    }
+
+    for &p in src {
+        let d = pdigit(p.key(), pass);
+        if !(lo_b..hi_b).contains(&d) {
+            continue;
+        }
+        let s = d - lo_b;
+        let f = ws.fill[s] as usize;
+        ws.stage[s * STAGE + f] = p;
+        if f + 1 == STAGE {
+            let c = ws.cursors[s] as usize;
+            region[c..c + STAGE].copy_from_slice(&ws.stage[s * STAGE..s * STAGE + STAGE]);
+            ws.cursors[s] = (c + STAGE) as u32;
+            ws.fill[s] = 0;
+        } else {
+            ws.fill[s] = (f + 1) as u32;
+        }
+    }
+
+    // Drain the partial buckets: destinations are disjoint, so the drain
+    // order is irrelevant to the result.
+    let _span = obs::span("sort.flush");
+    let _wall = trace::span("sort.flush");
+    for s in 0..run {
+        let f = ws.fill[s] as usize;
+        if f > 0 {
+            let c = ws.cursors[s] as usize;
+            region[c..c + f].copy_from_slice(&ws.stage[s * STAGE..s * STAGE + f]);
+            ws.cursors[s] = (c + f) as u32;
+        }
+    }
+}
+
+/// Finishes every bucket of the partitioned batch with bucket-local LSD
+/// passes ([`sort_segment`]), sequentially or over a [`par::StealQueue`]
+/// of disjoint `(pairs, scratch)` segment slices dealt round-robin.
+/// Returns the summed `(run, skipped)` pass counts — plain integer sums,
+/// so identical for any worker count or steal interleaving.
+fn sort_segments(
+    pairs: &mut [Pair],
+    scratch: &mut [Pair],
+    starts: &[u32],
+    workers: usize,
+    pool: &mut [WorkerScratch],
+    policy: SortPolicy,
+) -> (u64, u64) {
+    let n = pairs.len();
+    let buckets = starts.len();
+    let bound = |b: usize| -> usize {
+        if b < buckets {
+            starts[b] as usize
+        } else {
+            n
+        }
+    };
+    if workers <= 1 {
+        let table = &mut pool[0].table;
+        let (mut run, mut skipped) = (0u64, 0u64);
+        for b in 0..buckets {
+            let (lo, hi) = (bound(b), bound(b + 1));
+            if hi - lo > 1 {
+                let (r, s) = sort_segment(&mut pairs[lo..hi], &mut scratch[lo..hi], table, policy);
+                run += r;
+                skipped += s;
             }
-            start = end;
         }
-        return;
+        return (run, skipped);
     }
-    let mut slices: Vec<&mut [Pair]> = Vec::with_capacity(1024);
-    let mut rest: &mut [Pair] = scattered;
-    let mut start = 0u32;
-    for &end in ends {
-        let (bucket, tail) = rest.split_at_mut((end - start) as usize);
-        rest = tail;
-        start = end;
-        if bucket.len() > 1 {
-            slices.push(bucket);
-        }
-    }
-    if slices.is_empty() {
-        return;
-    }
-    let total: usize = slices.iter().map(|bucket| bucket.len()).sum();
-    let workers = threads.min(slices.len());
-    let mut queue = par::StealQueue::new(workers, steal);
-    let mut acc = 0usize;
-    let mut owner = 0usize;
-    for bucket in slices {
-        acc += bucket.len();
-        queue.push(owner, bucket);
-        while owner + 1 < workers && acc * workers >= total * (owner + 1) {
-            owner += 1;
+
+    // Deal the non-trivial segments round-robin; stealing rebalances the
+    // inevitable heavy buckets. Each queue item carries the segment's
+    // disjoint slices of both buffers, so no worker ever touches another
+    // worker's indices.
+    let mut queue = par::StealQueue::new(workers, true);
+    {
+        let (mut rest_a, mut rest_b) = (pairs, scratch);
+        let mut dealt = 0usize;
+        for b in 0..buckets {
+            let m = bound(b + 1) - bound(b);
+            let (seg_a, tail_a) = std::mem::take(&mut rest_a).split_at_mut(m);
+            let (seg_b, tail_b) = std::mem::take(&mut rest_b).split_at_mut(m);
+            (rest_a, rest_b) = (tail_a, tail_b);
+            if m > 1 {
+                queue.push(dealt % workers, (seg_a, seg_b));
+                dealt += 1;
+            }
         }
     }
     let queue = &queue;
-    let stolen: u64 = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut stolen = 0u64;
-                    while let Some((bucket, was_stolen)) = queue.pop(w) {
-                        bucket.sort_unstable_by_key(|&(key, id)| (key, id));
-                        stolen += u64::from(was_stolen);
-                    }
-                    stolen
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| match handle.join() {
-                Ok(count) => count,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .sum()
-    });
-    if stolen > 0 {
-        obs::global().add(obs::CounterId::StealTasks, stolen);
-    }
-}
-
-/// Sorts `pairs` by `(key, id)` in place. `scratch` is the scatter
-/// target, retained capacity is reused across calls; `threads` bounds the
-/// fan-out, `steal` the bucket-sort stealing, and `diff` is the optional
-/// precomputed key-spread mask (see [`partition`]) — none affect the
-/// result.
-pub(crate) fn sort_pairs(
-    pairs: &mut Vec<Pair>,
-    scratch: &mut Vec<Pair>,
-    threads: usize,
-    steal: bool,
-    diff: Option<u64>,
-) {
-    if pairs.len() <= 1 {
-        return;
-    }
-    if let Partition::Buckets { ends, .. } = partition(pairs, scratch, threads, diff) {
-        sort_buckets(scratch, &ends, threads, steal);
-    }
-    std::mem::swap(pairs, scratch);
-}
-
-/// Sorts the bucket segments of a task slice in place: `pairs` starts at
-/// global offset `lo` of a partitioned array whose bucket END offsets are
-/// `ends`, and each maximal run of one bucket's pairs inside the slice is
-/// sorted independently. The fully sorted array is "every bucket sorted in
-/// place", so once every task slice has been segment-sorted the array as a
-/// whole is sorted — a bucket cut by a slice edge must have been pre-sorted
-/// by the planner (`ShardPlan::rebuild_tasks` does), in which case its
-/// fringes are already-sorted runs this re-sort leaves unchanged.
-pub(crate) fn sort_segments(pairs: &mut [Pair], lo: usize, ends: &[u32]) {
-    let hi = lo + pairs.len();
-    let mut b = ends.partition_point(|&end| (end as usize) <= lo);
-    let mut seg_lo = lo;
-    while seg_lo < hi {
-        let seg_hi = (ends[b] as usize).min(hi);
-        if seg_hi - seg_lo > 1 {
-            pairs[seg_lo - lo..seg_hi - lo].sort_unstable_by_key(|&(key, id)| (key, id));
+    let run = std::sync::atomic::AtomicU64::new(0);
+    let skipped = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for (w, ws) in pool[..workers].iter_mut().enumerate() {
+            let (run, skipped) = (&run, &skipped);
+            let table = &mut ws.table;
+            scope.spawn(move || {
+                let (mut r_acc, mut s_acc) = (0u64, 0u64);
+                while let Some(((seg_a, seg_b), _stolen)) = queue.pop(w) {
+                    let (r, s) = sort_segment(seg_a, seg_b, table, policy);
+                    r_acc += r;
+                    s_acc += s;
+                }
+                run.fetch_add(r_acc, std::sync::atomic::Ordering::Relaxed);
+                skipped.fetch_add(s_acc, std::sync::atomic::Ordering::Relaxed);
+            });
         }
-        seg_lo = seg_hi;
-        b += 1;
-    }
+    });
+    (
+        run.load(std::sync::atomic::Ordering::Relaxed),
+        skipped.load(std::sync::atomic::Ordering::Relaxed),
+    )
 }
 
-/// MSD digit of `key` for a window anchored at `shift`: the bucket index
-/// of the single counting pass.
-#[inline]
-pub(crate) fn digit(key: u64, shift: u32) -> usize {
-    ((key >> shift) as usize) & (BUCKETS - 1)
+/// Sorts one bucket's segment by LSD counting passes replanned from the
+/// segment's own diff fold (the global pass made the top window constant
+/// here, and clustered keys often shrink the window further), leaving the
+/// result in `a`. When the replanned pass count is odd, `a` pre-copies
+/// into `b` so the ping-pong still ends in `a`. Segments below the cost
+/// model's crossover fall back to a comparison sort under
+/// [`SortPolicy::Adaptive`]. Returns this segment's `(run, skipped)` pass
+/// counts (a comparison fallback contributes zero).
+fn sort_segment(
+    a: &mut [Pair],
+    b: &mut [Pair],
+    table: &mut Vec<u32>,
+    policy: SortPolicy,
+) -> (u64, u64) {
+    let m = a.len();
+    debug_assert!(m > 1 && b.len() == m);
+    let first = a[0].key();
+    let diff = a.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first));
+    if diff == 0 {
+        // The whole segment is one key: the global pass's stable order
+        // already equals the sorted order.
+        return (0, 0);
+    }
+    // Digit width tracks the segment size (table ≈ one entry per pair):
+    // an oversized table spends more on zeroing and prefix-summing than
+    // its fewer passes save, an undersized one multiplies passes.
+    let width = (usize::BITS - 1 - m.leading_zeros()).clamp(MIN_DIGIT_BITS, MAX_DIGIT_BITS);
+    let (passes, run, skipped) = plan_passes(diff, width);
+    let plan = &passes[..run];
+    let lsd = match policy {
+        SortPolicy::Comparison => false,
+        SortPolicy::Lsd => true,
+        SortPolicy::Adaptive => lsd_is_cheaper(m, plan),
+    };
+    if !lsd {
+        a.sort_unstable_by_key(|p| (p.key(), p.id()));
+        return (0, 0);
+    }
+
+    if run % 2 == 1 {
+        b.copy_from_slice(a);
+    }
+    let mut in_b = run % 2 == 1;
+    for &pass in plan {
+        let lb = 1usize << pass.bits;
+        if table.len() < lb {
+            table.resize(lb, 0);
+        }
+        let table = &mut table[..lb];
+        table.fill(0);
+        let (src, dst): (&mut [Pair], &mut [Pair]) = if in_b { (b, a) } else { (a, b) };
+        for &p in src.iter() {
+            table[pdigit(p.key(), pass)] += 1;
+        }
+        let mut acc = 0u32;
+        for c in table.iter_mut() {
+            let v = *c;
+            *c = acc;
+            acc += v;
+        }
+        for &p in src.iter() {
+            let d = pdigit(p.key(), pass);
+            dst[table[d] as usize] = p;
+            table[d] += 1;
+        }
+        in_b = !in_b;
+    }
+    debug_assert!(!in_b, "ping-pong must end with the sorted segment in `a`");
+    (run as u64, skipped)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    const POLICIES: [SortPolicy; 3] = [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison];
 
     fn reference_sort(pairs: &[Pair]) -> Vec<Pair> {
         let mut v = pairs.to_vec();
-        v.sort_by_key(|&(key, _)| key); // stable: ties keep input order
+        v.sort_by_key(|p| p.key()); // stable: ties keep input order
         v
+    }
+
+    fn sorted(input: &[Pair], threads: usize, policy: SortPolicy) -> Vec<Pair> {
+        let mut pairs = input.to_vec();
+        let mut scratch = Vec::new();
+        let mut ss = SortScratch::default();
+        sort_pairs(&mut pairs, &mut scratch, &mut ss, threads, None, policy);
+        pairs
     }
 
     fn pseudo_random_pairs(n: usize, key_mask: u64, seed: u64) -> Vec<Pair> {
@@ -486,25 +742,32 @@ mod tests {
                 let mut z = state;
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                ((z ^ (z >> 31)) & key_mask, i as u32)
+                Pair::new((z ^ (z >> 31)) & key_mask, i as u32)
             })
             .collect()
     }
 
     #[test]
-    fn matches_stable_reference_across_sizes_and_threads() {
-        for &n in &[0usize, 1, 2, 100, SMALL_SORT - 1, SMALL_SORT, 40_000] {
+    fn pair_packs_to_twelve_bytes() {
+        assert_eq!(std::mem::size_of::<Pair>(), 12);
+        assert_eq!(std::mem::align_of::<Pair>(), 4);
+        let p = Pair::new(u64::MAX - 5, 77);
+        assert_eq!(p.key(), u64::MAX - 5);
+        assert_eq!(p.id(), 77);
+    }
+
+    #[test]
+    fn matches_stable_reference_across_sizes_threads_and_policies() {
+        for &n in &[0usize, 1, 2, 100, 2_047, 2_048, 40_000] {
             for &mask in &[u64::MAX, 0x3FFF_FFFF_FFFF_FFFF, 0xFF00, 0xFF] {
                 let input = pseudo_random_pairs(n, mask, 42 + n as u64);
                 let expected = reference_sort(&input);
                 for threads in [1, 2, 4, 7] {
-                    for steal in [false, true] {
-                        let mut pairs = input.clone();
-                        let mut scratch = Vec::new();
-                        sort_pairs(&mut pairs, &mut scratch, threads, steal, None);
+                    for policy in POLICIES {
                         assert_eq!(
-                            pairs, expected,
-                            "n={n} mask={mask:#x} threads={threads} steal={steal}"
+                            sorted(&input, threads, policy),
+                            expected,
+                            "n={n} mask={mask:#x} threads={threads} policy={policy:?}"
                         );
                     }
                 }
@@ -515,43 +778,75 @@ mod tests {
     #[test]
     fn shared_high_bits_do_not_waste_the_digit_window() {
         // Every key carries the same high prefix; only low bits differ, so
-        // the masked MSD window must land on the differing range.
+        // the pass plan must cover exactly the differing range.
         let input: Vec<Pair> = pseudo_random_pairs(30_000, 0x3FFFF, 3)
             .into_iter()
-            .map(|(key, id)| (key | 0xABCD_0000_0000_0000, id))
+            .map(|p| Pair::new(p.key() | 0xABCD_0000_0000_0000, p.id()))
             .collect();
         let expected = reference_sort(&input);
         for threads in [1, 4] {
-            let mut pairs = input.clone();
-            let mut scratch = Vec::new();
-            sort_pairs(&mut pairs, &mut scratch, threads, true, None);
-            assert_eq!(pairs, expected, "threads={threads}");
+            assert_eq!(sorted(&input, threads, SortPolicy::Lsd), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pass_plan_skips_constant_digit_windows() {
+        // diff varies only in bits 0..4 and 40..44: the 44-bit span splits
+        // into four 11-bit windows, and the middle two are all-zero.
+        let diff = 0xF | (0xF << 40);
+        let (passes, run, skipped) = plan_passes(diff, MAX_DIGIT_BITS);
+        assert_eq!(run, 2);
+        assert_eq!(skipped, 2);
+        for p in &passes[..run] {
+            assert_ne!((diff >> p.shift) & ((1u64 << p.bits) - 1), 0, "{p:?}");
+        }
+        // A full-width diff skips nothing and tiles [0, 64).
+        let (passes, run, skipped) = plan_passes(u64::MAX, MAX_DIGIT_BITS);
+        assert_eq!(skipped, 0);
+        let covered: u32 = passes[..run].iter().map(|p| p.bits).sum();
+        assert_eq!(covered, 64);
+        assert!(passes[..run].iter().all(|p| p.bits <= MAX_DIGIT_BITS));
+    }
+
+    #[test]
+    fn sparse_diff_sorts_identically_and_skips_passes() {
+        // Keys vary only in two narrow islands of bits — the shape the
+        // pass-skip rule exists for.
+        let input: Vec<Pair> = pseudo_random_pairs(20_000, u64::MAX, 9)
+            .into_iter()
+            .map(|p| Pair::new(p.key() & (0xF | (0xF << 40)) | 0x5000_0000_0000_0000, p.id()))
+            .collect();
+        let expected = reference_sort(&input);
+        for threads in [1, 4] {
+            for policy in POLICIES {
+                assert_eq!(sorted(&input, threads, policy), expected, "{policy:?}");
+            }
         }
     }
 
     #[test]
     fn duplicate_keys_preserve_input_order() {
         // All keys equal: stability demands untouched input order.
-        let input: Vec<Pair> = (0..10_000).map(|i| (7, i as u32)).collect();
-        let mut pairs = input.clone();
-        let mut scratch = Vec::new();
-        sort_pairs(&mut pairs, &mut scratch, 4, true, None);
-        assert_eq!(pairs, input);
+        let input: Vec<Pair> = (0..10_000).map(|i| Pair::new(7, i as u32)).collect();
+        for policy in POLICIES {
+            assert_eq!(sorted(&input, 4, policy), input, "{policy:?}");
+        }
     }
 
     #[test]
     fn scratch_capacity_is_reused() {
+        let mut ss = SortScratch::default();
         let mut scratch = Vec::new();
         let mut pairs = pseudo_random_pairs(30_000, u64::MAX, 1);
-        sort_pairs(&mut pairs, &mut scratch, 2, true, None);
+        sort_pairs(&mut pairs, &mut scratch, &mut ss, 2, None, SortPolicy::Lsd);
         assert!(scratch.capacity() >= 30_000);
-        // The final swap trades the two buffers, so measure the pair: a
-        // second, smaller sort must keep serving from the two existing
-        // allocations rather than growing either one.
+        // The global-pass swap trades the two buffers, so measure the
+        // pair: a second, smaller sort must keep serving from the two
+        // existing allocations rather than growing either one.
         let total = pairs.capacity() + scratch.capacity();
         pairs.clear();
         pairs.extend(pseudo_random_pairs(20_000, u64::MAX, 2));
-        sort_pairs(&mut pairs, &mut scratch, 2, true, None);
+        sort_pairs(&mut pairs, &mut scratch, &mut ss, 2, None, SortPolicy::Lsd);
         assert_eq!(
             pairs.capacity() + scratch.capacity(),
             total,
@@ -559,11 +854,12 @@ mod tests {
         );
     }
 
-    /// The owned-run parallel scatter must be byte-identical to the
-    /// sequential stable scatter for every worker count — including more
-    /// workers than occupied buckets. `partition_with` is the seam: the
-    /// public `partition` caps the fan-out at physical cores, which on a
-    /// 1-core CI host would never exercise the parallel path.
+    /// The owned-run parallel scatter and the stolen segment sorts must
+    /// be byte-identical to the sequential pipeline for every worker
+    /// count — including more workers than occupied buckets.
+    /// `sort_pairs_with` is the seam: the public `sort_pairs` caps the
+    /// fan-out at physical cores, which on a 1-core CI host would never
+    /// exercise the parallel path.
     #[test]
     fn parallel_scatter_matches_sequential_for_any_worker_count() {
         for &(n, mask) in &[
@@ -573,51 +869,93 @@ mod tests {
             (PARALLEL_SORT, 0x3_0000_0000_0000u64),
         ] {
             let input = pseudo_random_pairs(n, mask, 7 + n as u64);
-            let mut seq_out = Vec::new();
-            let seq = partition_with(&input, &mut seq_out, 1, 1, None);
-            let (seq_ends, seq_shift, seq_high) = match seq {
-                Partition::Buckets { ends, shift, high } => (ends, shift, high),
-                Partition::Sorted => panic!("radix path expected for n={n}"),
-            };
+            let mut seq = input.clone();
+            let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
+            sort_pairs_with(&mut seq, &mut scratch, &mut ss, 1, 1, None, SortPolicy::Lsd);
+            assert_eq!(seq, reference_sort(&input), "sequential n={n}");
             for workers in [2usize, 3, 4, 8] {
-                let mut out = Vec::new();
-                match partition_with(&input, &mut out, 4, workers, None) {
-                    Partition::Buckets { ends, shift, high } => {
-                        assert_eq!(shift, seq_shift, "workers={workers}");
-                        assert_eq!(high, seq_high, "workers={workers}");
-                        assert_eq!(ends, seq_ends, "workers={workers}");
-                    }
-                    Partition::Sorted => panic!("radix path expected"),
-                }
-                assert_eq!(out, seq_out, "n={n} mask={mask:#x} workers={workers}");
+                let mut pairs = input.clone();
+                let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
+                sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 4, workers, None, SortPolicy::Lsd);
+                assert_eq!(pairs, seq, "n={n} mask={mask:#x} workers={workers}");
             }
         }
     }
 
-    /// One giant bucket plus a fringe of tiny ones: with stealing on,
-    /// idle workers must still produce the exact sorted output (the
-    /// imbalance shape the steal queue exists for).
+    /// One giant bucket plus a fringe of tiny ones: the owned-run cuts
+    /// collapse around the heavy bucket, its segment sort dominates one
+    /// steal-queue stripe, and the output must still be exact for every
+    /// fan-out (the imbalance shape the mass-balanced cuts and the steal
+    /// queue exist for).
     #[test]
-    fn forced_imbalance_sorts_identically_with_and_without_stealing() {
-        // ~90% of keys share one MSD digit; the rest spread out.
+    fn forced_imbalance_sorts_identically_across_workers() {
+        // ~90% of keys share one top digit; the rest spread out.
         let input: Vec<Pair> = pseudo_random_pairs(30_000, u64::MAX, 11)
             .into_iter()
-            .map(|(key, id)| {
-                if id % 10 != 0 {
-                    ((key & 0xFFFF_FFFF) | 0x7777_0000_0000, id)
+            .map(|p| {
+                if p.id() % 10 != 0 {
+                    Pair::new((p.key() & 0xFFFF_FFFF) | 0x7777_0000_0000, p.id())
                 } else {
-                    (key, id)
+                    p
                 }
             })
             .collect();
         let expected = reference_sort(&input);
         for threads in [2, 4, 8] {
-            for steal in [false, true] {
-                let mut pairs = input.clone();
-                let mut scratch = Vec::new();
-                sort_pairs(&mut pairs, &mut scratch, threads, steal, None);
-                assert_eq!(pairs, expected, "threads={threads} steal={steal}");
+            for policy in POLICIES {
+                assert_eq!(sorted(&input, threads, policy), expected, "threads={threads} {policy:?}");
             }
+        }
+        for workers in [2, 5, 8] {
+            let mut pairs = input.clone();
+            let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
+            sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 4, workers, None, SortPolicy::Lsd);
+            assert_eq!(pairs, expected, "workers={workers}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Counting pipeline ≡ stable comparison sort on arbitrary
+        /// batches, including duplicate keys, narrow/holey diff masks
+        /// (random `mask` ANDs punch unpredictable constant-bit windows),
+        /// and empty/singleton inputs (`len` starts at 0).
+        #[test]
+        fn lsd_equals_stable_comparison_sort(
+            keys in proptest::collection::vec(any::<u64>(), 0..800),
+            mask in any::<u64>(),
+            threads in 1usize..5,
+        ) {
+            let input: Vec<Pair> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Pair::new(k & mask, i as u32))
+                .collect();
+            let expected = reference_sort(&input);
+            for policy in POLICIES {
+                prop_assert_eq!(&sorted(&input, threads, policy), &expected, "{:?}", policy);
+            }
+        }
+
+        /// Duplicate-heavy batches (tiny key alphabet) stay stable under
+        /// every policy and the forced parallel-scatter seam.
+        #[test]
+        fn duplicate_heavy_batches_stay_stable(
+            keys in proptest::collection::vec(0u64..7, 0..600),
+            workers in 1usize..6,
+        ) {
+            let input: Vec<Pair> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| Pair::new(k, i as u32))
+                .collect();
+            let expected = reference_sort(&input);
+            let mut pairs = input.clone();
+            let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
+            sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 2, workers, None, SortPolicy::Lsd);
+            prop_assert_eq!(&pairs, &expected);
         }
     }
 }
+

@@ -346,7 +346,8 @@ fn type1_task(
     };
     let mut alive_rows_hist = vec![0u32; bit_len + 1];
     let mut live_suffix = vec![0u32; bit_len + 2];
-    for &(_, i) in pairs {
+    for &pair in pairs {
+        let i = pair.id();
         let q = &queries[i as usize];
         let w = &work[i as usize];
         let m = mult.map_or(1u64, |m| u64::from(m[i as usize]));

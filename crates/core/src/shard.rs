@@ -3,31 +3,31 @@
 //! A run shards its query batch by destination subarray — the same
 //! sorted-partition routing the index table performs in hardware — so
 //! that each shard can be matched and its timeline accounted
-//! independently on a worker thread. Planning is linear time: one MSD
-//! radix partition of `(k-mer bits, id)` pairs ([`crate::radix`]) orders
-//! the whole batch, then routing is a handful of binary searches of the
-//! sorted sequence against the index's subarray boundaries (one
-//! `partition_point` per occupied subarray, not a walk over every query).
-//! Shards are further split into bounded *tasks* so a handful of fat
-//! shards cannot cap parallelism: each task restarts its own forward-only
-//! merge cursor at the split boundary.
+//! independently on a worker thread. Planning is near-linear: the
+//! multi-pass LSD radix pipeline ([`crate::radix`]) fully orders the
+//! `(k-mer bits, id)` pairs (skipping constant digit windows, staging
+//! scatters through write-combining buffers), then routing is a handful
+//! of binary searches of the sorted sequence against the index's
+//! subarray boundaries (one `partition_point` per occupied subarray,
+//! not a walk over every query). Shards are further split into bounded
+//! *tasks* so a handful of fat shards cannot cap parallelism: each task
+//! restarts its own forward-only merge cursor at the split boundary.
 //!
-//! [`ShardPlan::rebuild_tasks`] fuses the two stages by moving the
-//! per-bucket sorts *into the match tasks*: the MSD partition fixes every
-//! bucket's position up front, so the planner only pre-sorts the handful
-//! of buckets that contain a shard or task boundary (routing needs their
-//! exact interior order), carves the whole bucketed array into sealed
-//! per-task slices, and hands the bulk of the comparison-sort work to the
-//! match workers — each sorts its task's bucket segments just before
-//! matching them, so the dominant sort cost fans out across every worker
-//! instead of serializing on the planner thread. The sealed plan, the
-//! final sorted array, and the task sequence are bit-identical to the
-//! barriered [`ShardPlan::rebuild`].
+//! [`ShardPlan::rebuild_tasks`] is the fused-pipeline variant: the same
+//! sort and routing, but the batch is then carved into sealed per-task
+//! slices of the sorted array that stream straight into the match
+//! workers — no boundary re-scans, no per-shard copies. (Earlier
+//! revisions deferred per-bucket comparison sorts into the match tasks
+//! to hide their cost; the LSD pipeline removed the per-bucket sorts
+//! entirely, so the fused path is now just `rebuild` + zero-copy task
+//! sealing.) The plan, the sorted array, and the task sequence are
+//! bit-identical between the two entry points.
 //!
 //! The reduce step scatters per-query results back by id and merges
 //! per-subarray resource loads with integer sums, so the run's output is
 //! bit-identical for every thread count.
 
+use crate::config::SortPolicy;
 use crate::index::SubarrayIndex;
 use crate::obs;
 use crate::radix;
@@ -68,52 +68,95 @@ impl ShardPlan {
 
     /// Rebuilds the plan in place (all buffers reuse their capacity),
     /// sorting and routing the caller-filled `pairs` through `index`.
-    /// `pairs_scratch` is the radix scatter buffer, owned by the caller's
-    /// scratch arena. `diff` optionally carries the batch's precomputed
-    /// OR-fold of `key ^ first_key` (see [`radix::sort_pairs`]) so the
-    /// sort can skip its own scan over the keys.
+    /// `pairs_scratch` is the sort's ping-pong buffer and `sort` its
+    /// count/staging tables, both owned by the caller's scratch arena.
+    /// `diff` optionally carries the batch's precomputed OR-fold of
+    /// `key ^ first_key` (see [`radix::sort_pairs`]) so the sort can
+    /// skip its own scan over the keys; `policy` selects the sort
+    /// pipeline.
     ///
     /// The sort is stable on k-mer bits whenever ids are assigned in
     /// input order, and the boundary searches are pure functions of the
     /// sorted sequence, so the plan is identical for every `threads`
-    /// value.
+    /// value and every `policy`.
+    #[allow(clippy::too_many_arguments)]
     pub fn rebuild(
         &mut self,
         index: &SubarrayIndex,
         pairs: &mut Vec<radix::Pair>,
         pairs_scratch: &mut Vec<radix::Pair>,
+        sort: &mut radix::SortScratch,
         threads: usize,
-        steal: bool,
         diff: Option<u64>,
+        policy: SortPolicy,
     ) {
         self.starts.clear();
         self.subarrays.clear();
         self.tasks.clear();
-        let n = pairs.len();
         debug_assert!(
-            u32::try_from(n).is_ok(),
+            u32::try_from(pairs.len()).is_ok(),
             "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
         );
-        if n == 0 {
+        if pairs.is_empty() {
             return;
         }
 
         {
             let _span = obs::span("shard.sort");
-            radix::sort_pairs(pairs, pairs_scratch, threads, steal, diff);
+            let _wall = trace::span("shard.sort");
+            radix::sort_pairs(pairs, pairs_scratch, sort, threads, diff, policy);
         }
+        {
+            let _span = obs::span("shard.route");
+            let _wall = trace::span("shard.route");
+            self.route(index, pairs);
+        }
+        self.emit_trace();
+    }
 
-        // Route by boundary: subarray d's shard is the sorted range below
-        // `firsts[d + 1]` that earlier subarrays did not claim (queries
-        // below the first range conservatively route to subarray 0,
-        // exactly like `SubarrayIndex::locate`). One binary search per
-        // occupied subarray replaces the per-query merge-join walk.
-        let _span = obs::span("shard.route");
+    /// [`Self::rebuild`] fused with task dispatch: the identical sort and
+    /// plan, plus the sorted array carved into sealed per-task slices
+    /// that stream straight into the match workers — zero copies, the
+    /// borrow pinning `pairs` until every task is dropped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rebuild_tasks<'data>(
+        &mut self,
+        index: &SubarrayIndex,
+        pairs: &'data mut Vec<radix::Pair>,
+        pairs_scratch: &mut Vec<radix::Pair>,
+        sort: &mut radix::SortScratch,
+        threads: usize,
+        diff: Option<u64>,
+        policy: SortPolicy,
+    ) -> Vec<SealedTask<'data>> {
+        self.rebuild(index, pairs, pairs_scratch, sort, threads, diff, policy);
+
+        // Shards tile `[0, n)` and tasks tile each shard in order, so the
+        // sealed slices are disjoint and cover the array exactly.
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(idx, &(s, t_lo, t_hi))| SealedTask {
+                idx,
+                subarray: self.subarrays[s as usize] as usize,
+                pairs: &pairs[t_lo as usize..t_hi as usize],
+            })
+            .collect()
+    }
+
+    /// Routes the sorted pair array by boundary: subarray d's shard is
+    /// the sorted range below `firsts[d + 1]` that earlier subarrays did
+    /// not claim (queries below the first range conservatively route to
+    /// subarray 0, exactly like `SubarrayIndex::locate`). One binary
+    /// search per occupied subarray replaces the per-query merge-join
+    /// walk.
+    fn route(&mut self, index: &SubarrayIndex, pairs: &[radix::Pair]) {
         let firsts = index.first_bits();
+        let n = pairs.len();
         let mut lo = 0usize;
         for d in 0..firsts.len() {
             let hi = if d + 1 < firsts.len() {
-                lo + pairs[lo..].partition_point(|&(key, _)| key < firsts[d + 1])
+                lo + pairs[lo..].partition_point(|p| p.key() < firsts[d + 1])
             } else {
                 n
             };
@@ -128,178 +171,6 @@ impl ShardPlan {
             }
         }
         self.starts.push(n);
-
-        self.emit_trace();
-    }
-
-    /// [`Self::rebuild`] fused with task dispatch, the bulk sort moved
-    /// into the tasks themselves: partitions `pairs` into `scratch`,
-    /// pre-sorts only the buckets a shard or task boundary lands inside
-    /// (routing needs their exact interior order — everything else can
-    /// stay bucket-granular), builds the identical plan, and returns the
-    /// whole array carved into disjoint `&mut` per-task slices plus the
-    /// partition's bucket table. Match workers call
-    /// [`radix::sort_segments`] on a task before matching it; once every
-    /// task has run, `scratch` holds exactly the array
-    /// [`Self::rebuild`] would have produced (callers swap buffers).
-    ///
-    /// Correctness of the boundary trick: the MSD partition leaves
-    /// buckets in ascending key order, so the fully sorted array is "each
-    /// bucket sorted, in place". A boundary key `K` falls inside exactly
-    /// one bucket; sorting that bucket makes `partition_point` inside it
-    /// exact, and every earlier bucket contributes its full length —
-    /// the same position the sorted array yields. A bucket cut by a task
-    /// boundary is pre-sorted too, so the two task fringes each hold a
-    /// sorted run that segment re-sorting leaves unchanged.
-    pub fn rebuild_tasks<'data>(
-        &mut self,
-        index: &SubarrayIndex,
-        pairs: &[radix::Pair],
-        scratch: &'data mut Vec<radix::Pair>,
-        threads: usize,
-        diff: Option<u64>,
-    ) -> FusedTasks<'data> {
-        self.starts.clear();
-        self.subarrays.clear();
-        self.tasks.clear();
-        let n = pairs.len();
-        debug_assert!(
-            u32::try_from(n).is_ok(),
-            "callers bound batches to u32 ids (SieveError::BatchTooLarge)"
-        );
-        if n == 0 {
-            return FusedTasks {
-                tasks: Vec::new(),
-                bucket_ends: Vec::new(),
-            };
-        }
-
-        let part = {
-            let _span = obs::span("shard.sort");
-            radix::partition(pairs, scratch, threads, diff)
-        };
-
-        let _span = obs::span("shard.route");
-        let firsts = index.first_bits();
-        let bucket_ends = match part {
-            radix::Partition::Buckets { ends, shift, high } => {
-                // `presorted` records which buckets the boundary passes
-                // sorted, in ascending bucket order (boundaries ascend).
-                let mut presorted: Vec<usize> = Vec::new();
-                // Position a boundary key would take in the fully sorted
-                // array (= count of keys < K), resolved on the bucketed
-                // one: keys share their bits at and above the digit
-                // window (`w`), buckets ascend in key order, and sorting
-                // K's own bucket makes the interior search exact.
-                let window = shift + radix::RADIX_BITS; // ≤ 64: shift = sig - RADIX_BITS
-                let w = u128::from(high) >> window;
-                let mut bound_pos = |scratch: &mut [radix::Pair], key: u64| -> usize {
-                    let wk = u128::from(key) >> window;
-                    if wk < w {
-                        return 0;
-                    }
-                    if wk > w {
-                        return n;
-                    }
-                    let b = radix::digit(key, shift);
-                    let blo = if b == 0 { 0 } else { ends[b - 1] as usize };
-                    let bhi = ends[b] as usize;
-                    if bhi - blo > 1 && presorted.last() != Some(&b) {
-                        scratch[blo..bhi].sort_unstable_by_key(|&(key, id)| (key, id));
-                        presorted.push(b);
-                    }
-                    blo + scratch[blo..bhi].partition_point(|&(k, _)| k < key)
-                };
-
-                // The same routing loop as `rebuild`, on boundary
-                // positions instead of a fully sorted array.
-                let mut lo = 0usize;
-                for d in 0..firsts.len() {
-                    let hi = if d + 1 < firsts.len() {
-                        bound_pos(scratch.as_mut_slice(), firsts[d + 1]).max(lo)
-                    } else {
-                        n
-                    };
-                    if hi > lo {
-                        self.subarrays.push(d as u32);
-                        self.starts.push(lo);
-                        self.split_tasks(lo, hi);
-                        lo = hi;
-                    }
-                    if lo == n {
-                        break;
-                    }
-                }
-                self.starts.push(n);
-
-                // Task boundaries from `split_tasks` are arithmetic cuts
-                // that can land mid-bucket: pre-sort those buckets so the
-                // cut position splits a sorted run.
-                let mut last_cut_bucket = usize::MAX;
-                for &(_, t_lo, _) in &self.tasks {
-                    let p = t_lo as usize;
-                    let b = ends.partition_point(|&e| (e as usize) <= p);
-                    let blo = if b == 0 { 0 } else { ends[b - 1] as usize };
-                    if p == blo || b == last_cut_bucket || presorted.binary_search(&b).is_ok()
-                    {
-                        continue; // aligned with a bucket edge or done
-                    }
-                    let bhi = ends[b] as usize;
-                    if bhi - blo > 1 {
-                        scratch[blo..bhi].sort_unstable_by_key(|&(key, id)| (key, id));
-                    }
-                    last_cut_bucket = b;
-                }
-                ends
-            }
-            radix::Partition::Sorted => {
-                // Already fully sorted: route exactly like `rebuild` and
-                // return an empty bucket table (nothing left to sort).
-                let mut lo = 0usize;
-                for d in 0..firsts.len() {
-                    let hi = if d + 1 < firsts.len() {
-                        lo + scratch[lo..].partition_point(|&(key, _)| key < firsts[d + 1])
-                    } else {
-                        n
-                    };
-                    if hi > lo {
-                        self.subarrays.push(d as u32);
-                        self.starts.push(lo);
-                        self.split_tasks(lo, hi);
-                        lo = hi;
-                    }
-                    if lo == n {
-                        break;
-                    }
-                }
-                self.starts.push(n);
-                Vec::new()
-            }
-        };
-
-        // Carve the whole array into per-task `&mut` slices, in task
-        // order. Shards tile `[0, n)` and tasks tile each shard, so the
-        // split chain consumes the buffer exactly.
-        let mut sealed: Vec<SealedTask<'data>> = Vec::with_capacity(self.tasks.len());
-        let mut tail: &'data mut [radix::Pair] = scratch.as_mut_slice();
-        for (idx, &(s, t_lo, t_hi)) in self.tasks.iter().enumerate() {
-            let taken = std::mem::take(&mut tail);
-            let (head, rest) = taken.split_at_mut((t_hi - t_lo) as usize);
-            tail = rest;
-            sealed.push(SealedTask {
-                idx,
-                subarray: self.subarrays[s as usize] as usize,
-                lo: t_lo as usize,
-                pairs: head,
-            });
-        }
-        debug_assert!(tail.is_empty());
-
-        self.emit_trace();
-        FusedTasks {
-            tasks: sealed,
-            bucket_ends,
-        }
     }
 
     /// Splits shard range `[lo, hi)` into near-equal tasks of at most
@@ -375,32 +246,15 @@ impl ShardPlan {
     }
 }
 
-/// The output of [`ShardPlan::rebuild_tasks`]: every match task as a
-/// sealed `&mut` slice of the partitioned array, plus the bucket table
-/// the workers need to finish the sort segment by segment.
-pub(crate) struct FusedTasks<'data> {
-    /// One entry per plan task, in task order.
-    pub tasks: Vec<SealedTask<'data>>,
-    /// Bucket END offsets of the MSD partition ([`radix::Partition::Buckets`]);
-    /// empty when the partition came back fully sorted (small or
-    /// degenerate batches) and there is nothing left to sort.
-    pub bucket_ends: Vec<u32>,
-}
-
-/// One sealed match task: a disjoint `&mut` slice of the partitioned
-/// array, pinned by task id for the deterministic reduce. The worker that
-/// picks it up sorts its bucket segments ([`radix::sort_segments`]) and
-/// matches it.
+/// One sealed match task: a disjoint slice of the sorted pair array,
+/// pinned by task id for the deterministic reduce.
 pub(crate) struct SealedTask<'data> {
     /// Task id (plan order).
     pub idx: usize,
     /// Destination subarray.
     pub subarray: usize,
-    /// Global offset of `pairs` within the full array (positions bucket
-    /// segments against the bucket table).
-    pub lo: usize,
-    /// The task's slice of the partitioned array.
-    pub pairs: &'data mut [radix::Pair],
+    /// The task's slice of the sorted array, ready to match.
+    pub pairs: &'data [radix::Pair],
 }
 
 #[cfg(test)]
@@ -415,7 +269,7 @@ mod tests {
         queries
             .iter()
             .enumerate()
-            .map(|(i, q)| (q.bits(), i as u32))
+            .map(|(i, q)| radix::Pair::new(q.bits(), i as u32))
             .collect()
     }
 
@@ -427,7 +281,16 @@ mod tests {
         let mut plan = ShardPlan::empty();
         let mut pairs = make_pairs(queries);
         let mut scratch = Vec::new();
-        plan.rebuild(index, &mut pairs, &mut scratch, threads, true, None);
+        let mut sort = radix::SortScratch::default();
+        plan.rebuild(
+            index,
+            &mut pairs,
+            &mut scratch,
+            &mut sort,
+            threads,
+            None,
+            SortPolicy::Adaptive,
+        );
         (plan, pairs)
     }
 
@@ -454,6 +317,23 @@ mod tests {
     }
 
     #[test]
+    fn plan_is_sort_policy_independent() {
+        let (index, queries) = plan_inputs();
+        let (base, base_pairs) = build(&index, &queries, 2);
+        for policy in [SortPolicy::Lsd, SortPolicy::Comparison] {
+            let mut plan = ShardPlan::empty();
+            let mut pairs = make_pairs(&queries);
+            let mut scratch = Vec::new();
+            let mut sort = radix::SortScratch::default();
+            plan.rebuild(&index, &mut pairs, &mut scratch, &mut sort, 2, None, policy);
+            assert_eq!(pairs, base_pairs, "{policy:?}");
+            assert_eq!(plan.starts, base.starts, "{policy:?}");
+            assert_eq!(plan.subarrays, base.subarrays, "{policy:?}");
+            assert_eq!(plan.tasks, base.tasks, "{policy:?}");
+        }
+    }
+
+    #[test]
     fn plan_covers_every_query_exactly_once() {
         let (index, queries) = plan_inputs();
         let (plan, pairs) = build(&index, &queries, 4);
@@ -463,9 +343,13 @@ mod tests {
             assert!(sub < plan.subarray_span());
             let shard_pairs = &pairs[range];
             for window in shard_pairs.windows(2) {
-                assert!(window[0].0 <= window[1].0, "shard not sorted by k-mer bits");
+                assert!(
+                    window[0].key() <= window[1].key(),
+                    "shard not sorted by k-mer bits"
+                );
             }
-            for &(bits, i) in shard_pairs {
+            for &p in shard_pairs {
+                let (bits, i) = (p.key(), p.id());
                 assert_eq!(queries[i as usize].bits(), bits);
                 assert_eq!(index.locate(queries[i as usize]), sub);
                 assert!(!seen[i as usize], "query routed twice");
@@ -521,8 +405,8 @@ mod tests {
         let (plan, pairs) = build(&index, &dup, 2);
         for s in 0..plan.shard_count() {
             let (sub, range) = plan.shard(s);
-            for &(_, i) in &pairs[range] {
-                assert_eq!(index.locate(dup[i as usize]), sub);
+            for &p in &pairs[range] {
+                assert_eq!(index.locate(dup[p.id() as usize]), sub);
             }
         }
     }
@@ -540,8 +424,8 @@ mod tests {
     #[test]
     fn fused_tasks_match_rebuild() {
         let (index, queries) = plan_inputs();
-        // Cover the radix path (big), the small comparison path, and a
-        // duplicate-heavy batch in one sweep.
+        // Cover the LSD path (big), the adaptive comparison path (small),
+        // and a duplicate-heavy batch in one sweep.
         let mut big: Vec<Kmer> = Vec::new();
         while big.len() < 3 * TASK_TARGET {
             big.extend_from_slice(&queries);
@@ -552,32 +436,35 @@ mod tests {
             for threads in [1usize, 4] {
                 let (want_plan, want_pairs) = build(&index, batch, threads);
                 let mut plan = ShardPlan::empty();
-                let pairs = make_pairs(batch);
+                let mut pairs = make_pairs(batch);
                 let mut scratch = Vec::new();
-                let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, threads, None);
+                let mut sort = radix::SortScratch::default();
+                let tasks = plan.rebuild_tasks(
+                    &index,
+                    &mut pairs,
+                    &mut scratch,
+                    &mut sort,
+                    threads,
+                    None,
+                    SortPolicy::Adaptive,
+                );
                 assert_eq!(plan.starts, want_plan.starts, "{name}");
                 assert_eq!(plan.subarrays, want_plan.subarrays, "{name}");
                 assert_eq!(plan.tasks, want_plan.tasks, "{name}");
                 // Every task slice is present, in order, at its plan
-                // offset; segment-sorting each one must reproduce the
-                // fully sorted array task by task.
-                assert_eq!(fused.tasks.len(), plan.task_count(), "{name}");
-                for (i, task) in fused.tasks.into_iter().enumerate() {
+                // offset, already sorted.
+                assert_eq!(tasks.len(), plan.task_count(), "{name}");
+                for (i, task) in tasks.into_iter().enumerate() {
                     assert_eq!(task.idx, i);
                     let (want_sub, range) = plan.task(i);
                     assert_eq!(task.subarray, want_sub, "{name} task {i}");
-                    assert_eq!(task.lo, range.start, "{name} task {i}");
-                    assert_eq!(task.pairs.len(), range.len(), "{name} task {i}");
-                    if !fused.bucket_ends.is_empty() {
-                        radix::sort_segments(task.pairs, task.lo, &fused.bucket_ends);
-                    }
                     assert_eq!(
-                        &*task.pairs,
+                        task.pairs,
                         &want_pairs[range],
                         "{name} threads={threads} task {i}"
                     );
                 }
-                assert_eq!(scratch, want_pairs, "{name} threads={threads}");
+                assert_eq!(pairs, want_pairs, "{name} threads={threads}");
             }
         }
     }
@@ -586,18 +473,26 @@ mod tests {
     fn fused_tasks_empty_batch_seals_nothing() {
         let (index, _) = plan_inputs();
         let mut plan = ShardPlan::empty();
-        let pairs = Vec::new();
+        let mut pairs = Vec::new();
         let mut scratch = Vec::new();
-        let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, 2, None);
-        assert!(fused.tasks.is_empty());
-        assert!(fused.bucket_ends.is_empty());
+        let mut sort = radix::SortScratch::default();
+        let tasks = plan.rebuild_tasks(
+            &index,
+            &mut pairs,
+            &mut scratch,
+            &mut sort,
+            2,
+            None,
+            SortPolicy::Adaptive,
+        );
+        assert!(tasks.is_empty());
         assert_eq!(plan.shard_count(), 0);
     }
 
     /// A forced-imbalance batch — thousands of copies of a handful of
     /// keys, so a few giant buckets dwarf the rest — must still seal
-    /// tasks that segment-sort to the exact `rebuild` array (the
-    /// degenerate shape where boundary buckets ARE the bulk).
+    /// tasks identical to the `rebuild` array (the degenerate shape that
+    /// used to stress the boundary-bucket machinery).
     #[test]
     fn fused_tasks_survive_one_giant_bucket() {
         let (index, queries) = plan_inputs();
@@ -605,15 +500,23 @@ mod tests {
         batch.extend(queries.iter().take(50).copied());
         let (want_plan, want_pairs) = build(&index, &batch, 4);
         let mut plan = ShardPlan::empty();
-        let pairs = make_pairs(&batch);
+        let mut pairs = make_pairs(&batch);
         let mut scratch = Vec::new();
-        let fused = plan.rebuild_tasks(&index, &pairs, &mut scratch, 4, None);
+        let mut sort = radix::SortScratch::default();
+        let tasks = plan.rebuild_tasks(
+            &index,
+            &mut pairs,
+            &mut scratch,
+            &mut sort,
+            4,
+            None,
+            SortPolicy::Adaptive,
+        );
         assert_eq!(plan.tasks, want_plan.tasks);
-        for task in fused.tasks {
-            if !fused.bucket_ends.is_empty() {
-                radix::sort_segments(task.pairs, task.lo, &fused.bucket_ends);
-            }
+        for task in tasks {
+            let (_, range) = plan.task(task.idx);
+            assert_eq!(task.pairs, &want_pairs[range]);
         }
-        assert_eq!(scratch, want_pairs);
+        assert_eq!(pairs, want_pairs);
     }
 }

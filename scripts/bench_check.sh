@@ -11,10 +11,18 @@
 #   * obs overhead — each fresh row's obs_overhead_pct must stay within
 #     CHECK_MAX_OBS_PCT (default 3%): the recorder's contract is that the
 #     disabled-path cost is one relaxed atomic load, and the enabled path
-#     stays in single-digit territory. Rows with more threads than the
-#     host has cores are SKIPPED (same policy as bench_smoke.sh's
-#     speedup floor): paired on/off runs of an oversubscribed pipeline
-#     measure scheduler noise, not recorder cost.
+#     stays in single-digit territory. Rows the bench marked
+#     "oversubscribed": true (more threads than the container detects;
+#     same policy as bench_smoke.sh's speedup floors) are SKIPPED with a
+#     message: paired on/off runs of an oversubscribed pipeline measure
+#     scheduler noise, not recorder cost.
+#   * planner sort wall time — the fresh 1-thread snapshot's
+#     wall.shard.sort.ns, normalized per read, must not rise more than
+#     CHECK_MAX_SORT_PCT (default 15%) above the committed baseline's.
+#     This is the gate on the radix sort pipeline specifically, so a
+#     planning regression cannot hide inside the whole-pipeline margin.
+#     Keyed on the single-thread snapshot, which by construction is
+#     never oversubscribed; baselines predating the span are skipped.
 #
 # The committed baseline was measured on a specific host; on a different
 # machine the throughput comparison is apples-to-oranges, so set
@@ -33,6 +41,7 @@ CHECK_READS="${CHECK_READS:-2000}"
 CHECK_REPS="${CHECK_REPS:-9}"
 CHECK_MAX_LOSS_PCT="${CHECK_MAX_LOSS_PCT:-10}"
 CHECK_MAX_OBS_PCT="${CHECK_MAX_OBS_PCT:-3}"
+CHECK_MAX_SORT_PCT="${CHECK_MAX_SORT_PCT:-15}"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_check: error — no committed baseline at $BASELINE" >&2
@@ -87,12 +96,37 @@ if ! awk -v l="$loss_pct" -v max="$CHECK_MAX_LOSS_PCT" 'BEGIN { exit !(l <= max)
     fail=1
 fi
 
+# Planner sort gate: wall.shard.sort.ns from the 1-thread "metrics"
+# snapshot (the first occurrence in the file; "metrics_mt" comes later),
+# normalized per read because CHECK_READS trims the fresh workload.
+sort_ns() {
+    awk -F'"sum": ' '/"wall.shard.sort.ns"/ { split($2, a, "[,}]"); print a[1]; exit }' "$1"
+}
+reads_of() {
+    awk -F'"reads": ' '/"reads": / { split($2, a, "[,}]"); print a[1]; exit }' "$1"
+}
+base_sort=$(sort_ns "$BASELINE")
+fresh_sort=$(sort_ns "$CHECK_OUT")
+if [[ -z "$base_sort" ]]; then
+    echo "   shard sort: SKIP (committed baseline predates the wall.shard.sort.ns span)"
+else
+    base_reads=$(reads_of "$BASELINE")
+    fresh_reads=$(reads_of "$CHECK_OUT")
+    sort_pct=$(awk -v bs="$base_sort" -v br="$base_reads" -v fs="$fresh_sort" -v fr="$fresh_reads" \
+        'BEGIN { printf "%.1f", ((fs / fr) / (bs / br) - 1) * 100 }')
+    echo "   shard sort: baseline=$(awk -v s="$base_sort" -v r="$base_reads" 'BEGIN{printf "%.0f", s/r}') fresh=$(awk -v s="$fresh_sort" -v r="$fresh_reads" 'BEGIN{printf "%.0f", s/r}') ns/read (delta ${sort_pct}%)"
+    if ! awk -v p="$sort_pct" -v max="$CHECK_MAX_SORT_PCT" 'BEGIN { exit !(p <= max) }'; then
+        echo "bench_check: FAIL — wall.shard.sort.ns rose ${sort_pct}% per read (> ${CHECK_MAX_SORT_PCT}% allowed) vs committed baseline" >&2
+        fail=1
+    fi
+fi
+
 # Each fresh row's obs overhead (the rows are one-per-line, so pull all).
-# The ":" in the anchor matters: "host_cores_detected" must not match.
-cores=$(awk -F'[ ,]' '/"host_cores":/ { print $4 }' "$CHECK_OUT")
-while read -r threads pct; do
-    if [ "$threads" -gt "${cores:-1}" ]; then
-        echo "   obs overhead: threads=${threads} ${pct}% (SKIP: host has ${cores:-?} core(s), oversubscribed rows measure scheduler noise)"
+# Rows the bench marked oversubscribed are skipped explicitly — the flag
+# comes from the artifact itself, not re-derived here.
+while read -r threads over pct; do
+    if [ "$over" = "true" ]; then
+        echo "   obs overhead: threads=${threads} ${pct}% (SKIP: row marked oversubscribed — more threads than detected cores, timing measures scheduler noise)"
         continue
     fi
     echo "   obs overhead: threads=${threads} ${pct}%"
@@ -100,10 +134,11 @@ while read -r threads pct; do
         echo "bench_check: FAIL — obs overhead ${pct}% at threads=${threads} (> ${CHECK_MAX_OBS_PCT}% allowed)" >&2
         fail=1
     fi
-done < <(awk -F'"' '/"obs_overhead_pct"/ {
+done < <(awk '/"obs_overhead_pct"/ {
     split($0, t, /"threads": /); split(t[2], a, ",")
-    split($0, o, /"obs_overhead_pct": /); split(o[2], b, "[,}]")
-    print a[1], b[1]
+    split($0, v, /"oversubscribed": /); o = (length(v) > 1) ? substr(v[2], 1, index(v[2], ",") - 1) : "false"
+    split($0, p, /"obs_overhead_pct": /); split(p[2], b, "[,}]")
+    print a[1], o, b[1]
 }' "$CHECK_OUT")
 
 if [ "$fail" -ne 0 ]; then

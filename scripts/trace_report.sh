@@ -46,25 +46,34 @@ echo "== heaviest folded stacks (top 12 by weight) =="
 sort -k2 -n -r "$FOLDED" | head -n 12 | awk '{ printf "  %-56s %s\n", $1, $2 }'
 
 echo
-echo "== per-worker sort-span balance (wall lane) =="
-# Fused-path bucket sorts run inside per-task "task.sort" wall spans, one
-# tid per worker thread (pid 2 = wall clock). A max/min busy ratio near
-# 1.0 means the steal queue kept the workers level; a high ratio flags a
-# bucket-ownership imbalance the stealer could not drain.
-awk -F'"tid":' '/"pid":2/ && /"name":"task.sort"/ && /"ph":"X"/ {
-    split($2, t, ","); tid = t[1]
+echo "== planner sort-phase attribution (wall lane) =="
+# The radix pipeline brackets each phase in its own wall span (pid 2 =
+# wall clock): "sort.hist" (global top-window histogram), "sort.scatter"
+# (the one full-array MSD counting scatter, write-combining staged),
+# "sort.flush" (partial staging-buffer drains inside the scatter), and
+# "sort.local" (every bucket-local LSD/cutover segment sort). Their sum
+# against the enclosing "shard.sort" total shows where planning time
+# goes; sort.flush nests inside sort.scatter, so it is attribution
+# detail, not additional mass. Comparison-policy runs (SIEVE_SORT=
+# comparison) have shard.sort spans but no sort.* phases.
+awk -F'"name":"' '/"pid":2/ && /"ph":"X"/ {
+    split($2, a, "\""); name = a[1]
+    if (name !~ /^(shard\.sort|sort\.(hist|scatter|local|flush))$/) next
     split($0, d, /"dur":/); split(d[2], v, "[,}]")
-    if (!(tid in busy)) nw++
-    busy[tid] += v[1]; n[tid]++
+    busy[name] += v[1]; n[name]++
 } END {
-    if (nw == 0) { print "  (no task.sort spans: single-thread or unfused run)"; exit }
-    minb = -1; maxb = 0
-    for (w in busy) {
-        printf "  worker %-3s %12.1f us busy  (%d spans)\n", w, busy[w], n[w]
-        if (busy[w] > maxb) maxb = busy[w]
-        if (minb < 0 || busy[w] < minb) minb = busy[w]
+    if (!("shard.sort" in busy)) { print "  (no shard.sort spans in this trace)"; exit }
+    total = busy["shard.sort"]
+    order = "sort.hist sort.scatter sort.flush sort.local"
+    split(order, names, " ")
+    printf "  %-14s %12.1f us  (%d spans)\n", "shard.sort", total, n["shard.sort"]
+    for (i = 1; i <= 4; i++) {
+        name = names[i]
+        if (!(name in busy)) continue
+        printf "  %-14s %12.1f us  (%d spans, %.1f%% of shard.sort%s)\n", \
+            name, busy[name], n[name], 100 * busy[name] / total, \
+            name == "sort.flush" ? ", nested in scatter" : ""
     }
-    if (minb > 0) printf "  max/min busy ratio: %.2f over %d workers\n", maxb / minb, nw
 }' "$CHROME"
 
 echo

@@ -139,10 +139,14 @@ fn steal_grid_snapshots_identically_across_worker_counts() {
 }
 
 /// The host-kernel axis (DESIGN.md §9): scalar and SWAR kernels extract
-/// identical k-mer streams and vote identically, so the deterministic
-/// snapshot of a streamed classification — host counters, chunk
-/// histograms, device model metrics — must be bit-identical across
-/// kernels × fused × cache × threads {1,2,4}.
+/// identical k-mer streams and vote identically, and the planner's sort
+/// policy (adaptive cutover, forced radix, forced comparison) only
+/// reorders work, so the deterministic snapshot of a streamed
+/// classification — host counters, chunk histograms, device model
+/// metrics — must be bit-identical across kernels × sort policy × fused
+/// × cache × threads {1,2,4}. (The sort's own `wall.sort_passes_*`
+/// counters legitimately differ across policies; they are wall-prefixed
+/// exactly so `deterministic()` drops them.)
 #[test]
 fn kernel_grid_snapshots_identically() {
     let _session = RecorderSession::begin();
@@ -151,29 +155,37 @@ fn kernel_grid_snapshots_identically() {
     let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 2).cloned().collect();
     for (fused, hot_kmers) in [(false, 0usize), (true, 1 << 18)] {
         // Cache counters legitimately differ across the cache axis, so the
-        // reference snapshot is per-(fused, cache) point; only the kernels
-        // and thread axes must leave it bit-identical.
+        // reference snapshot is per-(fused, cache) point; only the kernels,
+        // sort-policy, and thread axes must leave it bit-identical.
         let mut reference: Option<obs::MetricsSnapshot> = None;
-        for kernels in [sieve::core::HostKernels::Scalar, sieve::core::HostKernels::Swar] {
-            for threads in [1usize, 2, 4] {
-                obs::global().reset();
-                let config = SieveConfig::type3(8)
-                    .with_host_kernels(kernels)
-                    .with_fused(fused)
-                    .with_hot_kmers(hot_kmers);
-                HostPipeline::new(device(config, threads, &ds))
-                    .classify_stream(&reads, 10)
-                    .unwrap();
-                let snap = obs::global().snapshot().deterministic();
-                match &reference {
-                    None => reference = Some(snap),
-                    Some(base) => assert_eq!(
-                        &snap,
-                        base,
-                        "kernels={} fused={fused} hot_kmers={hot_kmers} threads={threads}: \
-                         deterministic snapshot diverged",
-                        kernels.label()
-                    ),
+        for policy in [
+            sieve::core::SortPolicy::Adaptive,
+            sieve::core::SortPolicy::Lsd,
+            sieve::core::SortPolicy::Comparison,
+        ] {
+            for kernels in [sieve::core::HostKernels::Scalar, sieve::core::HostKernels::Swar] {
+                for threads in [1usize, 2, 4] {
+                    obs::global().reset();
+                    let config = SieveConfig::type3(8)
+                        .with_host_kernels(kernels)
+                        .with_fused(fused)
+                        .with_hot_kmers(hot_kmers)
+                        .with_sort_policy(policy);
+                    HostPipeline::new(device(config, threads, &ds))
+                        .classify_stream(&reads, 10)
+                        .unwrap();
+                    let snap = obs::global().snapshot().deterministic();
+                    match &reference {
+                        None => reference = Some(snap),
+                        Some(base) => assert_eq!(
+                            &snap,
+                            base,
+                            "sort={} kernels={} fused={fused} hot_kmers={hot_kmers} \
+                             threads={threads}: deterministic snapshot diverged",
+                            policy.label(),
+                            kernels.label()
+                        ),
+                    }
                 }
             }
         }

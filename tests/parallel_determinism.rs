@@ -4,7 +4,7 @@
 //! bit-identical to the sequential run's.
 
 use proptest::prelude::*;
-use sieve::core::{HostKernels, HostPipeline, PipelineOutput, SieveConfig, SieveDevice};
+use sieve::core::{HostKernels, HostPipeline, PipelineOutput, SieveConfig, SieveDevice, SortPolicy};
 use sieve::dram::Geometry;
 use sieve::genomics::{synth, DnaSequence, Kmer};
 
@@ -150,11 +150,12 @@ fn pipelined_stream_matches_serial_for_every_chunk_size() {
 }
 
 /// The device-stage optimization grid — fused plan/match pipeline on or
-/// off, hot-k-mer cache enabled or disabled, scalar or SWAR host kernels
-/// — must be pure optimization: for every combination and thread count,
-/// a streamed run's per-read classifications and full modeled report are
-/// bit-identical to the unfused, uncached, scalar, single-threaded
-/// reference. The stream repeats the same reads three times so later
+/// off, hot-k-mer cache enabled or disabled, scalar or SWAR host
+/// kernels, and every planner sort policy (adaptive cutover, forced
+/// radix, forced comparison) — must be pure optimization: for every
+/// combination and thread count, a streamed run's per-read
+/// classifications and full modeled report are bit-identical to the
+/// unfused, uncached, scalar, single-threaded reference. The stream repeats the same reads three times so later
 /// chunks re-present earlier chunks' k-mers and the cache genuinely
 /// engages (the engagement sampler proves it on the first repeated
 /// chunk; device::tests verify the replay path fires on exactly this
@@ -177,28 +178,32 @@ fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
     let base = HostPipeline::new(device(reference, 1, &ds))
         .classify_stream(&reads, chunk)
         .unwrap();
-    for kernels in [HostKernels::Scalar, HostKernels::Swar] {
-        for fused in [false, true] {
-            for hot_kmers in [0usize, 1 << 18] {
-                for steal in [false, true] {
-                    for threads in [1usize, 2, 4] {
-                        let config = SieveConfig::type3(8)
-                            .with_fused(fused)
-                            .with_hot_kmers(hot_kmers)
-                            .with_steal(steal)
-                            .with_host_kernels(kernels);
-                        let out = HostPipeline::new(device(config, threads, &ds))
-                            .classify_stream(&reads, chunk)
-                            .unwrap();
-                        assert_same_pipeline(
-                            &out,
-                            &base,
-                            &format!(
-                                "kernels={} fused={fused} hot_kmers={hot_kmers} \
-                                 steal={steal} threads={threads}",
-                                kernels.label()
-                            ),
-                        );
+    for policy in [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison] {
+        for kernels in [HostKernels::Scalar, HostKernels::Swar] {
+            for fused in [false, true] {
+                for hot_kmers in [0usize, 1 << 18] {
+                    for steal in [false, true] {
+                        for threads in [1usize, 2, 4] {
+                            let config = SieveConfig::type3(8)
+                                .with_fused(fused)
+                                .with_hot_kmers(hot_kmers)
+                                .with_steal(steal)
+                                .with_host_kernels(kernels)
+                                .with_sort_policy(policy);
+                            let out = HostPipeline::new(device(config, threads, &ds))
+                                .classify_stream(&reads, chunk)
+                                .unwrap();
+                            assert_same_pipeline(
+                                &out,
+                                &base,
+                                &format!(
+                                    "sort={} kernels={} fused={fused} hot_kmers={hot_kmers} \
+                                     steal={steal} threads={threads}",
+                                    policy.label(),
+                                    kernels.label()
+                                ),
+                            );
+                        }
                     }
                 }
             }

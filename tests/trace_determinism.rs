@@ -12,6 +12,7 @@ use std::sync::Mutex;
 
 use sieve::core::{
     trace, HostKernels, HostPipeline, PcieConfig, SieveCluster, SieveConfig, SieveDevice,
+    SortPolicy,
 };
 use sieve::dram::Geometry;
 use sieve::genomics::{synth, Kmer};
@@ -133,47 +134,69 @@ fn stream_model_trace_is_byte_identical_across_thread_counts() {
     assert!(starts.windows(2).all(|w| w[0] < w[1]), "{starts:?}");
 }
 
-/// The fused plan/match pipeline and the hot-k-mer cache must not leak
-/// into the model-time event stream: for every grid point the stream is
-/// byte-identical across thread counts. Since `threads == 1` always runs
-/// the unfused path, the sweep also proves fused and unfused runs emit
-/// the same model events in the same order. The stream repeats its reads
-/// three times so the cache genuinely engages; engagement is visible as
-/// `cache.probe` instants and must appear exactly when the cache is on.
+/// The fused plan/match pipeline, the hot-k-mer cache, and the planner's
+/// sort policy must not leak into the model-time event stream: for every
+/// grid point the stream is byte-identical across thread counts, and
+/// every (fused, cache, policy) point renders the same bytes (the sort
+/// emits only `wall.*` spans, never model events). Since `threads == 1`
+/// always runs the unfused path, the sweep also proves fused and unfused
+/// runs emit the same model events in the same order. The stream repeats
+/// its reads three times so the cache genuinely engages; engagement is
+/// visible as `cache.probe` instants and must appear exactly when the
+/// cache is on.
 #[test]
 fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
     let _session = TracerSession::begin();
     let ds = dataset();
     let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 30, 31);
     let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 3).cloned().collect();
-    for fused in [false, true] {
-        for hot_kmers in [0usize, 1 << 18] {
-            let runs = model_sweep(|threads| {
-                let config = SieveConfig::type3(8)
-                    .with_fused(fused)
-                    .with_hot_kmers(hot_kmers);
-                HostPipeline::new(device(config, threads, &ds))
-                    .classify_stream(&reads, 10)
-                    .unwrap();
-            });
-            let (base_lines, base_snap) = &runs[0];
-            assert!(!base_lines.is_empty());
-            for (i, (lines, _)) in runs.iter().enumerate().skip(1) {
-                assert_eq!(
-                    lines, base_lines,
-                    "fused={fused} hot_kmers={hot_kmers} threads={}: model stream diverged",
-                    THREAD_SWEEP[i]
-                );
-            }
-            let probes = base_snap
-                .model
-                .iter()
-                .filter(|e| e.name == "cache.probe")
-                .count();
-            if hot_kmers > 0 {
-                assert!(probes > 0, "fused={fused}: repeated chunks never probed the cache");
-            } else {
-                assert_eq!(probes, 0, "fused={fused}: disabled cache must not probe");
+    // The cache axis legitimately changes the stream (cache.probe
+    // instants), so the cross-point reference is per-cache-setting; the
+    // fused and sort-policy axes must leave those bytes untouched.
+    let mut reference: [Option<String>; 2] = [None, None];
+    for policy in [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison] {
+        for fused in [false, true] {
+            for (cache_axis, hot_kmers) in [(0usize, 0usize), (1, 1 << 18)] {
+                let runs = model_sweep(|threads| {
+                    let config = SieveConfig::type3(8)
+                        .with_fused(fused)
+                        .with_hot_kmers(hot_kmers)
+                        .with_sort_policy(policy);
+                    HostPipeline::new(device(config, threads, &ds))
+                        .classify_stream(&reads, 10)
+                        .unwrap();
+                });
+                let (base_lines, base_snap) = &runs[0];
+                assert!(!base_lines.is_empty());
+                for (i, (lines, _)) in runs.iter().enumerate().skip(1) {
+                    assert_eq!(
+                        lines, base_lines,
+                        "sort={} fused={fused} hot_kmers={hot_kmers} threads={}: \
+                         model stream diverged",
+                        policy.label(),
+                        THREAD_SWEEP[i]
+                    );
+                }
+                match &reference[cache_axis] {
+                    None => reference[cache_axis] = Some(base_lines.clone()),
+                    Some(base) => assert_eq!(
+                        base_lines,
+                        base,
+                        "sort={} fused={fused} hot_kmers={hot_kmers}: model stream \
+                         diverged from the grid reference",
+                        policy.label()
+                    ),
+                }
+                let probes = base_snap
+                    .model
+                    .iter()
+                    .filter(|e| e.name == "cache.probe")
+                    .count();
+                if hot_kmers > 0 {
+                    assert!(probes > 0, "fused={fused}: repeated chunks never probed the cache");
+                } else {
+                    assert_eq!(probes, 0, "fused={fused}: disabled cache must not probe");
+                }
             }
         }
     }
