@@ -24,6 +24,14 @@
 //! quotes. `--prom` additionally writes the snapshot in Prometheus text
 //! format to `results/BENCH_classify.prom`.
 //!
+//! Since `"schema_version": 2` the JSON also carries `provenance` (git
+//! SHA, rustc, CPU model), the single-thread `prof` traffic table, the
+//! `calibration` peaks read from `results/MACHINE.json` (`--machine PATH`
+//! overrides; missing file → `null` and unclassified rows; unparseable
+//! file → hard error), and the derived `roofline` rows — one object per
+//! line so `scripts/roofline_report.sh` and the bench gates can consume
+//! them with awk. See DESIGN.md §10 for the methodology.
+//!
 //! Flags: `--reads N` and `--reps M` scale the workload down for smoke
 //! runs (defaults 10,000 / 40), `--chunk C` adds one streamed row per
 //! thread count (`classify_stream` with C-read chunks — the pipelined
@@ -37,14 +45,21 @@
 
 use std::time::Instant;
 
+use sieve_bench::machine::{self, Machine};
 use sieve_bench::table::Table;
-use sieve_core::{obs, HostKernels, HostPipeline, SieveConfig, SieveDevice};
+use sieve_core::{obs, prof, HostKernels, HostPipeline, SieveConfig, SieveDevice};
 use sieve_dram::Geometry;
 use sieve_genomics::synth;
 
 const DEFAULT_READS: usize = 10_000;
 const DEFAULT_REPS: usize = 40;
 const DEFAULT_OUT: &str = "results/BENCH_classify.json";
+const DEFAULT_MACHINE: &str = "results/MACHINE.json";
+
+/// The top-level JSON schema version. v2 added `provenance`,
+/// `calibration`, `prof`, and `roofline`; consumers hard-fail on a
+/// missing or unknown version instead of gating on absent keys.
+const CLASSIFY_SCHEMA_VERSION: u64 = 2;
 
 /// Value of `--flag N` style arguments, if present.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -82,6 +97,7 @@ fn main() {
     let chunk_reads: usize = arg_value(&args, "--chunk")
         .map_or(0, |v| v.parse().expect("--chunk takes a read count"));
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
+    let machine_path = arg_value(&args, "--machine").unwrap_or_else(|| DEFAULT_MACHINE.to_string());
     let trace_path = arg_value(&args, "--trace");
     let kernels = match arg_value(&args, "--kernels").as_deref() {
         None => HostKernels::default(),
@@ -218,12 +234,16 @@ fn main() {
     // regression gates and DESIGN.md track.
     recorder.set_enabled(true);
     recorder.reset();
+    prof::reset();
     hosts
         .first()
         .expect("at least one host")
         .classify_reads(&reads)
         .expect("valid workload");
     let snapshot = recorder.snapshot();
+    // The traffic table paired with that wall profile: together they are
+    // the roofline input (canonical bytes / summed span ns).
+    let prof_snapshot = prof::snapshot();
     // And one at the *highest thread count* (same batch workload): its
     // `wall.shard.sort` relative to the single-thread snapshot above is
     // the planner-scaling measurement the acceptance gates track.
@@ -237,6 +257,23 @@ fn main() {
     let snapshot_mt = recorder.snapshot();
     recorder.set_enabled(false);
     recorder.reset();
+    prof::reset();
+
+    // Calibrated peaks, if `bench_calibrate` has run on this machine. A
+    // *missing* file degrades to uncalibrated rows (bound = "n/a"); a
+    // file that exists but fails to parse is a hard error — silently
+    // dropping the efficiency gates is exactly what schema versioning
+    // is there to prevent.
+    let machine_cal: Option<Machine> = match std::fs::read_to_string(&machine_path) {
+        Ok(text) => Some(
+            Machine::parse(&text)
+                .unwrap_or_else(|e| panic!("unusable calibration file {machine_path}: {e}")),
+        ),
+        Err(_) => {
+            eprintln!("note: no calibration file at {machine_path}; roofline rows will be unclassified (run bench_calibrate)");
+            None
+        }
+    };
 
     // One traced *streaming* run at the highest thread count (chunked, so
     // the Chrome timeline shows the extract/device stage overlap), after
@@ -339,6 +376,8 @@ fn main() {
                 &measurements,
                 &snapshot,
                 &snapshot_mt,
+                &prof_snapshot,
+                machine_cal.as_ref(),
             ),
         )
         .expect("write the --out JSON file");
@@ -365,9 +404,14 @@ fn render_json(
     measurements: &[Measurement],
     snapshot: &obs::MetricsSnapshot,
     snapshot_mt: &obs::MetricsSnapshot,
+    prof_snapshot: &prof::ProfSnapshot,
+    machine_cal: Option<&Machine>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"schema_version\": {CLASSIFY_SCHEMA_VERSION},\n"
+    ));
     s.push_str("  \"benchmark\": \"classify_throughput\",\n");
     s.push_str(&format!("  \"reads\": {n_reads},\n"));
     s.push_str(&format!("  \"reps\": {reps},\n"));
@@ -375,6 +419,21 @@ fn render_json(
     s.push_str(&format!("  \"host_cores_detected\": {detected},\n"));
     s.push_str("  \"device\": \"T3.8SA\",\n");
     s.push_str(&format!("  \"host_kernels\": \"{}\",\n", kernels.label()));
+    // Where this artifact came from: enough to tell two committed runs
+    // apart without trusting the commit that carries them.
+    s.push_str("  \"provenance\": {\n");
+    s.push_str(&format!("    \"git_sha\": \"{}\",\n", machine::git_sha()));
+    s.push_str(&format!("    \"rustc\": \"{}\",\n", machine::rustc_version()));
+    s.push_str(&format!(
+        "    \"cpu_model\": \"{}\",\n",
+        machine::cpu_model()
+    ));
+    s.push_str(&format!("    \"host_cores_detected\": {detected},\n"));
+    s.push_str(&format!(
+        "    \"calibration_schema_version\": {}\n",
+        machine_cal.map_or(0, |m| m.schema_version)
+    ));
+    s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         s.push_str(&format!(
@@ -390,6 +449,41 @@ fn render_json(
             m.reads_per_sec_obs,
             m.obs_overhead_pct,
             if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    // The calibrated peaks this run was judged against (null when
+    // bench_calibrate has not run here), the single-thread traffic
+    // table, and the derived roofline rows — one JSON object per line,
+    // so check scripts can gate on them with awk.
+    match machine_cal.and_then(Machine::calibration) {
+        Some(cal) => s.push_str(&format!(
+            "  \"calibration\": {{\"schema_version\": {}, \"copy_gbps_1t\": {:.3}, \"scatter_gbps_1t\": {:.3}}},\n",
+            cal.version, cal.copy_gbps, cal.scatter_gbps
+        )),
+        None => s.push_str("  \"calibration\": null,\n"),
+    }
+    let prof_json = prof_snapshot.to_json().replace('\n', "\n  ");
+    s.push_str(&format!("  \"prof\": {prof_json},\n"));
+    s.push_str("  \"roofline\": [\n");
+    let cal = machine_cal.and_then(Machine::calibration);
+    let rows = prof::roofline_rows(prof_snapshot, snapshot, cal.as_ref());
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"bytes_read\": {}, \"bytes_written\": {}, \
+             \"items\": {}, \"wall_ns\": {}, \"ns_per_item\": {:.2}, \"gbps\": {:.3}, \
+             \"peak_gbps\": {:.3}, \"frac_of_peak\": {:.3}, \"bound\": \"{}\"}}{}\n",
+            r.phase,
+            r.bytes_read,
+            r.bytes_written,
+            r.items,
+            r.wall_ns,
+            r.ns_per_item,
+            r.gbps,
+            r.peak_gbps,
+            r.frac_of_peak,
+            r.bound,
+            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     s.push_str("  ],\n");

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod machine;
 pub mod runner;
 pub mod table;
 pub mod workloads;

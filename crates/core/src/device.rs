@@ -15,6 +15,7 @@ use crate::index::SubarrayIndex;
 use crate::layout::DeviceLayout;
 use crate::obs;
 use crate::par;
+use crate::prof;
 use crate::radix;
 use crate::sched;
 use crate::shard::ShardPlan;
@@ -627,7 +628,9 @@ impl SieveDevice {
                 space_work.resize(space_queries.len(), QueryWork::default());
             }
             let mut inserted = 0u64;
+            let mut reduce_hits = 0u64;
             for (t, outcome) in outcomes.into_iter().enumerate() {
+                reduce_hits += outcome.hits.len() as u64;
                 rec.add(obs::CounterId::MatchQueries, outcome.load.queries);
                 rec.add(obs::CounterId::MatchHits, outcome.load.hits);
                 if tracing {
@@ -692,6 +695,10 @@ impl SieveDevice {
             if inserting {
                 rec.add(obs::CounterId::CacheInserts, inserted);
             }
+            // Reduce rereads each task's hit list and scatters it into
+            // the result table: one read and one write per hit record.
+            let hit_bytes = reduce_hits * std::mem::size_of::<(u32, TaxonId)>() as u64;
+            prof::record(prof::Phase::DeviceReduce, hit_bytes, hit_bytes, reduce_hits);
             if rec.is_enabled() {
                 // Per-subarray query counts (occurrence-expanded, cache
                 // replays included), recorded in subarray order so the
@@ -828,6 +835,15 @@ impl SieveDevice {
             }
             rec.merge_local(obs::HistId::EtmRowsActivated, &rows_hist);
         }
+        // Canonical match traffic: every task streams its sorted pairs
+        // once and emits its hits once, so the per-task charges sum to
+        // the same totals no matter how the plan split the shard.
+        prof::record(
+            prof::Phase::DeviceMatch,
+            task_pairs.len() as u64 * std::mem::size_of::<radix::Pair>() as u64,
+            hits.len() as u64 * std::mem::size_of::<(u32, TaxonId)>() as u64,
+            task_pairs.len() as u64,
+        );
         TaskOutcome {
             subarray,
             load,

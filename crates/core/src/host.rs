@@ -26,6 +26,7 @@ use crate::device::SieveDevice;
 use crate::error::SieveError;
 use crate::obs;
 use crate::par;
+use crate::prof;
 use crate::stats::SimReport;
 use crate::trace;
 
@@ -119,10 +120,22 @@ impl HostPipeline {
             .sum();
         kmers.reserve(upper);
         owners.reserve(upper);
+        // Extraction traffic: one byte per scanned base in, one packed
+        // k-mer plus its owner tag out — pure functions of the reads, so
+        // the charge is identical for every thread count.
+        let before = kmers.len();
+        let base_bytes: u64 = if prof::active() {
+            reads.iter().map(|r| r.len() as u64).sum()
+        } else {
+            0
+        };
+        let kmer_bytes = (std::mem::size_of::<Kmer>() + std::mem::size_of::<u32>()) as u64;
         let threads = par::effective_threads(self.device.config().threads);
         if threads == 1 || reads.len() < PARALLEL_EXTRACT_READS {
             let mut scratch = pack::Extractor::new();
             extract_reads(reads, 0, k, kernels, &mut scratch, kmers, owners);
+            let produced = (kmers.len() - before) as u64;
+            prof::record(prof::Phase::HostExtract, base_bytes, produced * kmer_bytes, produced);
             return;
         }
         // A few chunks per worker smooths out read-length imbalance.
@@ -153,6 +166,8 @@ impl HostPipeline {
             kmers.extend_from_slice(&chunk_kmers);
             owners.extend_from_slice(&chunk_owners);
         }
+        let produced = (kmers.len() - before) as u64;
+        prof::record(prof::Phase::HostExtract, base_bytes, produced * kmer_bytes, produced);
     }
 
     /// Classifies reads end to end: k-mer generation → device run →

@@ -69,6 +69,7 @@ pub mod load;
 pub mod obs;
 mod par;
 mod pcie;
+pub mod prof;
 mod radix;
 mod sched;
 mod shard;

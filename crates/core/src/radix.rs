@@ -86,6 +86,7 @@
 use crate::config::SortPolicy;
 use crate::obs;
 use crate::par;
+use crate::prof;
 use crate::trace;
 
 /// A sort record: the 2-bit-packed k-mer value and the query id it came
@@ -144,6 +145,10 @@ const STAGE: usize = 8;
 /// Below this many pairs the per-pass fan-out (histograms, scatter, and
 /// the segment queue) stays sequential: a spawn costs more than it saves.
 const PARALLEL_SORT: usize = 1 << 14;
+
+/// Bytes per [`Pair`] — the unit of every analytic traffic formula the
+/// sort reports to [`crate::prof`] (a counting pass moves whole pairs).
+const PAIR_BYTES: u64 = std::mem::size_of::<Pair>() as u64;
 
 /// One counting pass: a stable scatter on the `bits`-wide digit at bit
 /// offset `shift`.
@@ -364,6 +369,20 @@ pub(crate) fn sort_pairs_with(
         s
     }));
     debug_assert_eq!(acc as usize, n);
+    // Canonical traffic of the global pass, charged analytically (see the
+    // prof module docs): the histogram reads every pair once; the scatter
+    // reads every pair and writes all but the trailing partial-line
+    // drains, which `sort.flush` moves out of staging. The flush share is
+    // a pure function of the histogram (`count mod STAGE` per bucket) —
+    // parallel workers split the drains differently between their private
+    // staging areas, but the bytes drained in total are fixed by the
+    // bucket counts, so the charge is identical for every worker count.
+    let flush_pairs: u64 = ss.counts[..buckets]
+        .iter()
+        .map(|&c| u64::from(c) % STAGE as u64)
+        .sum();
+    let batch_bytes = n as u64 * PAIR_BYTES;
+    prof::record(prof::Phase::SortHist, batch_bytes, 0, n as u64);
     {
         let _span = obs::span("sort.scatter");
         let _wall = trace::span("sort.scatter");
@@ -373,19 +392,57 @@ pub(crate) fn sort_pairs_with(
             scatter_parallel(pairs, scratch, &ss.starts, top, workers, &mut ss.cuts, &mut ss.workers);
         }
     }
+    prof::record(
+        prof::Phase::SortScatter,
+        batch_bytes,
+        batch_bytes - flush_pairs * PAIR_BYTES,
+        n as u64,
+    );
+    prof::record(prof::Phase::SortFlush, 0, flush_pairs * PAIR_BYTES, flush_pairs);
     // O(1): the partitioned pairs are now the local phase's source.
     std::mem::swap(pairs, scratch);
 
-    let (mut local_run, mut local_skipped) = (0u64, 0u64);
+    let mut local = SegStats::default();
     if run_len > 1 {
         let _span = obs::span("sort.local");
         let _wall = trace::span("sort.local");
-        (local_run, local_skipped) =
-            sort_segments(pairs, scratch, &ss.starts, workers, &mut ss.workers, policy);
+        local = sort_segments(pairs, scratch, &ss.starts, workers, &mut ss.workers, policy);
+        prof::record(prof::Phase::SortLocal, local.read, local.written, local.items);
     }
     let rec = obs::global();
-    rec.add(obs::CounterId::SortPassesRun, 1 + local_run);
-    rec.add(obs::CounterId::SortPassesSkipped, skipped + local_skipped);
+    rec.add(obs::CounterId::SortPassesRun, 1 + local.run);
+    rec.add(obs::CounterId::SortPassesSkipped, skipped + local.skipped);
+}
+
+/// Accumulated bucket-local phase totals: executed/skipped pass counts
+/// plus the analytic traffic of the executed passes. Plain integer sums
+/// over segments, so the totals are identical for any worker count or
+/// steal interleaving.
+#[derive(Debug, Default, Clone, Copy)]
+struct SegStats {
+    /// LSD passes executed.
+    run: u64,
+    /// Passes dropped by segment replans (constant digit windows).
+    skipped: u64,
+    /// Bytes read: `12 m` per count scan and scatter scan, plus the
+    /// odd-plan pre-copy.
+    read: u64,
+    /// Bytes written: `12 m` per scatter plus the odd-plan pre-copy.
+    written: u64,
+    /// Pairs in processed segments (including segments that replanned to
+    /// nothing or took the comparison fallback — their pairs were the
+    /// phase's input even when no counting pass moved them).
+    items: u64,
+}
+
+impl SegStats {
+    fn merge(&mut self, other: SegStats) {
+        self.run += other.run;
+        self.skipped += other.skipped;
+        self.read += other.read;
+        self.written += other.written;
+        self.items += other.items;
+    }
 }
 
 /// OR-fold of `key ^ pairs[0].key()` over the batch, chunk-parallel for
@@ -564,8 +621,8 @@ fn scatter_run(
 /// Finishes every bucket of the partitioned batch with bucket-local LSD
 /// passes ([`sort_segment`]), sequentially or over a [`par::StealQueue`]
 /// of disjoint `(pairs, scratch)` segment slices dealt round-robin.
-/// Returns the summed `(run, skipped)` pass counts — plain integer sums,
-/// so identical for any worker count or steal interleaving.
+/// Returns the summed [`SegStats`] — plain integer sums, so identical
+/// for any worker count or steal interleaving.
 fn sort_segments(
     pairs: &mut [Pair],
     scratch: &mut [Pair],
@@ -573,7 +630,7 @@ fn sort_segments(
     workers: usize,
     pool: &mut [WorkerScratch],
     policy: SortPolicy,
-) -> (u64, u64) {
+) -> SegStats {
     let n = pairs.len();
     let buckets = starts.len();
     let bound = |b: usize| -> usize {
@@ -585,16 +642,14 @@ fn sort_segments(
     };
     if workers <= 1 {
         let table = &mut pool[0].table;
-        let (mut run, mut skipped) = (0u64, 0u64);
+        let mut stats = SegStats::default();
         for b in 0..buckets {
             let (lo, hi) = (bound(b), bound(b + 1));
             if hi - lo > 1 {
-                let (r, s) = sort_segment(&mut pairs[lo..hi], &mut scratch[lo..hi], table, policy);
-                run += r;
-                skipped += s;
+                stats.merge(sort_segment(&mut pairs[lo..hi], &mut scratch[lo..hi], table, policy));
             }
         }
-        return (run, skipped);
+        return stats;
     }
 
     // Deal the non-trivial segments round-robin; stealing rebalances the
@@ -617,28 +672,35 @@ fn sort_segments(
         }
     }
     let queue = &queue;
-    let run = std::sync::atomic::AtomicU64::new(0);
-    let skipped = std::sync::atomic::AtomicU64::new(0);
+    // One atomic per SegStats field, merged from per-worker local sums —
+    // commutative integer adds, so the totals ignore steal interleaving.
+    let totals: [std::sync::atomic::AtomicU64; 5] = Default::default();
     std::thread::scope(|scope| {
         for (w, ws) in pool[..workers].iter_mut().enumerate() {
-            let (run, skipped) = (&run, &skipped);
+            let totals = &totals;
             let table = &mut ws.table;
             scope.spawn(move || {
-                let (mut r_acc, mut s_acc) = (0u64, 0u64);
+                let mut acc = SegStats::default();
                 while let Some(((seg_a, seg_b), _stolen)) = queue.pop(w) {
-                    let (r, s) = sort_segment(seg_a, seg_b, table, policy);
-                    r_acc += r;
-                    s_acc += s;
+                    acc.merge(sort_segment(seg_a, seg_b, table, policy));
                 }
-                run.fetch_add(r_acc, std::sync::atomic::Ordering::Relaxed);
-                skipped.fetch_add(s_acc, std::sync::atomic::Ordering::Relaxed);
+                let order = std::sync::atomic::Ordering::Relaxed;
+                totals[0].fetch_add(acc.run, order);
+                totals[1].fetch_add(acc.skipped, order);
+                totals[2].fetch_add(acc.read, order);
+                totals[3].fetch_add(acc.written, order);
+                totals[4].fetch_add(acc.items, order);
             });
         }
     });
-    (
-        run.load(std::sync::atomic::Ordering::Relaxed),
-        skipped.load(std::sync::atomic::Ordering::Relaxed),
-    )
+    let order = std::sync::atomic::Ordering::Relaxed;
+    SegStats {
+        run: totals[0].load(order),
+        skipped: totals[1].load(order),
+        read: totals[2].load(order),
+        written: totals[3].load(order),
+        items: totals[4].load(order),
+    }
 }
 
 /// Sorts one bucket's segment by LSD counting passes replanned from the
@@ -647,22 +709,28 @@ fn sort_segments(
 /// result in `a`. When the replanned pass count is odd, `a` pre-copies
 /// into `b` so the ping-pong still ends in `a`. Segments below the cost
 /// model's crossover fall back to a comparison sort under
-/// [`SortPolicy::Adaptive`]. Returns this segment's `(run, skipped)` pass
-/// counts (a comparison fallback contributes zero).
+/// [`SortPolicy::Adaptive`]. Returns this segment's [`SegStats`]: pass
+/// counts plus the analytic traffic of the executed passes (a comparison
+/// fallback or constant segment contributes items only — comparison-sort
+/// traffic is data-dependent, so the model does not charge it).
 fn sort_segment(
     a: &mut [Pair],
     b: &mut [Pair],
     table: &mut Vec<u32>,
     policy: SortPolicy,
-) -> (u64, u64) {
+) -> SegStats {
     let m = a.len();
     debug_assert!(m > 1 && b.len() == m);
+    let items_only = SegStats {
+        items: m as u64,
+        ..SegStats::default()
+    };
     let first = a[0].key();
     let diff = a.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first));
     if diff == 0 {
         // The whole segment is one key: the global pass's stable order
         // already equals the sorted order.
-        return (0, 0);
+        return items_only;
     }
     // Digit width tracks the segment size (table ≈ one entry per pair):
     // an oversized table spends more on zeroing and prefix-summing than
@@ -677,7 +745,7 @@ fn sort_segment(
     };
     if !lsd {
         a.sort_unstable_by_key(|p| (p.key(), p.id()));
-        return (0, 0);
+        return items_only;
     }
 
     if run % 2 == 1 {
@@ -709,7 +777,119 @@ fn sort_segment(
         in_b = !in_b;
     }
     debug_assert!(!in_b, "ping-pong must end with the sorted segment in `a`");
-    (run as u64, skipped)
+    // Per pass the source is scanned twice (count, then scatter) and the
+    // destination written once; an odd plan pre-copies the segment.
+    let seg_bytes = m as u64 * PAIR_BYTES;
+    let (r, odd) = (run as u64, u64::from(run % 2 == 1));
+    SegStats {
+        run: r,
+        skipped,
+        read: seg_bytes * (2 * r + odd),
+        written: seg_bytes * (r + odd),
+        items: m as u64,
+    }
+}
+
+/// Predicts the analytic traffic [`sort_pairs`] will charge to
+/// [`crate::prof`] for `keys` under `policy`, **without sorting**: the
+/// planner's decisions (pass plan, adaptive cutover, per-segment replans)
+/// are re-derived from the key stream alone. Segment diffs fold directly
+/// off the input — a diff fold is base-independent over its key set and a
+/// segment's membership is a pure function of the top digit — so the
+/// prediction never needs the scattered order. The differential seam for
+/// `tests/prof_traffic.rs`: the recorded charges come from the executed
+/// pipeline, this prediction from the formulas, and the two must agree
+/// on arbitrary inputs.
+pub(crate) fn predict_traffic(
+    keys: &[u64],
+    policy: SortPolicy,
+) -> [(prof::Phase, prof::Traffic); 4] {
+    use prof::{Phase, Traffic};
+    let mut out = [
+        (Phase::SortHist, Traffic::default()),
+        (Phase::SortScatter, Traffic::default()),
+        (Phase::SortFlush, Traffic::default()),
+        (Phase::SortLocal, Traffic::default()),
+    ];
+    let n = keys.len();
+    if n <= 1 {
+        return out;
+    }
+    let first = keys[0];
+    let diff = keys.iter().fold(0u64, |acc, &k| acc | (k ^ first));
+    if diff == 0 {
+        return out;
+    }
+    let (passes, run_len, _) = plan_passes(diff, MAX_DIGIT_BITS);
+    let plan = &passes[..run_len];
+    let lsd = match policy {
+        SortPolicy::Lsd => true,
+        SortPolicy::Comparison => false,
+        SortPolicy::Adaptive => lsd_is_cheaper(n, plan),
+    };
+    if !lsd {
+        return out;
+    }
+    let top = plan[run_len - 1];
+    let buckets = 1usize << top.bits;
+    let mut counts = vec![0u64; buckets];
+    let mut bases = vec![0u64; buckets];
+    let mut seg_diffs = vec![0u64; buckets];
+    for &k in keys {
+        let d = pdigit(k, top);
+        if counts[d] == 0 {
+            bases[d] = k;
+        } else {
+            seg_diffs[d] |= k ^ bases[d];
+        }
+        counts[d] += 1;
+    }
+    let batch_bytes = n as u64 * PAIR_BYTES;
+    let flush_pairs: u64 = counts.iter().map(|&c| c % STAGE as u64).sum();
+    out[0].1 = Traffic {
+        bytes_read: batch_bytes,
+        bytes_written: 0,
+        items: n as u64,
+    };
+    out[1].1 = Traffic {
+        bytes_read: batch_bytes,
+        bytes_written: batch_bytes - flush_pairs * PAIR_BYTES,
+        items: n as u64,
+    };
+    out[2].1 = Traffic {
+        bytes_read: 0,
+        bytes_written: flush_pairs * PAIR_BYTES,
+        items: flush_pairs,
+    };
+    if run_len > 1 {
+        let mut local = Traffic::default();
+        for d in 0..buckets {
+            let m = counts[d] as usize;
+            if m <= 1 {
+                continue;
+            }
+            local.items += m as u64;
+            if seg_diffs[d] == 0 {
+                continue;
+            }
+            let width = (usize::BITS - 1 - m.leading_zeros()).clamp(MIN_DIGIT_BITS, MAX_DIGIT_BITS);
+            let (seg_passes, seg_run, _) = plan_passes(seg_diffs[d], width);
+            let seg_lsd = match policy {
+                SortPolicy::Lsd => true,
+                SortPolicy::Comparison => false,
+                SortPolicy::Adaptive => lsd_is_cheaper(m, &seg_passes[..seg_run]),
+            };
+            if !seg_lsd {
+                continue;
+            }
+            let seg_bytes = m as u64 * PAIR_BYTES;
+            let (r, odd) = (seg_run as u64, u64::from(seg_run % 2 == 1));
+            local.bytes_read += seg_bytes * (2 * r + odd);
+            local.bytes_written += seg_bytes * (r + odd);
+        }
+        out[3].1 = local;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -10,7 +10,18 @@
 //! hidden from docs and exempt from stability.
 
 use crate::config::SortPolicy;
+use crate::prof;
 use crate::radix;
+
+/// Analytic traffic prediction for a sort of `keys` under `policy` —
+/// [`crate::radix`]'s planner decisions replayed over the raw key stream,
+/// returning the `(phase, traffic)` charges the executed sort must
+/// report to [`crate::prof`] (order: hist, scatter, flush, local). The
+/// differential seam for `tests/prof_traffic.rs`.
+#[must_use]
+pub fn predict_traffic(keys: &[u64], policy: SortPolicy) -> [(prof::Phase, prof::Traffic); 4] {
+    radix::predict_traffic(keys, policy)
+}
 
 /// Owns one sort's input and scratch buffers across bench iterations.
 #[derive(Debug)]

@@ -12,6 +12,7 @@ use crate::config::{DeviceKind, SieveConfig};
 use crate::error::SieveError;
 use crate::obs;
 use crate::pcie::PcieConfig;
+use crate::prof;
 use crate::trace;
 
 /// How the Sieve device attaches to the host.
@@ -124,6 +125,9 @@ impl Transport {
         let rec = obs::global();
         rec.add(obs::CounterId::TransportTransfers, 1);
         rec.record(obs::HistId::TransportTransferPs, ps);
+        // Roofline charge: the link writes `bytes` to the device; its
+        // "wall" is the model time above, not a host-side span.
+        prof::record(prof::Phase::PcieTransfer, 0, bytes, 1);
         let tr = trace::global();
         tr.emit_model("transport.transfer", 0, tr.model_ps(), ps, bytes, 0);
         ps

@@ -23,6 +23,15 @@
 #     planning regression cannot hide inside the whole-pipeline margin.
 #     Keyed on the single-thread snapshot, which by construction is
 #     never oversubscribed; baselines predating the span are skipped.
+#   * scatter roofline efficiency — the fresh run's sort.scatter phase
+#     must achieve at least CHECK_MIN_SCATTER_FRAC (default 0.4) of the
+#     machine's calibrated scatter peak (results/MACHINE.json, written
+#     by bench_calibrate). Unlike the throughput gates this one is a
+#     same-host ratio, so it is valid on any machine; it catches the
+#     failure mode the absolute gates cannot see — a scatter that still
+#     "passes" timing on fast hardware while having quietly become
+#     compute-bound (extra instructions per pair, dead cache lines).
+#     SKIPPED loudly when no calibration file exists.
 #
 # The committed baseline was measured on a specific host; on a different
 # machine the throughput comparison is apples-to-oranges, so set
@@ -42,11 +51,26 @@ CHECK_REPS="${CHECK_REPS:-9}"
 CHECK_MAX_LOSS_PCT="${CHECK_MAX_LOSS_PCT:-10}"
 CHECK_MAX_OBS_PCT="${CHECK_MAX_OBS_PCT:-3}"
 CHECK_MAX_SORT_PCT="${CHECK_MAX_SORT_PCT:-15}"
+CHECK_MIN_SCATTER_FRAC="${CHECK_MIN_SCATTER_FRAC:-0.4}"
+MACHINE=results/MACHINE.json
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench_check: error — no committed baseline at $BASELINE" >&2
     exit 1
 fi
+
+# The committed baseline must carry a parseable schema version: gating
+# against an artifact whose shape this script cannot vouch for silently
+# extracts empty fields and passes vacuously. Fail loudly instead.
+require_schema() {
+    local v
+    v=$(awk -F'"schema_version": ' '/^  "schema_version": / { split($2, a, "[,}]"); print a[1]; exit }' "$1")
+    if ! awk -v s="${v:-}" 'BEGIN { exit !(s + 0 >= 2 && s == int(s) && s != "") }'; then
+        echo "bench_check: error — $1 has no parseable \"schema_version\" >= 2 (got '${v:-none}'); regenerate it with the current bench_classify --json" >&2
+        exit 1
+    fi
+}
+require_schema "$BASELINE"
 
 echo "== bench_check: ${CHECK_READS} reads x ${CHECK_REPS} reps vs $BASELINE =="
 cargo run -q --release -p sieve-bench --bin bench_classify -- \
@@ -140,6 +164,28 @@ done < <(awk '/"obs_overhead_pct"/ {
     split($0, p, /"obs_overhead_pct": /); split(p[2], b, "[,}]")
     print a[1], o, b[1]
 }' "$CHECK_OUT")
+
+# Scatter roofline efficiency: frac_of_peak comes straight from the
+# fresh artifact's roofline rows, which bench_classify computed against
+# this machine's own calibration — a same-host ratio, valid anywhere.
+if [[ ! -f "$MACHINE" ]]; then
+    echo "   scatter efficiency: SKIP — no calibration at $MACHINE (run: cargo run --release -p sieve-bench --bin bench_calibrate)"
+elif grep -q '"calibration": null' "$CHECK_OUT"; then
+    echo "   scatter efficiency: SKIP — fresh run found no usable calibration (regenerate $MACHINE with bench_calibrate)"
+else
+    scatter_frac=$(awk -F'"frac_of_peak": ' '/"phase": "sort.scatter"/ { split($2, a, "[,}]"); print a[1]; exit }' "$CHECK_OUT")
+    scatter_bound=$(awk -F'"bound": "' '/"phase": "sort.scatter"/ { split($2, a, "\""); print a[1]; exit }' "$CHECK_OUT")
+    if [[ -z "$scatter_frac" ]]; then
+        echo "bench_check: FAIL — fresh artifact has no sort.scatter roofline row despite a calibration file" >&2
+        fail=1
+    else
+        echo "   scatter efficiency: ${scatter_frac} of calibrated peak (${scatter_bound}-bound, floor ${CHECK_MIN_SCATTER_FRAC})"
+        if ! awk -v f="$scatter_frac" -v floor="$CHECK_MIN_SCATTER_FRAC" 'BEGIN { exit !(f >= floor) }'; then
+            echo "bench_check: FAIL — sort.scatter achieved only ${scatter_frac} of the calibrated scatter peak (< ${CHECK_MIN_SCATTER_FRAC}): the scatter kernel has gone compute-bound" >&2
+            fail=1
+        fi
+    fi
+fi
 
 if [ "$fail" -ne 0 ]; then
     exit 1

@@ -37,6 +37,23 @@ SMOKE_OUT=target/bench_smoke.json
 SMOKE_FLOOR_1T=40000
 SMOKE_FLOOR_SPEEDUP_2T=1.2
 SMOKE_FLOOR_SPEEDUP_4T=1.4
+BASELINE=results/BENCH_classify.json
+
+# The smoke gate itself only reads its own fresh run, but it is the
+# first bench script tier1 executes — so it also vouches for the
+# committed baseline every other consumer (bench_check.sh,
+# roofline_report.sh) gates against: present, and with a schema version
+# this toolchain understands. A missing or unversioned baseline fails
+# here, loudly, instead of as an empty-field mystery two scripts later.
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_smoke: error — no committed baseline at $BASELINE (regenerate with bench_classify --json)" >&2
+    exit 1
+fi
+base_schema=$(awk -F'"schema_version": ' '/^  "schema_version": / { split($2, a, "[,}]"); print a[1]; exit }' "$BASELINE")
+if ! awk -v s="${base_schema:-}" 'BEGIN { exit !(s + 0 >= 2 && s == int(s) && s != "") }'; then
+    echo "bench_smoke: error — $BASELINE has no parseable \"schema_version\" >= 2 (got '${base_schema:-none}'); regenerate it with the current bench_classify --json" >&2
+    exit 1
+fi
 
 echo "== bench_smoke: ${SMOKE_READS} reads x ${SMOKE_REPS} reps (chunk ${SMOKE_CHUNK}) =="
 cargo run -q --release -p sieve-bench --bin bench_classify -- \

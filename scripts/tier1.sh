@@ -20,7 +20,9 @@ cargo test -q \
     --test fault_model \
     --test report_golden \
     --test cluster_edge \
-    --test parallel_determinism
+    --test parallel_determinism \
+    --test prof_traffic \
+    --test prof_determinism
 
 echo "== tier1: kernel differential suite under overflow checks =="
 # The scalar/SWAR twins (DESIGN.md §9) lean on wrapping-free bit algebra
@@ -32,6 +34,20 @@ RUSTFLAGS="-C overflow-checks=on" CARGO_TARGET_DIR=target/overflow \
 
 echo "== tier1: bench smoke (throughput floors) =="
 ./scripts/bench_smoke.sh
+
+echo "== tier1: roofline report golden =="
+# The report is a pure rendering of the committed artifact, so its
+# output must match the committed golden byte-for-byte; regenerate both
+# together (see the header of scripts/roofline_report.sh).
+diff <(./scripts/roofline_report.sh) results/ROOFLINE.txt \
+    || { echo "tier1: roofline_report.sh no longer matches results/ROOFLINE.txt — regenerate the golden with the artifact" >&2; exit 1; }
+
+echo "== tier1: shellcheck scripts/*.sh =="
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck scripts/*.sh
+else
+    echo "tier1: SKIP shellcheck — not installed in this container (install shellcheck to lint scripts/*.sh)"
+fi
 
 echo "== tier1: cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

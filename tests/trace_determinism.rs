@@ -374,6 +374,11 @@ fn chrome_export_is_valid_json_with_both_clock_lanes() {
                 matches!(get("s"), Some(json::Value::String(s)) if s == "t"),
                 "instant needs a scope"
             ),
+            "C" => assert!(
+                matches!(get("args"), Some(json::Value::Object(a))
+                    if a.iter().any(|(k, _)| k == "value")),
+                "counter sample needs args.value"
+            ),
             "M" => {}
             other => panic!("unexpected phase {other}"),
         }
