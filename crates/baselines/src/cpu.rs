@@ -218,8 +218,8 @@ pub fn run_clark_matching(
         // Linear probing at ~0.5 load: hits resolve in ~2 probes, misses
         // scan a short cluster — still several dependent accesses at
         // paper-scale table sizes.
-        let probes = if db.get(*q).is_some() { 2u32 } else { 3 }
-            .max(config.min_probes_per_lookup / 2);
+        let probes =
+            if db.get(*q).is_some() { 2u32 } else { 3 }.max(config.min_probes_per_lookup / 2);
         for _ in 0..probes {
             let (level, lat) = hierarchy.access(slot * slot_stride);
             total_memory_ns += lat + tlb(level, &config);

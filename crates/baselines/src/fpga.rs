@@ -56,9 +56,10 @@ pub fn run_kmer_matching(db: &HybridDb, queries: &[Kmer], config: FpgaConfig) ->
     // Probes scale gently with database depth (deeper structures at paper
     // scale), floored by the configured pipeline depth.
     let avg_bucket = db.len() as f64 / db.bucket_count() as f64;
-    let probes = config.probes_per_lookup.max(1.0 + avg_bucket.log2().max(0.0));
-    let lookups_per_s =
-        f64::from(config.memory_channels) * config.random_access_per_s / probes;
+    let probes = config
+        .probes_per_lookup
+        .max(1.0 + avg_bucket.log2().max(0.0));
+    let lookups_per_s = f64::from(config.memory_channels) * config.random_access_per_s / probes;
     let time_s = queries.len() as f64 / lookups_per_s;
     BaselineReport {
         label: "FPGA".to_string(),
@@ -93,7 +94,10 @@ mod tests {
         let cpu = cpu::run_kmer_matching(&db, &queries, CpuConfig::xeon_e5_2658v4());
         let gpu = gpu::run_kmer_matching(&db, &queries, GpuConfig::titan_x_pascal());
         assert!(fpga.speedup_over(&cpu.report) > 1.0, "FPGA beats the CPU");
-        assert!(gpu.speedup_over(&fpga) > 1.0, "the GPU's bandwidth wins on raw rate");
+        assert!(
+            gpu.speedup_over(&fpga) > 1.0,
+            "the GPU's bandwidth wins on raw rate"
+        );
     }
 
     #[test]

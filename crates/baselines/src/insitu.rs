@@ -158,8 +158,7 @@ pub fn run(
         if hit {
             hits += 1;
             t += payload;
-            energy_fj +=
-                2 * u128::from(config.energy.e_act) + 2 * u128::from(config.energy.e_rd);
+            energy_fj += 2 * u128::from(config.energy.e_act) + 2 * u128::from(config.energy.e_rd);
         }
         sub_busy[sub] += t;
     }
@@ -222,7 +221,12 @@ mod tests {
         let (device, queries) = setup();
         let index = device.index().unwrap();
         let rm = run(&cfg(InsituKind::RowMajor), device.layout(), index, &queries);
-        let cd = run(&cfg(InsituKind::ComputeDram), device.layout(), index, &queries);
+        let cd = run(
+            &cfg(InsituKind::ComputeDram),
+            device.layout(),
+            index,
+            &queries,
+        );
         assert!(cd.time_ps < rm.time_ps, "ComputeDRAM must be faster");
     }
 
@@ -232,7 +236,12 @@ mod tests {
         let (device, queries) = setup();
         let index = device.index().unwrap();
         let rm = run(&cfg(InsituKind::RowMajor), device.layout(), index, &queries);
-        let cd = run(&cfg(InsituKind::ComputeDram), device.layout(), index, &queries);
+        let cd = run(
+            &cfg(InsituKind::ComputeDram),
+            device.layout(),
+            index,
+            &queries,
+        );
 
         let ds_entries = device.layout().entries().to_vec();
         let no_etm = SieveDevice::new(

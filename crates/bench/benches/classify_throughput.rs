@@ -33,16 +33,12 @@ fn bench_classify_threads(c: &mut Criterion) {
         )
         .expect("dataset fits the scaled geometry");
         let host = HostPipeline::new(device);
-        g.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &host,
-            |b, host| {
-                b.iter(|| {
-                    let out = host.classify_reads(&reads).unwrap();
-                    std::hint::black_box(out.reads.len())
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("threads", threads), &host, |b, host| {
+            b.iter(|| {
+                let out = host.classify_reads(&reads).unwrap();
+                std::hint::black_box(out.reads.len())
+            });
+        });
     }
     g.finish();
 }

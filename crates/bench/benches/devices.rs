@@ -23,8 +23,7 @@ fn bench_device_runs(c: &mut Criterion) {
         ("type2_16cb", SieveConfig::type2(16)),
         ("type3_8sa", SieveConfig::type3(8)),
     ] {
-        let device =
-            SieveDevice::new(config.with_geometry(geometry), ds.entries.clone()).unwrap();
+        let device = SieveDevice::new(config.with_geometry(geometry), ds.entries.clone()).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(label), &device, |b, dev| {
             b.iter(|| {
                 let out = dev.run(&queries).unwrap();

@@ -78,7 +78,9 @@ fn bench_host_kernels(c: &mut Criterion) {
     let mut state = 0x9e37_79b9_7f4a_7c15u64;
     for read in 0..n_reads {
         for _ in 0..24 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             owners.push(read as u32);
             results.push(match state >> 61 {
                 0 => None,
@@ -97,9 +99,7 @@ fn bench_host_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(results.len() as u64));
     for kernels in [HostKernels::Swar, HostKernels::Scalar] {
         g.bench_function(format!("vote_{}", kernels.label()).as_str(), |b| {
-            b.iter(|| {
-                std::hint::black_box(vote_reads(n_reads, &owners, &results, kernels)).len()
-            });
+            b.iter(|| std::hint::black_box(vote_reads(n_reads, &owners, &results, kernels)).len());
         });
     }
     g.finish();
@@ -116,7 +116,10 @@ fn bench_match_kernel(c: &mut Criterion) {
     let (layout, queries) = setup_layout();
     let mut keys: Vec<u64> = queries.iter().map(|q| q.bits()).collect();
     keys.sort_unstable();
-    let kmers: Vec<Kmer> = keys.iter().map(|&b| Kmer::from_u64(b, 31).unwrap()).collect();
+    let kmers: Vec<Kmer> = keys
+        .iter()
+        .map(|&b| Kmer::from_u64(b, 31).unwrap())
+        .collect();
     let table = RowTable::new(62, true, 1);
     let mut g = c.benchmark_group("match_kernel");
     g.throughput(Throughput::Elements(keys.len() as u64));

@@ -11,7 +11,10 @@
 //! case), `pre_sorted` rewards nothing (counting passes are oblivious to
 //! input order — the comparison sort's pattern-defeating pivots are
 //! not), and `duplicate_heavy` narrows the diff window so per-segment
-//! replans skip passes.
+//! replans skip passes. The `lsd` axis runs with pair narrowing off and
+//! `lsd_narrow` with it on — the spread between them is the measured
+//! value of the 8-byte repack, and the input for retuning the narrowing
+//! rule's byte model alongside the cutover constants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sieve_core::sort_bench::SortHarness;
@@ -63,21 +66,34 @@ fn keys(dist: &str, n: usize) -> Vec<u64> {
 }
 
 fn bench_plan_sort(c: &mut Criterion) {
-    for dist in ["uniform", "one_giant_bucket", "pre_sorted", "duplicate_heavy"] {
+    for dist in [
+        "uniform",
+        "one_giant_bucket",
+        "pre_sorted",
+        "duplicate_heavy",
+    ] {
         let mut g = c.benchmark_group(format!("plan_sort/{dist}"));
         for n in SIZES {
             let mut harness = SortHarness::new(&keys(dist, n));
-            // The two policies must agree on the fold of the sorted
-            // order — a cheap cross-check that the bench measures two
-            // implementations of the same sort.
-            let want = harness.run(SortPolicy::Comparison, 1);
-            assert_eq!(harness.run(SortPolicy::Lsd, 1), want, "{dist}/{n}");
+            // Every axis must agree on the fold of the sorted order — a
+            // cheap cross-check that the bench measures implementations
+            // of the same sort.
+            let want = harness.run(SortPolicy::Comparison, 1, true);
+            assert_eq!(harness.run(SortPolicy::Lsd, 1, false), want, "{dist}/{n}");
+            assert_eq!(
+                harness.run(SortPolicy::Lsd, 1, true),
+                want,
+                "{dist}/{n} narrow"
+            );
             g.throughput(Throughput::Elements(n as u64));
             g.bench_with_input(BenchmarkId::new("lsd", n), &n, |b, _| {
-                b.iter(|| harness.run(SortPolicy::Lsd, 1));
+                b.iter(|| harness.run(SortPolicy::Lsd, 1, false));
+            });
+            g.bench_with_input(BenchmarkId::new("lsd_narrow", n), &n, |b, _| {
+                b.iter(|| harness.run(SortPolicy::Lsd, 1, true));
             });
             g.bench_with_input(BenchmarkId::new("comparison", n), &n, |b, _| {
-                b.iter(|| harness.run(SortPolicy::Comparison, 1));
+                b.iter(|| harness.run(SortPolicy::Comparison, 1, true));
             });
         }
         g.finish();

@@ -24,7 +24,12 @@ fn main() {
     let base_speedup = base.speedup_over(&cpu.report);
 
     println!("Ablation: ETM segment length (T3.8SA; affects hit-identify time)\n");
-    let mut t = Table::new(["Segment latches", "Segments/row", "Speedup vs CPU", "vs default"]);
+    let mut t = Table::new([
+        "Segment latches",
+        "Segments/row",
+        "Speedup vs CPU",
+        "vs default",
+    ]);
     for seg in [64u32, 128, 256, 512, 1024] {
         let mut config = SieveConfig::type3(8);
         config.etm_segment_len = seg;

@@ -56,15 +56,28 @@ fn main() {
 
         // 1. Sieve hardware pipeline (majority vote on device hits).
         let out = host.classify_reads(&reads).expect("pipeline runs");
-        let sieve_assignments: Vec<Option<TaxonId>> =
-            out.reads.iter().map(|r| r.taxon).collect();
-        score(&mut t, preset.label(), "Sieve T3.8SA", &dataset, &truth, &sieve_assignments);
+        let sieve_assignments: Vec<Option<TaxonId>> = out.reads.iter().map(|r| r.taxon).collect();
+        score(
+            &mut t,
+            preset.label(),
+            "Sieve T3.8SA",
+            &dataset,
+            &truth,
+            &sieve_assignments,
+        );
 
         // 2. Software CLARK (majority over the sorted DB).
         let clark = ClarkClassifier::new(&sorted);
         let clark_assignments: Vec<Option<TaxonId>> =
             reads.iter().map(|r| clark.classify(r).taxon).collect();
-        score(&mut t, preset.label(), "CLARK (sw)", &dataset, &truth, &clark_assignments);
+        score(
+            &mut t,
+            preset.label(),
+            "CLARK (sw)",
+            &dataset,
+            &truth,
+            &clark_assignments,
+        );
 
         // 3. Software Kraken (path weights over the hybrid DB).
         let kraken = KrakenClassifier::new(&hybrid, &dataset.taxonomy);
@@ -72,7 +85,14 @@ fn main() {
             .iter()
             .map(|r| kraken.classify(r).expect("valid taxa").taxon)
             .collect();
-        score(&mut t, preset.label(), "Kraken (sw)", &dataset, &truth, &kraken_assignments);
+        score(
+            &mut t,
+            preset.label(),
+            "Kraken (sw)",
+            &dataset,
+            &truth,
+            &kraken_assignments,
+        );
 
         // Hardware/software equivalence: Sieve's per-read hit counts equal
         // the software DB's (the accuracy-identity argument).

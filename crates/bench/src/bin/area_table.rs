@@ -23,8 +23,7 @@ fn main() {
         t.row([
             label,
             pct(model.overhead(device)),
-            AreaModel::paper_reference(device)
-                .map_or_else(|| "-".to_string(), pct),
+            AreaModel::paper_reference(device).map_or_else(|| "-".to_string(), pct),
         ]);
     }
     t.emit("area_table");

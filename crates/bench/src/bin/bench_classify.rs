@@ -19,10 +19,15 @@
 //! robust to scheduler noise), so the JSON carries a before/after
 //! `obs_overhead_pct` per row (clamped at 0: a negative delta is noise,
 //! not a speedup), plus the full
-//! [`sieve_core::obs::MetricsSnapshot`] of one instrumented
+//! [`sieve_core::obs::MetricsSnapshot`] of an instrumented
 //! *single-thread* run (`metrics` key) — the wall profile DESIGN.md §6
-//! quotes. `--prom` additionally writes the snapshot in Prometheus text
-//! format to `results/BENCH_classify.prom`.
+//! quotes. The profile keeps the *quietest* of [`PROFILE_REPS`]
+//! instrumented runs (smallest total `wall.*` time): scheduler noise
+//! only ever adds wall time, so the cheapest observed run is the best
+//! estimate of what the code itself costs, and an unlucky sample
+//! can no longer distort the committed roofline. `--prom` additionally
+//! writes the snapshot in Prometheus text format to
+//! `results/BENCH_classify.prom`.
 //!
 //! Since `"schema_version": 2` the JSON also carries `provenance` (git
 //! SHA, rustc, CPU model), the single-thread `prof` traffic table, the
@@ -53,6 +58,12 @@ use sieve_genomics::synth;
 
 const DEFAULT_READS: usize = 10_000;
 const DEFAULT_REPS: usize = 40;
+/// Instrumented profile attempts; the one with the smallest total
+/// `wall.*` time is kept (noise only adds wall time, so min-of-N is
+/// the noise-floor estimate of the code's own cost). Each attempt is
+/// one batch (~tens of ms), so a generous N costs ~a second and rides
+/// out multi-sample noise bursts on shared boxes.
+const PROFILE_REPS: usize = 15;
 const DEFAULT_OUT: &str = "results/BENCH_classify.json";
 const DEFAULT_MACHINE: &str = "results/MACHINE.json";
 
@@ -86,6 +97,17 @@ struct Measurement {
     obs_overhead_pct: f64,
 }
 
+/// Total nanoseconds across every `wall.*` span histogram — the
+/// quietness metric for picking the instrumented profile (neutral: it
+/// weighs all phases, not just the gated ones).
+fn wall_total(snap: &obs::MetricsSnapshot) -> u64 {
+    snap.histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("wall.") && name.ends_with(".ns"))
+        .map(|(_, h)| h.sum)
+        .sum()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let emit_json = args.iter().any(|a| a == "--json");
@@ -94,8 +116,8 @@ fn main() {
         .map_or(DEFAULT_READS, |v| v.parse().expect("--reads takes a count"));
     let reps: usize = arg_value(&args, "--reps")
         .map_or(DEFAULT_REPS, |v| v.parse().expect("--reps takes a count"));
-    let chunk_reads: usize = arg_value(&args, "--chunk")
-        .map_or(0, |v| v.parse().expect("--chunk takes a read count"));
+    let chunk_reads: usize =
+        arg_value(&args, "--chunk").map_or(0, |v| v.parse().expect("--chunk takes a read count"));
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| DEFAULT_OUT.to_string());
     let machine_path = arg_value(&args, "--machine").unwrap_or_else(|| DEFAULT_MACHINE.to_string());
     let trace_path = arg_value(&args, "--trace");
@@ -154,11 +176,16 @@ fn main() {
         })
         .collect();
     if chunk_reads > 0 {
-        cells.extend(thread_counts.iter().enumerate().map(|(host, &threads)| Cell {
-            host,
-            threads,
-            chunk: chunk_reads,
-        }));
+        cells.extend(
+            thread_counts
+                .iter()
+                .enumerate()
+                .map(|(host, &threads)| Cell {
+                    host,
+                    threads,
+                    chunk: chunk_reads,
+                }),
+        );
     }
     let run_cell = |cell: &Cell| {
         let host = &hosts[cell.host];
@@ -204,7 +231,11 @@ fn main() {
     let mut samples = vec![[Vec::with_capacity(reps), Vec::with_capacity(reps)]; cells.len()];
     for rep in 0..reps {
         for (i, cell) in cells.iter().enumerate() {
-            let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
+            let order = if rep % 2 == 0 {
+                [false, true]
+            } else {
+                [true, false]
+            };
             for enabled in order {
                 recorder.set_enabled(enabled);
                 let start = Instant::now();
@@ -228,33 +259,49 @@ fn main() {
         best_obs.push(median(&mut pair[1]));
     }
 
-    // Capture a clean instrumented snapshot of one *single-thread batch*
+    // Capture a clean instrumented snapshot of a *single-thread batch*
     // run (the loops above already warmed everything): its wall.device.*
     // spans are the canonical single-thread device-stage profile the
-    // regression gates and DESIGN.md track.
-    recorder.set_enabled(true);
-    recorder.reset();
-    prof::reset();
-    hosts
-        .first()
-        .expect("at least one host")
-        .classify_reads(&reads)
-        .expect("valid workload");
-    let snapshot = recorder.snapshot();
-    // The traffic table paired with that wall profile: together they are
-    // the roofline input (canonical bytes / summed span ns).
-    let prof_snapshot = prof::snapshot();
+    // regression gates and DESIGN.md track. Each attempt costs one batch
+    // (~tens of ms), so PROFILE_REPS attempts are cheap; the quietest —
+    // smallest total wall.* time — is kept, paired with its own traffic
+    // table (the roofline input: canonical bytes / summed span ns).
+    let mut quietest: Option<(u64, obs::MetricsSnapshot, prof::ProfSnapshot)> = None;
+    for _ in 0..PROFILE_REPS {
+        recorder.set_enabled(true);
+        recorder.reset();
+        prof::reset();
+        hosts
+            .first()
+            .expect("at least one host")
+            .classify_reads(&reads)
+            .expect("valid workload");
+        let snap = recorder.snapshot();
+        let total = wall_total(&snap);
+        if quietest.as_ref().is_none_or(|q| total < q.0) {
+            quietest = Some((total, snap, prof::snapshot()));
+        }
+    }
+    let (_, snapshot, prof_snapshot) = quietest.expect("PROFILE_REPS > 0");
     // And one at the *highest thread count* (same batch workload): its
     // `wall.shard.sort` relative to the single-thread snapshot above is
     // the planner-scaling measurement the acceptance gates track.
-    recorder.set_enabled(true);
-    recorder.reset();
-    hosts
-        .last()
-        .expect("at least one host")
-        .classify_reads(&reads)
-        .expect("valid workload");
-    let snapshot_mt = recorder.snapshot();
+    let mut quietest_mt: Option<(u64, obs::MetricsSnapshot)> = None;
+    for _ in 0..PROFILE_REPS {
+        recorder.set_enabled(true);
+        recorder.reset();
+        hosts
+            .last()
+            .expect("at least one host")
+            .classify_reads(&reads)
+            .expect("valid workload");
+        let snap = recorder.snapshot();
+        let total = wall_total(&snap);
+        if quietest_mt.as_ref().is_none_or(|q| total < q.0) {
+            quietest_mt = Some((total, snap));
+        }
+    }
+    let (_, snapshot_mt) = quietest_mt.expect("PROFILE_REPS > 0");
     recorder.set_enabled(false);
     recorder.reset();
     prof::reset();
@@ -360,7 +407,10 @@ fn main() {
     println!("{}", t.render());
 
     if emit_json {
-        if let Some(dir) = std::path::Path::new(&out_path).parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Some(dir) = std::path::Path::new(&out_path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
         let mt_threads = *thread_counts.last().expect("at least one thread count");
@@ -386,8 +436,7 @@ fn main() {
     if emit_prom {
         let path = "results/BENCH_classify.prom";
         std::fs::create_dir_all("results").expect("create results/");
-        std::fs::write(path, snapshot.to_prometheus())
-            .expect("write results/BENCH_classify.prom");
+        std::fs::write(path, snapshot.to_prometheus()).expect("write results/BENCH_classify.prom");
         println!("wrote {path}");
     }
 }
@@ -423,7 +472,10 @@ fn render_json(
     // apart without trusting the commit that carries them.
     s.push_str("  \"provenance\": {\n");
     s.push_str(&format!("    \"git_sha\": \"{}\",\n", machine::git_sha()));
-    s.push_str(&format!("    \"rustc\": \"{}\",\n", machine::rustc_version()));
+    s.push_str(&format!(
+        "    \"rustc\": \"{}\",\n",
+        machine::rustc_version()
+    ));
     s.push_str(&format!(
         "    \"cpu_model\": \"{}\",\n",
         machine::cpu_model()
@@ -457,10 +509,16 @@ fn render_json(
     // table, and the derived roofline rows — one JSON object per line,
     // so check scripts can gate on them with awk.
     match machine_cal.and_then(Machine::calibration) {
-        Some(cal) => s.push_str(&format!(
-            "  \"calibration\": {{\"schema_version\": {}, \"copy_gbps_1t\": {:.3}, \"scatter_gbps_1t\": {:.3}}},\n",
-            cal.version, cal.copy_gbps, cal.scatter_gbps
-        )),
+        Some(cal) => {
+            let scatter8 = cal
+                .scatter8_gbps
+                .map_or(String::new(), |v| format!(", \"scatter8_gbps_1t\": {v:.3}"));
+            s.push_str(&format!(
+                "  \"calibration\": {{\"schema_version\": {}, \"copy_gbps_1t\": {:.3}, \
+                 \"scatter_gbps_1t\": {:.3}{}}},\n",
+                cal.version, cal.copy_gbps, cal.scatter_gbps, scatter8
+            ));
+        }
         None => s.push_str("  \"calibration\": null,\n"),
     }
     let prof_json = prof_snapshot.to_json().replace('\n', "\n  ");

@@ -60,7 +60,10 @@ fn main() {
         hist[..=upto].iter().sum::<u64>() as f64 / total as f64
     };
 
-    println!("Figure 6: first-mismatch characterization ({} lookups)\n", lookups);
+    println!(
+        "Figure 6: first-mismatch characterization ({} lookups)\n",
+        lookups
+    );
     let mut t = Table::new([
         "Bits checked (bases)",
         "Pairwise first-mismatch <= here",

@@ -58,10 +58,8 @@ fn main() {
         let sieve_paper_esp =
             runner::run_sieve(SieveConfig::type3(8).with_esp_override(10), &built);
 
-        let etm_gain =
-            sieve.paper_qps / col_no_etm.paper_qps.max(f64::MIN_POSITIVE);
-        let etm_gain_esp =
-            sieve_paper_esp.paper_qps / col_no_etm.paper_qps.max(f64::MIN_POSITIVE);
+        let etm_gain = sieve.paper_qps / col_no_etm.paper_qps.max(f64::MIN_POSITIVE);
+        let etm_gain_esp = sieve_paper_esp.paper_qps / col_no_etm.paper_qps.max(f64::MIN_POSITIVE);
         etm_gains.push((etm_gain, etm_gain_esp));
         t.row([
             workload.name(),
@@ -75,14 +73,16 @@ fn main() {
     t.emit("fig13_row_vs_col");
     let (lo, hi) = etm_gains
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(g, _)| (lo.min(g), hi.max(g)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(g, _)| {
+            (lo.min(g), hi.max(g))
+        });
     let (lo_esp, hi_esp) = etm_gains
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, g)| (lo.min(g), hi.max(g)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, g)| {
+            (lo.min(g), hi.max(g))
+        });
     println!("ETM gain over Col_Major(no ETM): {lo:.1}x-{hi:.1}x   [paper: 5.2x-7.2x]");
-    println!(
-        "  …under the paper's 10-bit real-data ESP assumption: {lo_esp:.1}x-{hi_esp:.1}x"
-    );
+    println!("  …under the paper's 10-bit real-data ESP assumption: {lo_esp:.1}x-{hi_esp:.1}x");
     println!("  (exact last-latch semantics on our uniform synthetic data terminate at");
     println!("   ~log2(|DB|)+2 bits; see EXPERIMENTS.md)");
     println!("Paper shape: Row_Major <= Col_Major(no ETM) < ComputeDRAM < Sieve.");

@@ -32,8 +32,7 @@ fn main() {
     let mut cycles = vec![vec![0.0f64; capacities.len()]; salp_values.len()];
 
     for (ci, (banks, _, ref_mult)) in capacities.iter().enumerate() {
-        let geometry =
-            Geometry::new(1, *banks * 2, 128, 512, 8192).expect("valid sweep geometry");
+        let geometry = Geometry::new(1, *banks * 2, 128, 512, 8192).expect("valid sweep geometry");
         for workload in picks {
             let built = build(
                 workload,
@@ -58,11 +57,7 @@ fn main() {
 
     for (si, salp) in salp_values.iter().enumerate() {
         let mut row = vec![format!("{salp}SA")];
-        row.extend(
-            cycles[si]
-                .iter()
-                .map(|c| format!("{:.0}", c / 1_000.0)),
-        );
+        row.extend(cycles[si].iter().map(|c| format!("{:.0}", c / 1_000.0)));
         t.row(row);
     }
     t.emit("fig16_salp_sweep");

@@ -29,8 +29,7 @@ fn main() {
         .collect();
     let cpus: Vec<_> = builts.iter().map(runner::run_cpu).collect();
 
-    let mut configs: Vec<(String, SieveConfig)> =
-        vec![("T1".to_string(), SieveConfig::type1())];
+    let mut configs: Vec<(String, SieveConfig)> = vec![("T1".to_string(), SieveConfig::type1())];
     for cb in [1u32, 2, 4, 8, 16, 32, 64, 128] {
         configs.push((format!("T2.{cb}CB"), SieveConfig::type2(cb)));
     }

@@ -2,10 +2,10 @@
 //! matching implementations on CPU, GPU, and FPGA". The evaluation section
 //! plots CPU/GPU only; this binary completes the platform matrix.
 
+use sieve_baselines::fpga::{self, FpgaConfig};
 use sieve_bench::runner;
 use sieve_bench::table::{ratio, Table};
 use sieve_bench::workloads::{build, BenchScale, Workload};
-use sieve_baselines::fpga::{self, FpgaConfig};
 use sieve_core::SieveConfig;
 use sieve_genomics::db::HybridDb;
 

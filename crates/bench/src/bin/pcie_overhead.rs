@@ -10,7 +10,12 @@ use sieve_core::{PcieConfig, SieveConfig};
 
 fn main() {
     println!("PCIe overhead over ideal dispatch (Type-3, 8 SA)\n");
-    let mut t = Table::new(["Workload", "Ideal makespan (us)", "With PCIe (us)", "Overhead"]);
+    let mut t = Table::new([
+        "Workload",
+        "Ideal makespan (us)",
+        "With PCIe (us)",
+        "Overhead",
+    ]);
     for workload in [
         Workload::FIG13[0],
         Workload::FIG13[2],

@@ -96,18 +96,15 @@ pub fn run_sieve(config: SieveConfig, built: &BuiltWorkload) -> SieveRun {
 /// open-addressing hash table. Working set per the workload's reference.
 #[must_use]
 pub fn run_cpu(built: &BuiltWorkload) -> CpuRunDetail {
-    let config =
-        CpuConfig::xeon_e5_2658v4().with_working_set(built.workload.working_set_bytes());
+    let config = CpuConfig::xeon_e5_2658v4().with_working_set(built.workload.working_set_bytes());
     match built.workload.kernel {
         crate::workloads::Kernel::Kraken2 => {
             let db = HybridDb::from_entries(&built.dataset.entries, built.dataset.k);
             cpu::run_kmer_matching(&db, &built.queries, config)
         }
         crate::workloads::Kernel::Clark => {
-            let db = sieve_genomics::db::HashDb::from_entries(
-                &built.dataset.entries,
-                built.dataset.k,
-            );
+            let db =
+                sieve_genomics::db::HashDb::from_entries(&built.dataset.entries, built.dataset.k);
             cpu::run_clark_matching(&db, &built.queries, config)
         }
     }
@@ -161,7 +158,10 @@ mod tests {
         let s1 = t1.speedup_over(&cpu.report);
         let s2 = t2.speedup_over(&cpu.report);
         let s3 = t3.speedup_over(&cpu.report);
-        assert!(s1 < s2 && s2 < s3, "ordering violated: {s1:.1} {s2:.1} {s3:.1}");
+        assert!(
+            s1 < s2 && s2 < s3,
+            "ordering violated: {s1:.1} {s2:.1} {s3:.1}"
+        );
         assert!(s3 > 10.0, "T3.8SA must beat the CPU decisively: {s3:.1}");
     }
 

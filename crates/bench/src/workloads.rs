@@ -4,9 +4,7 @@
 //! accuracy query files, plus CLARK over the NCBI Bacteria stand-in with
 //! the timing files; Figure 15 uses the three CLARK workloads.
 
-use sieve_genomics::synth::{
-    self, QueryPreset, ReferencePreset, SyntheticDataset,
-};
+use sieve_genomics::synth::{self, QueryPreset, ReferencePreset, SyntheticDataset};
 use sieve_genomics::Kmer;
 
 /// The CPU kernel a workload models.
@@ -91,11 +89,7 @@ impl Workload {
     ];
 
     /// The three GPU-comparison workloads of Figure 15.
-    pub const FIG15: [Workload; 3] = [
-        Self::FIG13[6],
-        Self::FIG13[7],
-        Self::FIG13[8],
-    ];
+    pub const FIG15: [Workload; 3] = [Self::FIG13[6], Self::FIG13[7], Self::FIG13[8]];
 
     /// The `kernel.query.size` name used on the paper's x-axes
     /// (e.g. `K2.HA.4`, `C.MT.BG`).
@@ -172,7 +166,9 @@ pub fn build(workload: Workload, scale: BenchScale) -> BuiltWorkload {
             ..synth::ReadSimConfig::default()
         },
         scale.reads,
-        scale.seed.wrapping_add(workload.query.label().as_bytes()[0].into()),
+        scale
+            .seed
+            .wrapping_add(workload.query.label().as_bytes()[0].into()),
     );
     let queries = reads
         .iter()

@@ -92,8 +92,7 @@ impl SieveApi {
             DeviceKind::Type2 { .. } => 2.0,
             DeviceKind::Type3 { salp } => f64::from(salp),
         };
-        let act_w = config.energy.e_act as f64 * 1e-15
-            / (config.timing.row_cycle() as f64 * 1e-12);
+        let act_w = config.energy.e_act as f64 * 1e-15 / (config.timing.row_cycle() as f64 * 1e-12);
         let static_w = config.energy.static_nw_per_bank as f64 * 1e-9 * banks;
         banks * units_per_bank * act_w + static_w
     }

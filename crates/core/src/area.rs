@@ -147,7 +147,11 @@ mod tests {
         let m = AreaModel::paper();
         let t1 = m.overhead(DeviceKind::Type1);
         assert!((t1 - 0.0248).abs() < 1e-9);
-        assert!(t1 < m.overhead(DeviceKind::Type2 { compute_buffers: 64 }));
+        assert!(
+            t1 < m.overhead(DeviceKind::Type2 {
+                compute_buffers: 64
+            })
+        );
         assert!(t1 < m.overhead(DeviceKind::Type3 { salp: 1 }));
     }
 
@@ -156,7 +160,9 @@ mod tests {
         let m = AreaModel::paper();
         let mut prev = 0.0;
         for cb in [1u32, 2, 4, 8, 16, 32, 64, 128] {
-            let o = m.overhead(DeviceKind::Type2 { compute_buffers: cb });
+            let o = m.overhead(DeviceKind::Type2 {
+                compute_buffers: cb,
+            });
             assert!(o > prev, "overhead must grow with CBs");
             prev = o;
         }
@@ -166,7 +172,9 @@ mod tests {
     fn type2_full_trails_type3() {
         // The paper: T2.128CB (10.75 %) is slightly below T3 (10.90 %).
         let m = AreaModel::paper();
-        let t2 = m.overhead(DeviceKind::Type2 { compute_buffers: 128 });
+        let t2 = m.overhead(DeviceKind::Type2 {
+            compute_buffers: 128,
+        });
         let t3 = m.overhead(DeviceKind::Type3 { salp: 8 });
         assert!(t2 < t3 * 1.25, "T2.128CB should be near T3");
     }
@@ -175,7 +183,9 @@ mod tests {
     fn predictions_land_near_paper_values() {
         let m = AreaModel::paper();
         for (cb, paper, tol) in [(64u32, 0.063, 0.05), (128, 0.1075, 0.01)] {
-            let ours = m.overhead(DeviceKind::Type2 { compute_buffers: cb });
+            let ours = m.overhead(DeviceKind::Type2 {
+                compute_buffers: cb,
+            });
             let rel = (ours - paper).abs() / paper;
             assert!(rel < tol, "T2.{cb}CB: model {ours:.4} vs paper {paper:.4}");
         }
@@ -189,7 +199,9 @@ mod tests {
     #[test]
     fn paper_reference_lookup() {
         assert_eq!(
-            AreaModel::paper_reference(DeviceKind::Type2 { compute_buffers: 64 }),
+            AreaModel::paper_reference(DeviceKind::Type2 {
+                compute_buffers: 64
+            }),
             Some(0.063)
         );
         assert_eq!(

@@ -272,7 +272,9 @@ impl BitAccurateSubarray {
         let mut deaths: Vec<Option<usize>> = (0..segments)
             .map(|s| {
                 let w0 = s * words_per_seg;
-                let any = self.ref_mask[w0..w0 + words_per_seg].iter().any(|&w| w != 0);
+                let any = self.ref_mask[w0..w0 + words_per_seg]
+                    .iter()
+                    .any(|&w| w != 0);
                 any.then_some(self.bit_len) // survives everything by default
             })
             .collect();
@@ -332,7 +334,9 @@ mod tests {
             let probe = if i % 3 == 0 {
                 sa.entries()[(i * 37) % sa.len()].0
             } else {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 sieve_genomics::Kmer::from_u64(state >> 2, 31).unwrap()
             };
             for etm in [true, false] {
@@ -433,7 +437,11 @@ mod tests {
         assert_ne!((rank, wrong_taxon), (50, taxon));
         // And it defeats early termination on misses: full rows burned.
         let miss = sa.entries()[50].0.shifted(sieve_genomics::Base::G);
-        if sa.entries().binary_search_by_key(&miss.bits(), |(k, _)| k.bits()).is_err() {
+        if sa
+            .entries()
+            .binary_search_by_key(&miss.bits(), |(k, _)| k.bits())
+            .is_err()
+        {
             let f = bits.lookup_with_faults(miss, true, 1, &faults);
             assert_eq!(f.outcome.rows as usize, 62);
         }

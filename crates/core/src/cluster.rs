@@ -231,8 +231,8 @@ mod tests {
             .iter()
             .flat_map(|r| r.kmers(31).map(|(_, k)| k))
             .collect();
-        let tight = SieveConfig::type3(8)
-            .with_geometry(Geometry::new(1, 2, 128, 512, 8192).unwrap());
+        let tight =
+            SieveConfig::type3(8).with_geometry(Geometry::new(1, 2, 128, 512, 8192).unwrap());
         let one = SieveCluster::new(tight.clone(), 1, ds.entries.clone()).unwrap();
         let four = SieveCluster::new(tight, 4, ds.entries.clone()).unwrap();
         let m1 = one.run(&queries).unwrap().makespan_ps;
@@ -267,11 +267,7 @@ mod tests {
         let (ds, queries) = setup();
         let cluster = SieveCluster::new(config(), 2, ds.entries.clone()).unwrap();
         let out = cluster.run(&queries).unwrap();
-        let sum: u128 = out
-            .device_reports
-            .iter()
-            .map(|r| r.energy.total_fj())
-            .sum();
+        let sum: u128 = out.device_reports.iter().map(|r| r.energy.total_fj()).sum();
         assert_eq!(out.energy_fj, sum);
         assert_eq!(out.device_reports.len(), 2);
     }

@@ -118,6 +118,15 @@ impl SortPolicy {
     }
 }
 
+/// The process-wide narrowing default: `SIEVE_SORT_NARROW=0` or `=off`
+/// disables it, anything else (including unset) leaves it on.
+fn sort_narrow_from_env() -> bool {
+    !matches!(
+        std::env::var("SIEVE_SORT_NARROW").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
 /// Full configuration of a Sieve device.
 ///
 /// Defaults mirror the paper's reference design: a 32 GB module
@@ -233,6 +242,15 @@ pub struct SieveConfig {
     /// [`SortPolicy::Adaptive`]). Results, reports, and observability
     /// snapshots are bit-identical for every value (see [`SortPolicy`]).
     pub sort_policy: SortPolicy,
+    /// Whether the sort pipeline may repack pairs to 8-byte records when
+    /// a diff window fits 32 bits (default `true`, or the
+    /// `SIEVE_SORT_NARROW` environment variable: `0` / `off` disables).
+    /// Like [`Self::sort_policy`] this is a *simulator* knob: narrowing
+    /// only changes the in-flight record layout, so results, reports,
+    /// and observability snapshots are bit-identical either way (proven
+    /// by the narrow grids in `tests/parallel_determinism.rs` and
+    /// friends).
+    pub sort_narrow: bool,
 }
 
 impl SieveConfig {
@@ -280,6 +298,7 @@ impl SieveConfig {
             hot_kmers: 1 << 18,
             host_kernels: HostKernels::Swar,
             sort_policy: SortPolicy::from_env(),
+            sort_narrow: sort_narrow_from_env(),
         }
     }
 
@@ -376,6 +395,14 @@ impl SieveConfig {
     #[must_use]
     pub fn with_sort_policy(mut self, sort_policy: SortPolicy) -> Self {
         self.sort_policy = sort_policy;
+        self
+    }
+
+    /// Enables or disables adaptive pair narrowing in the sort pipeline
+    /// (builder style). Output is bit-identical for either value.
+    #[must_use]
+    pub fn with_sort_narrow(mut self, sort_narrow: bool) -> Self {
+        self.sort_narrow = sort_narrow;
         self
     }
 
@@ -487,7 +514,10 @@ impl SieveConfig {
             });
         }
         if self.etm_segment_len == 0
-            || !self.geometry.cols_per_row.is_multiple_of(self.etm_segment_len)
+            || !self
+                .geometry
+                .cols_per_row
+                .is_multiple_of(self.etm_segment_len)
         {
             return Err(SieveError::InvalidConfig {
                 field: "etm_segment_len",
@@ -508,7 +538,10 @@ impl SieveConfig {
             DeviceKind::Type2 { compute_buffers } => {
                 if compute_buffers == 0
                     || compute_buffers > self.geometry.subarrays_per_bank
-                    || !self.geometry.subarrays_per_bank.is_multiple_of(compute_buffers)
+                    || !self
+                        .geometry
+                        .subarrays_per_bank
+                        .is_multiple_of(compute_buffers)
                 {
                     return Err(SieveError::InvalidConfig {
                         field: "compute_buffers",
@@ -618,7 +651,8 @@ mod tests {
             .with_steal(false)
             .with_hot_kmers(1024)
             .with_host_kernels(HostKernels::Scalar)
-            .with_sort_policy(SortPolicy::Comparison);
+            .with_sort_policy(SortPolicy::Comparison)
+            .with_sort_narrow(false);
         assert_eq!(c.k, 21);
         assert!(!c.etm_enabled);
         assert_eq!(c.threads, 2);
@@ -628,6 +662,7 @@ mod tests {
         assert_eq!(c.hot_kmers, 1024);
         assert_eq!(c.host_kernels, HostKernels::Scalar);
         assert_eq!(c.sort_policy, SortPolicy::Comparison);
+        assert!(!c.sort_narrow);
         c.validate().unwrap();
     }
 

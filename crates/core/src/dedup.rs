@@ -174,7 +174,14 @@ pub(crate) fn dedup(
     } else {
         dedup_sequential(queries, scratch, uniq, mult, uniq_of);
     }
-    tr.emit_model("dedup.build", 0, tr.model_ps(), 0, n as u64, uniq.len() as u64);
+    tr.emit_model(
+        "dedup.build",
+        0,
+        tr.model_ps(),
+        0,
+        n as u64,
+        uniq.len() as u64,
+    );
     true
 }
 
@@ -404,13 +411,23 @@ mod tests {
             .map(|i| Kmer::from_u64(i, 31).unwrap())
             .collect();
         assert!(!dedup(
-            &distinct, 4, &mut scratch, &mut uniq, &mut mult, &mut uniq_of
+            &distinct,
+            4,
+            &mut scratch,
+            &mut uniq,
+            &mut mult,
+            &mut uniq_of
         ));
         assert!(uniq.is_empty() && mult.is_empty() && uniq_of.is_empty());
         // Duplicate-heavy batch through the same scratch: proceeds.
         let dup = queries_with_duplicates(10_000, 500, 7);
         assert!(dedup(
-            &dup, 1, &mut scratch, &mut uniq, &mut mult, &mut uniq_of
+            &dup,
+            1,
+            &mut scratch,
+            &mut uniq,
+            &mut mult,
+            &mut uniq_of
         ));
         check_invariants(&dup, &uniq, &mult, &uniq_of);
     }

@@ -247,9 +247,14 @@ impl SieveDevice {
             return Ok(None);
         };
         let sa = self.layout.subarray(index.locate(query));
-        Ok(engine::lookup(&sa, query, self.config.etm_enabled, self.config.etm_flush_cycles)
-            .hit
-            .map(|(_, taxon)| taxon))
+        Ok(engine::lookup(
+            &sa,
+            query,
+            self.config.etm_enabled,
+            self.config.etm_flush_cycles,
+        )
+        .hit
+        .map(|(_, taxon)| taxon))
     }
 
     /// Runs a query batch: deduplicates it to distinct k-mers (unless
@@ -370,12 +375,19 @@ impl SieveDevice {
         let table = etm::RowTable::new(
             bit_len,
             self.config.etm_enabled,
-            if type1 { 0 } else { self.config.etm_flush_cycles },
+            if type1 {
+                0
+            } else {
+                self.config.etm_flush_cycles
+            },
         );
-        let esp_table = self
-            .config
-            .esp_override
-            .map(|_| etm::RowTable::new(bit_len, self.config.etm_enabled, self.config.etm_flush_cycles));
+        let esp_table = self.config.esp_override.map(|_| {
+            etm::RowTable::new(
+                bit_len,
+                self.config.etm_enabled,
+                self.config.etm_flush_cycles,
+            )
+        });
 
         let mut results = vec![None; n];
         if dedup_on {
@@ -493,6 +505,7 @@ impl SieveDevice {
                     threads,
                     diff,
                     self.config.sort_policy,
+                    self.config.sort_narrow,
                 );
             }
             (fused, inserting)
@@ -529,6 +542,7 @@ impl SieveDevice {
                         threads,
                         Some(spread),
                         self.config.sort_policy,
+                        self.config.sort_narrow,
                     )
                 };
                 task_count = tasks.len();
@@ -875,8 +889,11 @@ mod tests {
     }
 
     fn device(config: SieveConfig) -> SieveDevice {
-        SieveDevice::new(config.with_geometry(Geometry::scaled_medium()), dataset().entries)
-            .unwrap()
+        SieveDevice::new(
+            config.with_geometry(Geometry::scaled_medium()),
+            dataset().entries,
+        )
+        .unwrap()
     }
 
     fn probes(ds: &synth::SyntheticDataset, n: usize) -> Vec<Kmer> {

@@ -543,7 +543,11 @@ mod tests {
     fn swar_lcp_formula_matches_scalar() {
         let mut x = 0x2545_F491_4F6C_DD1Du64;
         for bit_len in [2usize, 30, 42, 62, 64] {
-            let mask = if bit_len == 64 { u64::MAX } else { (1 << bit_len) - 1 };
+            let mask = if bit_len == 64 {
+                u64::MAX
+            } else {
+                (1 << bit_len) - 1
+            };
             let mut prev = 0u64;
             for _ in 0..500 {
                 x ^= x << 13;

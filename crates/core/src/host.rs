@@ -114,10 +114,7 @@ impl HostPipeline {
     ) {
         let k = self.device.config().k;
         let kernels = self.device.config().host_kernels;
-        let upper: usize = reads
-            .iter()
-            .map(|r| (r.len() + 1).saturating_sub(k))
-            .sum();
+        let upper: usize = reads.iter().map(|r| (r.len() + 1).saturating_sub(k)).sum();
         kmers.reserve(upper);
         owners.reserve(upper);
         // Extraction traffic: one byte per scanned base in, one packed
@@ -135,7 +132,12 @@ impl HostPipeline {
             let mut scratch = pack::Extractor::new();
             extract_reads(reads, 0, k, kernels, &mut scratch, kmers, owners);
             let produced = (kmers.len() - before) as u64;
-            prof::record(prof::Phase::HostExtract, base_bytes, produced * kmer_bytes, produced);
+            prof::record(
+                prof::Phase::HostExtract,
+                base_bytes,
+                produced * kmer_bytes,
+                produced,
+            );
             return;
         }
         // A few chunks per worker smooths out read-length imbalance.
@@ -167,7 +169,12 @@ impl HostPipeline {
             owners.extend_from_slice(&chunk_owners);
         }
         let produced = (kmers.len() - before) as u64;
-        prof::record(prof::Phase::HostExtract, base_bytes, produced * kmer_bytes, produced);
+        prof::record(
+            prof::Phase::HostExtract,
+            base_bytes,
+            produced * kmer_bytes,
+            produced,
+        );
     }
 
     /// Classifies reads end to end: k-mer generation → device run →
@@ -245,10 +252,7 @@ impl HostPipeline {
             reads: all_reads,
             report: merged.unwrap_or_else(|| {
                 // No reads: synthesize an empty report via an empty run.
-                self.device
-                    .run(&[])
-                    .expect("empty run cannot fail")
-                    .report
+                self.device.run(&[]).expect("empty run cannot fail").report
             }),
         })
     }
@@ -386,9 +390,7 @@ impl HostPipeline {
         let kernels = self.device.config().host_kernels;
         let upper: usize = pairs
             .iter()
-            .map(|(m1, m2)| {
-                (m1.len() + 1).saturating_sub(k) + (m2.len() + 1).saturating_sub(k)
-            })
+            .map(|(m1, m2)| (m1.len() + 1).saturating_sub(k) + (m2.len() + 1).saturating_sub(k))
             .sum();
         let mut kmers = Vec::with_capacity(upper);
         let mut owners = Vec::with_capacity(upper);
@@ -625,14 +627,16 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 20, "only {correct}/30 reads recovered their origin");
+        assert!(
+            correct >= 20,
+            "only {correct}/30 reads recovered their origin"
+        );
     }
 
     #[test]
     fn streaming_matches_batch_classification() {
         let (ds, host) = pipeline();
-        let (reads, _) =
-            synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 23);
+        let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 23);
         let batch = host.classify_reads(&reads).unwrap();
         for chunk in [1usize, 7, 50, 1000] {
             let streamed = host.classify_stream(&reads, chunk).unwrap();
@@ -713,8 +717,7 @@ mod tests {
     #[test]
     fn report_propagates() {
         let (ds, host) = pipeline();
-        let (reads, _) =
-            synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 10, 3);
+        let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 10, 3);
         let out = host.classify_reads(&reads).unwrap();
         assert!(out.report.queries > 0);
         assert!(out.report.makespan_ps > 0);

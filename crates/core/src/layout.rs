@@ -365,7 +365,13 @@ mod tests {
     fn k_mismatch_rejected() {
         let ds = synth::make_dataset_with(4, 512, 21, 5);
         let err = DeviceLayout::build(ds.entries, &small_config()).unwrap_err();
-        assert!(matches!(err, SieveError::KMismatch { expected: 31, actual: 21 }));
+        assert!(matches!(
+            err,
+            SieveError::KMismatch {
+                expected: 31,
+                actual: 21
+            }
+        ));
     }
 
     #[test]

@@ -95,9 +95,8 @@ mod tests {
     fn image_covers_all_three_regions() {
         let (config, layout) = setup();
         let report = load_cost(&config, &layout, &Transport::pcie_gen4_x16());
-        let per_subarray = u64::from(
-            config.region1_rows() + config.region2_rows() + config.region3_rows(),
-        ) * 1024;
+        let per_subarray =
+            u64::from(config.region1_rows() + config.region2_rows() + config.region3_rows()) * 1024;
         assert_eq!(
             report.image_bytes,
             layout.occupied_subarrays() as u64 * per_subarray

@@ -109,11 +109,21 @@ pub enum CounterId {
     /// the identity). A **wall metric**, paired with
     /// [`Self::SortPassesRun`].
     SortPassesSkipped,
+    /// Bucket segments the local sort executed on narrowed 8-byte pairs
+    /// (the segment's replanned diff window fit 32 bits, or the whole
+    /// batch was narrowed globally). A **wall metric**: narrowing is a
+    /// host-layout detail behind the `sort_narrow` knob; sorted output
+    /// and every model metric are identical either way.
+    SortNarrowSegments,
+    /// Bucket segments the local sort executed on full-width 12-byte
+    /// pairs. A **wall metric**, paired with
+    /// [`Self::SortNarrowSegments`].
+    SortWideSegments,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [Self; 17] = [
+    pub const ALL: [Self; 19] = [
         Self::HostChunks,
         Self::HostReads,
         Self::HostKmers,
@@ -131,6 +141,8 @@ impl CounterId {
         Self::StealTasks,
         Self::SortPassesRun,
         Self::SortPassesSkipped,
+        Self::SortNarrowSegments,
+        Self::SortWideSegments,
     ];
 
     /// Snapshot/Prometheus name.
@@ -154,6 +166,8 @@ impl CounterId {
             Self::StealTasks => "wall.steal_tasks",
             Self::SortPassesRun => "wall.sort_passes_run",
             Self::SortPassesSkipped => "wall.sort_passes_skipped",
+            Self::SortNarrowSegments => "wall.sort_narrow_segments",
+            Self::SortWideSegments => "wall.sort_wide_segments",
         }
     }
 }
@@ -633,10 +647,7 @@ impl Recorder {
             return Span { active: None };
         }
         Span {
-            active: self
-                .spans
-                .resolve(name)
-                .map(|hist| (Instant::now(), hist)),
+            active: self.spans.resolve(name).map(|hist| (Instant::now(), hist)),
         }
     }
 
@@ -1115,9 +1126,10 @@ mod tests {
         assert!(prom.contains("sieve_etm_rows_activated_sum 74"));
         // Cumulative buckets are monotone.
         let mut last = 0u64;
-        for line in prom.lines().filter(|l| {
-            l.starts_with("sieve_etm_rows_activated_bucket") && !l.contains("+Inf")
-        }) {
+        for line in prom
+            .lines()
+            .filter(|l| l.starts_with("sieve_etm_rows_activated_bucket") && !l.contains("+Inf"))
+        {
             let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
             assert!(v >= last);
             last = v;

@@ -158,8 +158,12 @@ mod tests {
         // 16 ranks × 8 banks × 64 requests/bank ÷ 340 requests/packet ≈ 24.
         let link = PcieConfig::gen4_x16();
         assert_eq!(link.required_queue_depth(128, 64), 25); // 8192/340 = 24.09 → 25 whole packets
-        // The paper rounds to 24; our ceil gives 25 — same sizing.
-        assert!(link.required_queue_depth(128, 64).abs_diff(link.queue_depth) <= 1);
+                                                            // The paper rounds to 24; our ceil gives 25 — same sizing.
+        assert!(
+            link.required_queue_depth(128, 64)
+                .abs_diff(link.queue_depth)
+                <= 1
+        );
     }
 
     #[test]

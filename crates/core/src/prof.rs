@@ -69,8 +69,12 @@ pub enum Phase {
     /// Write-combining drain of partially filled staging buffers.
     SortFlush,
     /// Bucket-local LSD passes (per-pass count scan + scatter scan +
-    /// odd-plan pre-copy).
+    /// odd-plan pre-copy; narrowed segments charge their fused
+    /// repack/emit forms — see `radix::seg_traffic`).
     SortLocal,
+    /// Whole-batch narrowing of the global narrow path: the up-front
+    /// 12 B → 8 B repack scan plus the 8 B → 12 B widen scan.
+    SortNarrow,
     /// Read → k-mer extraction on the host.
     HostExtract,
     /// Match-phase k-mer stream into the device model and hit stream out.
@@ -83,11 +87,12 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in snapshot order.
-    pub const ALL: [Self; 8] = [
+    pub const ALL: [Self; 9] = [
         Self::SortHist,
         Self::SortScatter,
         Self::SortFlush,
         Self::SortLocal,
+        Self::SortNarrow,
         Self::HostExtract,
         Self::DeviceMatch,
         Self::DeviceReduce,
@@ -103,6 +108,7 @@ impl Phase {
             Self::SortScatter => "sort.scatter",
             Self::SortFlush => "sort.flush",
             Self::SortLocal => "sort.local",
+            Self::SortNarrow => "sort.narrow",
             Self::HostExtract => "host.extract",
             Self::DeviceMatch => "device.match",
             Self::DeviceReduce => "device.reduce",
@@ -118,6 +124,7 @@ impl Phase {
             Self::SortScatter => "prof.sort.scatter.bytes",
             Self::SortFlush => "prof.sort.flush.bytes",
             Self::SortLocal => "prof.sort.local.bytes",
+            Self::SortNarrow => "prof.sort.narrow.bytes",
             Self::HostExtract => "prof.host.extract.bytes",
             Self::DeviceMatch => "prof.device.match.bytes",
             Self::DeviceReduce => "prof.device.reduce.bytes",
@@ -280,6 +287,12 @@ pub struct Calibration {
     pub copy_gbps: f64,
     /// Sustained 1-core radix-scatter bandwidth, GB/s (read + write).
     pub scatter_gbps: f64,
+    /// Sustained 1-core radix-scatter bandwidth on 8-byte elements, GB/s
+    /// (read + write). Narrowed passes move smaller records, so more of
+    /// them fit per cache line and the write-combining buffers turn over
+    /// slower — a measurably different ceiling. `None` on schema-v1
+    /// machine files; narrowed phases then fall back to `scatter_gbps`.
+    pub scatter8_gbps: Option<f64>,
 }
 
 /// Achieved-vs-peak threshold above which a phase is classified
@@ -321,9 +334,12 @@ pub struct RooflineRow {
 /// calibration into roofline rows, one per phase with any traffic.
 ///
 /// The scatter-shaped phases (`sort.scatter`, `sort.flush`) are judged
-/// against [`Calibration::scatter_gbps`]; every other host phase against
-/// [`Calibration::copy_gbps`]; the simulated PCIe transfer gets no peak
-/// (its "wall" is model time, so a host ceiling would be meaningless).
+/// against [`Calibration::scatter_gbps`] — or, when the phase's traffic
+/// shows ≤ 8 bytes moved per item (a globally narrowed batch) and the
+/// machine file carries it, against [`Calibration::scatter8_gbps`];
+/// every other host phase against [`Calibration::copy_gbps`]; the
+/// simulated PCIe transfer gets no peak (its "wall" is model time, so a
+/// host ceiling would be meaningless).
 #[must_use]
 pub fn roofline_rows(
     prof: &ProfSnapshot,
@@ -347,7 +363,22 @@ pub fn roofline_rows(
         };
         let peak_gbps = match (phase, cal) {
             (Phase::PcieTransfer, _) | (_, None) => 0.0,
-            (Phase::SortScatter | Phase::SortFlush, Some(c)) => c.scatter_gbps,
+            (Phase::SortScatter | Phase::SortFlush, Some(c)) => {
+                // Infer the element width from the charged traffic: a
+                // scatter pass reads and writes each record once, so
+                // bytes-per-side / items is the record size. Narrowed
+                // batches (≤ 8 B) get the 8-byte ceiling when calibrated.
+                let width = t
+                    .bytes_read
+                    .max(t.bytes_written)
+                    .checked_div(t.items)
+                    .unwrap_or(u64::MAX);
+                if width <= 8 {
+                    c.scatter8_gbps.unwrap_or(c.scatter_gbps)
+                } else {
+                    c.scatter_gbps
+                }
+            }
             (_, Some(c)) => c.copy_gbps,
         };
         #[allow(clippy::cast_precision_loss)]
@@ -362,7 +393,11 @@ pub fn roofline_rows(
         } else {
             wall_ns as f64 / t.items as f64
         };
-        let frac_of_peak = if peak_gbps > 0.0 { gbps / peak_gbps } else { 0.0 };
+        let frac_of_peak = if peak_gbps > 0.0 {
+            gbps / peak_gbps
+        } else {
+            0.0
+        };
         let bound = if peak_gbps <= 0.0 || wall_ns == 0 || t.bytes() == 0 {
             "n/a"
         } else if frac_of_peak >= BANDWIDTH_BOUND_FRAC {
@@ -427,6 +462,7 @@ mod tests {
             version: 1,
             copy_gbps: 8.0,
             scatter_gbps: 2.0,
+            scatter8_gbps: None,
         };
         // 16 MB over 8 ms = 2 GB/s = 100% of the scatter peak.
         let prof = snap_with(
@@ -455,6 +491,48 @@ mod tests {
     }
 
     #[test]
+    fn narrow_scatter_rows_use_the_eight_byte_ceiling() {
+        let cal = Calibration {
+            version: 2,
+            copy_gbps: 8.0,
+            scatter_gbps: 2.0,
+            scatter8_gbps: Some(3.0),
+        };
+        // 8 B/item each way: a globally narrowed scatter pass.
+        let narrow = snap_with(
+            Phase::SortScatter,
+            Traffic {
+                bytes_read: 8_000_000,
+                bytes_written: 8_000_000,
+                items: 1_000_000,
+            },
+        );
+        let metrics = wall("wall.sort.scatter.ns", 8_000_000);
+        let rows = roofline_rows(&narrow, &metrics, Some(&cal));
+        assert!((rows[0].peak_gbps - 3.0).abs() < 1e-9);
+
+        // 12 B/item: the wide path keeps the 12-byte ceiling.
+        let wide = snap_with(
+            Phase::SortScatter,
+            Traffic {
+                bytes_read: 12_000_000,
+                bytes_written: 12_000_000,
+                items: 1_000_000,
+            },
+        );
+        let rows = roofline_rows(&wide, &metrics, Some(&cal));
+        assert!((rows[0].peak_gbps - 2.0).abs() < 1e-9);
+
+        // Schema-v1 files (no 8-byte probe) fall back to scatter_gbps.
+        let v1 = Calibration {
+            scatter8_gbps: None,
+            ..cal
+        };
+        let rows = roofline_rows(&narrow, &metrics, Some(&v1));
+        assert!((rows[0].peak_gbps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn phases_without_calibration_or_wall_are_not_classified() {
         let prof = snap_with(
             Phase::SortHist,
@@ -473,6 +551,7 @@ mod tests {
             version: 1,
             copy_gbps: 8.0,
             scatter_gbps: 2.0,
+            scatter8_gbps: None,
         };
         let rows = roofline_rows(&prof, &wall("wall.other.ns", 5), Some(&cal));
         assert_eq!(rows[0].wall_ns, 0);

@@ -36,28 +36,84 @@
 //!   *replans* from its own diff fold: segments whose keys cluster skip
 //!   further windows, and a segment whose keys are all equal does no
 //!   work at all;
+//! * **adaptive pair narrowing** — a counting pass is pure data
+//!   movement, so bytes-per-record is the whole cost model. After the
+//!   global pass every segment's keys agree on the top window, and the
+//!   segment replan knows exactly which bits still vary; when a 32-bit
+//!   window covers enough of them, the bucket-local passes run on
+//!   8-byte [`NarrowPair`]s (`u32` key window + `u32` payload) instead
+//!   of 12-byte [`Pair`]s — a third less traffic per scan on the
+//!   pipeline's dominant phase. Two shapes exist:
+//!   - *exact* (segment diff spans ≤ 32 bits): the window holds every
+//!     varying bit, the payload is the real id, and the emit pass
+//!     reconstructs each `u64` key losslessly from the segment's
+//!     constant bits OR the sorted window value;
+//!   - *tie-ranked* (wider spans): the window holds the **top** varying
+//!     bits, the payload is the pair's segment-local rank, the repack
+//!     pass streams a shadow copy of the segment, and the emit pass
+//!     gathers whole pairs by rank. Pairs equal in the window but
+//!     differing below it land in a run that a final scan re-sorts by
+//!     `(key, id)` — equivalent to the stable order because ids are
+//!     assigned in input order. The fixup makes *any* top window
+//!     correct, so the planner also costs a minimal window of
+//!     ~log₂ m + [`TIE_WINDOW_SLACK`] bits — wide enough that
+//!     collisions stay rare, a fraction of the full window's passes —
+//!     against the 32-bit one and takes whichever moves fewer bytes.
+//!
+//!   The repack fuses into the first scatter pass and the widen into
+//!   the last (both read their scan anyway), so narrowing needs at
+//!   least two planned passes to exist — and it only fires when its
+//!   closed-form byte total beats the wide plan's, a pure function of
+//!   the segment's size and diff fold (never of threads), so the
+//!   narrow/wide choice is deterministic and the output byte-identical
+//!   either way. When the *global* OR-fold already spans ≤ 32 bits the
+//!   whole batch narrows up front under the `sort.narrow` span —
+//!   histogram, scatter, and flush all move 8-byte records — and
+//!   widens after the local passes;
+//! * **multi-lane and fused histograms** — a single count table
+//!   serializes on store-to-load forwarding whenever consecutive keys
+//!   share a bucket. The global counting scan therefore fills four
+//!   independent lane tables, one key per lane per iteration, and
+//!   column-sums the lanes at close — same integer totals, same
+//!   output, fewer same-slot stalls. The lane fan-out is earned, not
+//!   assumed: zeroing 4× the buckets costs more than it saves on a
+//!   short scan, so inputs under 4 × buckets keep the single table.
+//!   Bucket-local sorts go further: a digit histogram is an
+//!   order-independent integer sum, so **one scan of the segment fills
+//!   every planned pass's table at once** ([`count_all`]) — the counts
+//!   equal what dedicated per-pass scans would produce, at one source
+//!   read instead of one per pass, and the r interleaved tables give
+//!   the same dependency-breaking the lanes do;
 //! * **ping-pong buffers** — the global pass scatters `pairs → scratch`
 //!   and the two `Vec`s swap (an O(1) pointer exchange); each bucket
 //!   then ping-pongs between the *same index range* of the two buffers,
 //!   pre-copying once when its pass count is odd so the sorted result
-//!   always lands back in `pairs`. No pass allocates: the buffers and
-//!   every count/staging table live in the caller's [`SortScratch`],
-//!   recycled through the device's scratch arena;
+//!   always lands back in `pairs` (narrowed segments ping-pong two
+//!   worker-private `NarrowPair` buffers instead and never pre-copy:
+//!   their fused emit pass targets `a` directly). No pass allocates:
+//!   the buffers and every count/staging table live in the caller's
+//!   [`SortScratch`], recycled through the device's scratch arena;
 //! * **write-combining scatter** — a naive counting scatter writes one
 //!   12-byte pair at a time to `buckets` random cursors, which is
 //!   bandwidth-bound on partial cache lines. The global pass stages
 //!   pairs in a per-worker, per-bucket buffer of [`STAGE`] slots
-//!   (~1.5 cache lines) and flushes full groups with one wide
-//!   `copy_from_slice`, so the destination sees mostly full-line writes.
-//!   A pair's final position is `starts[digit] + rank-in-input-order`,
-//!   fixed by the histogram alone — staging changes *when* bytes move,
-//!   never *where* — so the output is byte-identical to the unstaged
-//!   scatter. Bucket-local passes skip the staging: their destinations
-//!   are already cache-resident, where staging is pure overhead;
+//!   (~1.5 cache lines; exactly one line for 8-byte narrowed records)
+//!   and flushes full groups with one wide `copy_from_slice`, so the
+//!   destination sees mostly full-line writes. A pair's final position
+//!   is `starts[digit] + rank-in-input-order`, fixed by the histogram
+//!   alone — staging changes *when* bytes move, never *where* — so the
+//!   output is byte-identical to the unstaged scatter. Bucket-local
+//!   passes skip the staging: their destinations are already
+//!   cache-resident, where staging is pure overhead. Their scatter
+//!   scans instead issue a [`LOOKAHEAD`]-element touch of the source
+//!   (`black_box` load — the crate forbids `unsafe`, so no prefetch
+//!   intrinsics) to keep the next source lines in flight ahead of the
+//!   random-destination writes;
 //! * **compact pairs** — [`Pair`] packs to 12 bytes
 //!   (`#[repr(C, packed(4))]`, `u64` key + `u32` id; ids fit because
 //!   `SieveError::BatchTooLarge` caps batches at `u32::MAX`), so each
-//!   pass moves 25% fewer bytes than the old 16-byte tuple;
+//!   pass moves 25% fewer bytes than the old 16-byte tuple — and
+//!   narrowed passes a third less again;
 //! * **parallel machinery** — at [`PARALLEL_SORT`] pairs and up, the
 //!   global pass keeps the owned-run design: per-worker chunk
 //!   histograms, then buckets cut into contiguous runs of near-equal
@@ -74,14 +130,15 @@
 //!   calibrated by the `plan_sort` bench) decides between counting
 //!   passes and a comparison sort: tiny segments can't amortize their
 //!   digit tables. [`crate::SortPolicy`] / `SIEVE_SORT` can pin either
-//!   path for A/B runs.
+//!   path for A/B runs, and `SieveConfig::sort_narrow` / dedicated
+//!   `SIEVE_SORT_NARROW` pins the narrowing knob.
 //!
 //! Determinism: every pass is a stable counting scatter whose
 //! destinations are pure functions of the key bits and input ranks, and
 //! segment boundaries depend only on the histogram, so the output equals
 //! a stable sort by key — and, since callers assign ids in input order,
-//! `sort_unstable_by_key` on `(key, id)` — for every policy, thread
-//! count, and scatter-worker count.
+//! `sort_unstable_by_key` on `(key, id)` — for every policy, narrowing
+//! knob, thread count, and scatter-worker count.
 
 use crate::config::SortPolicy;
 use crate::obs;
@@ -124,6 +181,19 @@ impl Pair {
     }
 }
 
+/// An 8-byte narrowed record: a 32-bit window of the key plus a 32-bit
+/// payload — the real id when the window covers every varying bit of its
+/// segment (*exact*), or the pair's segment-local rank when it covers
+/// only the top 32 (*tie-ranked*; the emit pass gathers the full pair
+/// back by rank). Bytes-per-record is the whole cost of a counting pass,
+/// so each narrowed scan moves a third less than a [`Pair`] scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+struct NarrowPair {
+    key: u32,
+    id: u32,
+}
+
 /// Widest digit a single pass may cover. 11 bits (≤ 2048 buckets) keeps a
 /// worker's staging area (`2048 × STAGE × 12 B = 192 KB`) plus its count
 /// tables cache-resident, which is what makes the write-combining staging
@@ -140,6 +210,7 @@ const MAX_PASSES: usize = 64usize.div_ceil(MIN_DIGIT_BITS as usize);
 /// Pair slots staged per bucket before a wide flush: 8 × 12 B = 96 B,
 /// 1.5 cache lines — enough that most destination traffic moves in full
 /// lines, small enough that the whole staging area stays cache-resident.
+/// For 8-byte narrowed records the same 8 slots are exactly one line.
 const STAGE: usize = 8;
 
 /// Below this many pairs the per-pass fan-out (histograms, scatter, and
@@ -147,8 +218,23 @@ const STAGE: usize = 8;
 const PARALLEL_SORT: usize = 1 << 14;
 
 /// Bytes per [`Pair`] — the unit of every analytic traffic formula the
-/// sort reports to [`crate::prof`] (a counting pass moves whole pairs).
+/// sort reports to [`crate::prof`] (a counting pass moves whole records).
 const PAIR_BYTES: u64 = std::mem::size_of::<Pair>() as u64;
+
+/// Bytes per [`NarrowPair`] — the narrowed passes' traffic unit.
+const NARROW_BYTES: u64 = std::mem::size_of::<NarrowPair>() as u64;
+
+/// Extra bits a minimal tie-ranked window carries beyond log₂ m: with
+/// `s` slack bits, the expected number of same-window collisions in an
+/// m-record segment is ~m²/2^(log₂ m + s) = m/2^s — at 8 bits, one
+/// 2-element fixup sort per ~256 records, far below a counting pass.
+const TIE_WINDOW_SLACK: u32 = 8;
+
+/// Source look-ahead distance of the bucket-local scatter scans, in
+/// records: the scan touches the record this far ahead once per 4-record
+/// group (≥ 2 cache lines for either width), so source lines stream in
+/// ahead of the random-destination writes.
+const LOOKAHEAD: usize = 16;
 
 /// One counting pass: a stable scatter on the `bits`-wide digit at bit
 /// offset `shift`.
@@ -210,7 +296,10 @@ const LSD_NS_X16_PER_BUCKET_PASS: u64 = 16;
 /// The adaptive policy's cost model: predicted counting-pipeline time vs.
 /// predicted comparison time for `n` pairs under `passes`. A pure
 /// function of the batch (never of threads), so the choice — and with it
-/// the output — is identical across thread counts.
+/// the output — is identical across thread counts. The model judges the
+/// *wide* plan even when narrowing is on: narrowing is a traffic
+/// optimization of a sort already chosen, so the set of LSD segments
+/// never depends on the narrowing knob.
 fn lsd_is_cheaper(n: usize, passes: &[Pass]) -> bool {
     let n = n as u64;
     let levels = u64::from(64 - n.leading_zeros());
@@ -236,21 +325,137 @@ pub(crate) struct SortScratch {
     /// Per-worker staging/cursor/count tables; index 0 serves the
     /// sequential path.
     workers: Vec<WorkerScratch>,
+    /// Whole-batch [`NarrowPair`] buffer of the global narrow path.
+    narrow: Vec<NarrowPair>,
+    /// Its ping-pong twin.
+    narrow_scratch: Vec<NarrowPair>,
 }
 
 /// One worker's private tables (see [`scatter_run`] and
-/// [`sort_segment`]).
+/// [`SortRec::sort_segment`]).
 #[derive(Debug, Default)]
 struct WorkerScratch {
     /// Write-combining staging: [`STAGE`] pair slots per owned bucket.
     stage: Vec<Pair>,
-    /// Staged-pair count per owned bucket.
+    /// Narrowed-record staging of the global narrow path.
+    stage_narrow: Vec<NarrowPair>,
+    /// Staged-record count per owned bucket.
     fill: Vec<u32>,
     /// Write cursor per owned bucket, relative to the worker's region.
     cursors: Vec<u32>,
     /// Digit count table: a chunk histogram during the global pass, then
     /// the per-pass table of every bucket-local sort this worker runs.
+    /// Counting scans grow it to 4 lane tables and fold back.
     table: Vec<u32>,
+    /// Ping-pong buffers of this worker's narrowed segment sorts.
+    na: Vec<NarrowPair>,
+    nb: Vec<NarrowPair>,
+}
+
+/// A record the radix pipeline can move: [`Pair`] or [`NarrowPair`]. The
+/// global pipeline (histogram, owned-run scatter, segment deal) is
+/// generic over this, so the narrowed batch reuses the exact machinery —
+/// and the exact determinism argument — of the wide one.
+trait SortRec: Copy + Default + Send + Sync {
+    /// Bytes one record moves per scan — the unit of the analytic
+    /// traffic formulas.
+    const BYTES: u64;
+    /// The radix digit source.
+    fn sort_key(self) -> u64;
+    /// This width's staging buffer plus the shared fill/cursor tables of
+    /// a scatter worker (split borrows of disjoint fields).
+    fn split_stage(ws: &mut WorkerScratch) -> (&mut Vec<Self>, &mut Vec<u32>, &mut Vec<u32>);
+    /// Sorts one bucket segment, leaving the result in `a`.
+    fn sort_segment(
+        a: &mut [Self],
+        b: &mut [Self],
+        ws: &mut WorkerScratch,
+        policy: SortPolicy,
+        narrow: bool,
+    ) -> SegStats;
+}
+
+impl SortRec for Pair {
+    const BYTES: u64 = PAIR_BYTES;
+
+    #[inline]
+    fn sort_key(self) -> u64 {
+        self.key()
+    }
+
+    fn split_stage(ws: &mut WorkerScratch) -> (&mut Vec<Self>, &mut Vec<u32>, &mut Vec<u32>) {
+        (&mut ws.stage, &mut ws.fill, &mut ws.cursors)
+    }
+
+    fn sort_segment(
+        a: &mut [Self],
+        b: &mut [Self],
+        ws: &mut WorkerScratch,
+        policy: SortPolicy,
+        narrow: bool,
+    ) -> SegStats {
+        let m = a.len();
+        debug_assert!(m > 1 && b.len() == m);
+        let first = a[0].key();
+        let diff = a.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first));
+        let plan = plan_segment(m, diff, policy, narrow);
+        match &plan {
+            SegPlan::Constant => {}
+            SegPlan::Comparison => a.sort_unstable_by_key(|p| (p.key(), p.id())),
+            SegPlan::Lsd { passes, run, .. } => {
+                lsd_segment(a, b, &mut ws.table, &passes[..*run]);
+            }
+            SegPlan::Narrowed {
+                win_lo,
+                ties,
+                passes,
+                run,
+                ..
+            } => narrow_segment(a, b, ws, *win_lo, &passes[..*run], *ties),
+        }
+        seg_traffic(&plan, m as u64, PAIR_BYTES)
+    }
+}
+
+impl SortRec for NarrowPair {
+    const BYTES: u64 = NARROW_BYTES;
+
+    #[inline]
+    fn sort_key(self) -> u64 {
+        u64::from(self.key)
+    }
+
+    fn split_stage(ws: &mut WorkerScratch) -> (&mut Vec<Self>, &mut Vec<u32>, &mut Vec<u32>) {
+        (&mut ws.stage_narrow, &mut ws.fill, &mut ws.cursors)
+    }
+
+    /// Already-narrow segments (global narrow path) replan and sort like
+    /// wide ones, minus the second narrowing level. Equal window values
+    /// imply equal full keys here — the global fold fit the window — so
+    /// the comparison fallback's `(window, id)` order is the stable key
+    /// order.
+    fn sort_segment(
+        a: &mut [Self],
+        b: &mut [Self],
+        ws: &mut WorkerScratch,
+        policy: SortPolicy,
+        _narrow: bool,
+    ) -> SegStats {
+        let m = a.len();
+        debug_assert!(m > 1 && b.len() == m);
+        let first = a[0].key;
+        let diff = a.iter().fold(0u32, |acc, &p| acc | (p.key ^ first));
+        let plan = plan_segment(m, u64::from(diff), policy, false);
+        match &plan {
+            SegPlan::Constant => {}
+            SegPlan::Comparison => a.sort_unstable_by_key(|p| (p.key, p.id)),
+            SegPlan::Lsd { passes, run, .. } => {
+                lsd_segment(a, b, &mut ws.table, &passes[..*run]);
+            }
+            SegPlan::Narrowed { .. } => unreachable!("narrow records never re-narrow"),
+        }
+        seg_traffic(&plan, m as u64, NARROW_BYTES)
+    }
 }
 
 /// Scatter fan-out for an `n`-pair batch at a given `threads` knob:
@@ -271,9 +476,10 @@ fn scatter_workers(threads: usize, n: usize) -> usize {
 /// count/staging tables — both retain capacity across calls; `threads`
 /// bounds the per-pass fan-out, `diff` optionally carries the batch's
 /// precomputed OR-fold of `key ^ first_key` (builders that stream every
-/// key anyway compute it for free; `None` recomputes it here), and
-/// `policy` picks the pipeline ([`SortPolicy::Adaptive`] applies the
-/// measured cost model). None of the knobs affect the result.
+/// key anyway compute it for free; `None` recomputes it here), `policy`
+/// picks the pipeline ([`SortPolicy::Adaptive`] applies the measured
+/// cost model), and `narrow` enables the 8-byte narrowed passes. None of
+/// the knobs affect the result.
 pub(crate) fn sort_pairs(
     pairs: &mut Vec<Pair>,
     scratch: &mut Vec<Pair>,
@@ -281,13 +487,23 @@ pub(crate) fn sort_pairs(
     threads: usize,
     diff: Option<u64>,
     policy: SortPolicy,
+    narrow: bool,
 ) {
     // Histogram/scatter fan-out beyond physical cores is pure overhead
     // (the extra workers serialize the same scans behind spawn and merge
     // costs), so the in-sort parallelism follows the hardware; the
     // `threads` knob still governs everything downstream.
     let fan = threads.min(par::host_parallelism()).max(1);
-    sort_pairs_with(pairs, scratch, ss, fan, scatter_workers(threads, pairs.len()), diff, policy);
+    sort_pairs_with(
+        pairs,
+        scratch,
+        ss,
+        fan,
+        scatter_workers(threads, pairs.len()),
+        diff,
+        policy,
+        narrow,
+    );
 }
 
 /// [`sort_pairs`] with the scatter/segment fan-out chosen by the caller —
@@ -295,6 +511,7 @@ pub(crate) fn sort_pairs(
 /// stolen segment sorts on hosts whose physical core count would cap
 /// [`sort_pairs`] to a sequential run. The output is identical for every
 /// `workers` value.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sort_pairs_with(
     pairs: &mut Vec<Pair>,
     scratch: &mut Vec<Pair>,
@@ -303,6 +520,7 @@ pub(crate) fn sort_pairs_with(
     workers: usize,
     diff: Option<u64>,
     policy: SortPolicy,
+    narrow: bool,
 ) {
     let n = pairs.len();
     if n <= 1 {
@@ -324,23 +542,12 @@ pub(crate) fn sort_pairs_with(
         return;
     }
 
-    let (passes, run_len, skipped) = plan_passes(diff, MAX_DIGIT_BITS);
-    let plan = &passes[..run_len];
-    let lsd = match policy {
-        SortPolicy::Lsd => true,
-        SortPolicy::Comparison => false,
-        SortPolicy::Adaptive => lsd_is_cheaper(n, plan),
-    };
-    if !lsd {
+    let gplan = plan_global(n, diff, policy, narrow);
+    if matches!(gplan, GlobalPlan::Comparison) {
         pairs.sort_unstable_by_key(|p| (p.key(), p.id()));
         return;
     }
 
-    if scratch.len() < n {
-        scratch.resize(n, Pair::default());
-    } else {
-        scratch.truncate(n);
-    }
     let workers = workers.clamp(1, n);
     let hist_workers = if threads > 1 && n >= PARALLEL_SORT {
         threads
@@ -348,11 +555,168 @@ pub(crate) fn sort_pairs_with(
         1
     };
     if ss.workers.len() < workers.max(hist_workers) {
-        ss.workers.resize_with(workers.max(hist_workers), WorkerScratch::default);
+        ss.workers
+            .resize_with(workers.max(hist_workers), WorkerScratch::default);
     }
 
-    // Global pass: an MSD counting scatter on the plan's most significant
-    // window. Everything below it is finished bucket-locally, in cache.
+    let (skipped, local) = match gplan {
+        GlobalPlan::Comparison => unreachable!("handled above"),
+        GlobalPlan::Wide {
+            passes,
+            run,
+            skipped,
+        } => {
+            let local = radix_pipeline(
+                pairs,
+                scratch,
+                ss,
+                hist_workers,
+                workers,
+                &passes[..run],
+                policy,
+                narrow,
+            );
+            (skipped, local)
+        }
+        GlobalPlan::Narrow {
+            lo,
+            passes,
+            run,
+            skipped,
+        } => {
+            // The whole batch's varying bits fit one 32-bit window:
+            // repack up front so even the DRAM-bound global pass moves
+            // 8-byte records. Ids ride along unchanged (equal windows
+            // imply equal keys, so no tie ranks are needed), and the
+            // widen rebuilds each key from the batch's constant bits.
+            let mut nv = std::mem::take(&mut ss.narrow);
+            let mut nsc = std::mem::take(&mut ss.narrow_scratch);
+            {
+                let _span = obs::span("sort.narrow");
+                let _wall = trace::span("sort.narrow");
+                nv.clear();
+                nv.extend(pairs.iter().map(|p| NarrowPair {
+                    key: (p.key() >> lo) as u32,
+                    id: p.id(),
+                }));
+                prof::record(
+                    prof::Phase::SortNarrow,
+                    n as u64 * PAIR_BYTES,
+                    n as u64 * NARROW_BYTES,
+                    n as u64,
+                );
+            }
+            let local = radix_pipeline(
+                &mut nv,
+                &mut nsc,
+                ss,
+                hist_workers,
+                workers,
+                &passes[..run],
+                policy,
+                false,
+            );
+            {
+                let _span = obs::span("sort.narrow");
+                let _wall = trace::span("sort.narrow");
+                let const_bits = first & !(0xFFFF_FFFFu64 << lo);
+                for (p, np) in pairs.iter_mut().zip(&nv) {
+                    *p = Pair::new(const_bits | (u64::from(np.key) << lo), np.id);
+                }
+                prof::record(
+                    prof::Phase::SortNarrow,
+                    n as u64 * NARROW_BYTES,
+                    n as u64 * PAIR_BYTES,
+                    n as u64,
+                );
+            }
+            ss.narrow = nv;
+            ss.narrow_scratch = nsc;
+            (skipped, local)
+        }
+    };
+
+    let rec = obs::global();
+    rec.add(obs::CounterId::SortPassesRun, 1 + local.run);
+    rec.add(obs::CounterId::SortPassesSkipped, skipped + local.skipped);
+    rec.add(obs::CounterId::SortNarrowSegments, local.narrow_segs);
+    rec.add(obs::CounterId::SortWideSegments, local.wide_segs);
+}
+
+/// The whole-batch decision: comparison fallback, wide pipeline, or the
+/// globally narrowed pipeline. A pure function of `(n, diff, policy,
+/// narrow)` shared by [`sort_pairs_with`] and [`predict_traffic`], so
+/// the executed charges and the analytic prediction cannot drift.
+enum GlobalPlan {
+    Comparison,
+    Wide {
+        passes: [Pass; MAX_PASSES],
+        run: usize,
+        skipped: u64,
+    },
+    Narrow {
+        lo: u32,
+        passes: [Pass; MAX_PASSES],
+        run: usize,
+        skipped: u64,
+    },
+}
+
+fn plan_global(n: usize, diff: u64, policy: SortPolicy, narrow: bool) -> GlobalPlan {
+    let (passes, run, skipped) = plan_passes(diff, MAX_DIGIT_BITS);
+    let lsd = match policy {
+        SortPolicy::Lsd => true,
+        SortPolicy::Comparison => false,
+        SortPolicy::Adaptive => lsd_is_cheaper(n, &passes[..run]),
+    };
+    if !lsd {
+        return GlobalPlan::Comparison;
+    }
+    let lo = diff.trailing_zeros();
+    let hi = 64 - diff.leading_zeros();
+    if narrow && hi - lo <= 32 {
+        // Replanned over the shifted fold so every pass window is
+        // window-relative; the digit structure (and so the bucket
+        // boundaries) is the wide plan's, shifted.
+        let (np, nrun, nsk) = plan_passes(diff >> lo, MAX_DIGIT_BITS);
+        return GlobalPlan::Narrow {
+            lo,
+            passes: np,
+            run: nrun,
+            skipped: nsk,
+        };
+    }
+    GlobalPlan::Wide {
+        passes,
+        run,
+        skipped,
+    }
+}
+
+/// The width-generic global pipeline: one MSD counting scatter on the
+/// plan's most significant window, then bucket-local LSD passes.
+/// Everything downstream of the plan — histogram fan-out, owned-run
+/// scatter, segment deal — is identical for both record widths; the
+/// analytic charges scale by `R::BYTES`. Returns the local phase's
+/// [`SegStats`].
+#[allow(clippy::too_many_arguments)]
+fn radix_pipeline<R: SortRec>(
+    pairs: &mut Vec<R>,
+    scratch: &mut Vec<R>,
+    ss: &mut SortScratch,
+    hist_workers: usize,
+    workers: usize,
+    plan: &[Pass],
+    policy: SortPolicy,
+    narrow: bool,
+) -> SegStats {
+    let n = pairs.len();
+    if scratch.len() < n {
+        scratch.resize(n, R::default());
+    } else {
+        scratch.truncate(n);
+    }
+    let run_len = plan.len();
     let top = plan[run_len - 1];
     let buckets = 1usize << top.bits;
     {
@@ -370,69 +734,107 @@ pub(crate) fn sort_pairs_with(
     }));
     debug_assert_eq!(acc as usize, n);
     // Canonical traffic of the global pass, charged analytically (see the
-    // prof module docs): the histogram reads every pair once; the scatter
-    // reads every pair and writes all but the trailing partial-line
-    // drains, which `sort.flush` moves out of staging. The flush share is
-    // a pure function of the histogram (`count mod STAGE` per bucket) —
-    // parallel workers split the drains differently between their private
-    // staging areas, but the bytes drained in total are fixed by the
-    // bucket counts, so the charge is identical for every worker count.
+    // prof module docs): the histogram reads every record once; the
+    // scatter reads every record and writes all but the trailing
+    // partial-line drains, which `sort.flush` moves out of staging. The
+    // flush share is a pure function of the histogram (`count mod STAGE`
+    // per bucket) — parallel workers split the drains differently between
+    // their private staging areas, but the bytes drained in total are
+    // fixed by the bucket counts, so the charge is identical for every
+    // worker count.
     let flush_pairs: u64 = ss.counts[..buckets]
         .iter()
         .map(|&c| u64::from(c) % STAGE as u64)
         .sum();
-    let batch_bytes = n as u64 * PAIR_BYTES;
+    let batch_bytes = n as u64 * R::BYTES;
     prof::record(prof::Phase::SortHist, batch_bytes, 0, n as u64);
     {
         let _span = obs::span("sort.scatter");
         let _wall = trace::span("sort.scatter");
         if workers <= 1 {
-            scatter_run(pairs, scratch, &ss.starts, top, 0, buckets, &mut ss.workers[0]);
+            scatter_run(
+                pairs,
+                scratch,
+                &ss.starts,
+                top,
+                0,
+                buckets,
+                &mut ss.workers[0],
+            );
         } else {
-            scatter_parallel(pairs, scratch, &ss.starts, top, workers, &mut ss.cuts, &mut ss.workers);
+            scatter_parallel(
+                pairs,
+                scratch,
+                &ss.starts,
+                top,
+                workers,
+                &mut ss.cuts,
+                &mut ss.workers,
+            );
         }
     }
     prof::record(
         prof::Phase::SortScatter,
         batch_bytes,
-        batch_bytes - flush_pairs * PAIR_BYTES,
+        batch_bytes - flush_pairs * R::BYTES,
         n as u64,
     );
-    prof::record(prof::Phase::SortFlush, 0, flush_pairs * PAIR_BYTES, flush_pairs);
-    // O(1): the partitioned pairs are now the local phase's source.
+    prof::record(
+        prof::Phase::SortFlush,
+        0,
+        flush_pairs * R::BYTES,
+        flush_pairs,
+    );
+    // O(1): the partitioned records are now the local phase's source.
     std::mem::swap(pairs, scratch);
 
     let mut local = SegStats::default();
     if run_len > 1 {
         let _span = obs::span("sort.local");
         let _wall = trace::span("sort.local");
-        local = sort_segments(pairs, scratch, &ss.starts, workers, &mut ss.workers, policy);
-        prof::record(prof::Phase::SortLocal, local.read, local.written, local.items);
+        local = sort_segments(
+            pairs,
+            scratch,
+            &ss.starts,
+            workers,
+            &mut ss.workers,
+            policy,
+            narrow,
+        );
+        prof::record(
+            prof::Phase::SortLocal,
+            local.read,
+            local.written,
+            local.items,
+        );
     }
-    let rec = obs::global();
-    rec.add(obs::CounterId::SortPassesRun, 1 + local.run);
-    rec.add(obs::CounterId::SortPassesSkipped, skipped + local.skipped);
+    local
 }
 
-/// Accumulated bucket-local phase totals: executed/skipped pass counts
-/// plus the analytic traffic of the executed passes. Plain integer sums
-/// over segments, so the totals are identical for any worker count or
-/// steal interleaving.
+/// Accumulated bucket-local phase totals: executed/skipped pass counts,
+/// the analytic traffic of the executed passes, and the narrow/wide
+/// segment split. Plain integer sums over segments, so the totals are
+/// identical for any worker count or steal interleaving.
 #[derive(Debug, Default, Clone, Copy)]
 struct SegStats {
     /// LSD passes executed.
     run: u64,
     /// Passes dropped by segment replans (constant digit windows).
     skipped: u64,
-    /// Bytes read: `12 m` per count scan and scatter scan, plus the
-    /// odd-plan pre-copy.
+    /// Bytes read: `width · m` for the one fused count scan and per
+    /// scatter scan, plus the odd-plan pre-copy (wide) or the fused
+    /// repack/emit extras (narrowed; see [`seg_traffic`]).
     read: u64,
-    /// Bytes written: `12 m` per scatter plus the odd-plan pre-copy.
+    /// Bytes written per scatter, same conventions.
     written: u64,
     /// Pairs in processed segments (including segments that replanned to
     /// nothing or took the comparison fallback — their pairs were the
     /// phase's input even when no counting pass moved them).
     items: u64,
+    /// Segments whose local passes ran on 8-byte records.
+    narrow_segs: u64,
+    /// Segments whose local passes ran wide.
+    wide_segs: u64,
 }
 
 impl SegStats {
@@ -442,6 +844,154 @@ impl SegStats {
         self.read += other.read;
         self.written += other.written;
         self.items += other.items;
+        self.narrow_segs += other.narrow_segs;
+        self.wide_segs += other.wide_segs;
+    }
+}
+
+/// One bucket segment's plan: a pure function of `(m, diff fold, policy,
+/// narrow)` shared by the executor ([`SortRec::sort_segment`]) and the
+/// predictor ([`predict_traffic`]), so the two derive byte-identical
+/// traffic by construction.
+enum SegPlan {
+    /// All keys equal — the stable global order is already sorted.
+    Constant,
+    /// Below the cost model's crossover: comparison sort.
+    Comparison,
+    /// LSD counting passes at the record's own width.
+    Lsd {
+        passes: [Pass; MAX_PASSES],
+        run: usize,
+        skipped: u64,
+    },
+    /// LSD counting passes on 8-byte narrowed records over the 32-bit
+    /// key window at `win_lo`; `ties` marks the tie-ranked shape (window
+    /// narrower than the segment's varying span).
+    Narrowed {
+        win_lo: u32,
+        ties: bool,
+        passes: [Pass; MAX_PASSES],
+        run: usize,
+        skipped: u64,
+    },
+}
+
+fn plan_segment(m: usize, diff: u64, policy: SortPolicy, narrow: bool) -> SegPlan {
+    if diff == 0 {
+        return SegPlan::Constant;
+    }
+    // Digit width tracks the segment size (table ≈ one entry per pair):
+    // an oversized table spends more on zeroing and prefix-summing than
+    // its fewer passes save, an undersized one multiplies passes.
+    let width = (usize::BITS - 1 - m.leading_zeros()).clamp(MIN_DIGIT_BITS, MAX_DIGIT_BITS);
+    let (passes, run, skipped) = plan_passes(diff, width);
+    let lsd = match policy {
+        SortPolicy::Comparison => false,
+        SortPolicy::Lsd => true,
+        SortPolicy::Adaptive => lsd_is_cheaper(m, &passes[..run]),
+    };
+    if !lsd {
+        return SegPlan::Comparison;
+    }
+    if narrow {
+        let lo = diff.trailing_zeros();
+        let hi = 64 - diff.leading_zeros();
+        let span = hi - lo;
+        // Closed-form byte totals (per pair; see seg_traffic): the wide
+        // plan moves 12m per scan (one fused count scan + r scatter
+        // read/write scans + the odd pre-copy), a narrowed one 8m plus
+        // the repack/emit extras. The repack fuses into the first
+        // scatter and the emit into the last, so narrowing needs ≥ 2
+        // passes. Three window candidates compete on that byte total:
+        // the exact window (every varying bit, no tie machinery), the
+        // full 32-bit tie window (most varying bits resolved by
+        // passes), and a minimal tie window of ~log₂ m + slack bits —
+        // just wide enough that same-window collisions stay rare
+        // (~m/256 expected), leaving the rest to the fixup scan at a
+        // fraction of the passes. Strictly-lower cost switches
+        // candidates, so the choice is a pure function of (m, diff).
+        let wide_bytes = 24 * run as u64 + 12 + 24 * u64::from(run % 2 == 1);
+        let mut best: Option<(u64, u32, bool, [Pass; MAX_PASSES], usize, u64)> = None;
+        let mut consider = |win_lo: u32, ties: bool| {
+            let (p, r, s) = plan_passes(diff >> win_lo, width);
+            if r < 2 {
+                return;
+            }
+            let bytes = 16 * r as u64 + if ties { 56 } else { 20 };
+            if bytes < wide_bytes && best.as_ref().is_none_or(|b| bytes < b.0) {
+                best = Some((bytes, win_lo, ties, p, r, s));
+            }
+        };
+        if span <= 32 {
+            consider(lo, false);
+        } else {
+            consider(hi - 32, true);
+        }
+        let w_min = (usize::BITS - 1 - m.leading_zeros() + TIE_WINDOW_SLACK).min(32);
+        if w_min < span {
+            consider(hi - w_min, true);
+        }
+        if let Some((_, win_lo, ties, passes, nrun, nskipped)) = best {
+            return SegPlan::Narrowed {
+                win_lo,
+                ties,
+                passes,
+                run: nrun,
+                skipped: nskipped,
+            };
+        }
+    }
+    SegPlan::Lsd {
+        passes,
+        run,
+        skipped,
+    }
+}
+
+/// The analytic traffic of one planned segment, at `elem` bytes per
+/// record. Wide/plain LSD: one fused [`count_all`] scan reads the
+/// source once, each pass's scatter reads it again and writes the
+/// destination; an odd plan pre-copies the segment. Narrowed LSD: the
+/// fused count and the repack scatter each read the wide segment once;
+/// middle passes move narrow records; the last pass reads narrow and
+/// writes wide — and the tie-ranked shape adds the shadow copy (12m
+/// write), the rank gather (12m read), and the fixup scan (12m read).
+/// A comparison fallback or constant segment contributes items only —
+/// comparison-sort traffic is data-dependent, so the model does not
+/// charge it.
+fn seg_traffic(plan: &SegPlan, m: u64, elem: u64) -> SegStats {
+    let base = SegStats {
+        items: m,
+        ..SegStats::default()
+    };
+    match *plan {
+        SegPlan::Constant | SegPlan::Comparison => base,
+        SegPlan::Lsd { run, skipped, .. } => {
+            let (r, odd) = (run as u64, u64::from(run % 2 == 1));
+            SegStats {
+                run: r,
+                skipped,
+                read: elem * m * (r + 1 + odd),
+                written: elem * m * (r + odd),
+                narrow_segs: u64::from(elem == NARROW_BYTES),
+                wide_segs: u64::from(elem != NARROW_BYTES),
+                ..base
+            }
+        }
+        SegPlan::Narrowed {
+            ties, run, skipped, ..
+        } => {
+            let r = run as u64;
+            let (extra_r, extra_w) = if ties { (40, 16) } else { (16, 4) };
+            SegStats {
+                run: r,
+                skipped,
+                read: m * (8 * r + extra_r),
+                written: m * (8 * r + extra_w),
+                narrow_segs: 1,
+                ..base
+            }
+        }
     }
 }
 
@@ -452,7 +1002,9 @@ fn fold_diff(pairs: &[Pair], threads: usize) -> u64 {
     let first = pairs[0].key();
     if threads > 1 && n >= PARALLEL_SORT {
         par::map_chunks(threads, n, |range| {
-            pairs[range].iter().fold(0u64, |acc, &p| acc | (p.key() ^ first))
+            pairs[range]
+                .iter()
+                .fold(0u64, |acc, &p| acc | (p.key() ^ first))
         })
         .into_iter()
         .fold(0, |acc, d| acc | d)
@@ -461,36 +1013,93 @@ fn fold_diff(pairs: &[Pair], threads: usize) -> u64 {
     }
 }
 
+/// Four-lane digit count of `src` under `pass` into `table` (resized and
+/// truncated to the bucket count). One key per lane per iteration, each
+/// lane its own table slice, column-summed at close: the same integer
+/// totals as a single-table scan — so the scatter destinations are
+/// unchanged — without the store-to-load stall every time consecutive
+/// keys share a bucket. Scans shorter than 4 × buckets keep a single
+/// table: on a tiny cache-resident segment, zeroing and folding three
+/// extra lane tables costs more than the stalls it removes, and the
+/// totals are the same integer sums either way.
+fn count4<T: Copy>(src: &[T], table: &mut Vec<u32>, pass: Pass, key: impl Fn(T) -> u64) {
+    let buckets = 1usize << pass.bits;
+    table.clear();
+    if src.len() < 4 * buckets {
+        table.resize(buckets, 0);
+        for &p in src {
+            table[pdigit(key(p), pass)] += 1;
+        }
+        return;
+    }
+    table.resize(4 * buckets, 0);
+    let mut groups = src.chunks_exact(4);
+    for g in groups.by_ref() {
+        table[pdigit(key(g[0]), pass)] += 1;
+        table[buckets + pdigit(key(g[1]), pass)] += 1;
+        table[2 * buckets + pdigit(key(g[2]), pass)] += 1;
+        table[3 * buckets + pdigit(key(g[3]), pass)] += 1;
+    }
+    for &p in groups.remainder() {
+        table[pdigit(key(p), pass)] += 1;
+    }
+    let (sum, lanes) = table.split_at_mut(buckets);
+    for (b, s) in sum.iter_mut().enumerate() {
+        *s += lanes[b] + lanes[b + buckets] + lanes[b + 2 * buckets];
+    }
+    table.truncate(buckets);
+}
+
+/// One scan of `src` filling **every** pass's digit histogram at once:
+/// pass `k`'s `1 << bits` buckets live at the flat offset
+/// `Σ_{j<k} (1 << plan[j].bits)` in `tables`. A digit count is an
+/// order-independent integer sum over the segment's multiset of keys —
+/// which no scatter pass changes — so each per-pass table equals the
+/// one a dedicated scan just before that pass would produce, at one
+/// source read instead of one per pass.
+fn count_all<T: Copy>(src: &[T], tables: &mut Vec<u32>, plan: &[Pass], key: impl Fn(T) -> u64) {
+    let total: usize = plan.iter().map(|p| 1usize << p.bits).sum();
+    tables.clear();
+    tables.resize(total, 0);
+    for &p in src {
+        let k = key(p);
+        let mut off = 0usize;
+        for &pass in plan {
+            tables[off + pdigit(k, pass)] += 1;
+            off += 1 << pass.bits;
+        }
+    }
+}
+
+/// In-place exclusive prefix sum; returns the total.
+fn exclusive_prefix(table: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for c in table.iter_mut() {
+        let v = *c;
+        *c = acc;
+        acc += v;
+    }
+    acc
+}
+
 /// Histograms `src` under `pass` into `ss.counts`, fanning disjoint index
-/// chunks out over `workers` (each fills its own table; the tables
+/// chunks out over `workers` (each fills its own lane tables; the tables
 /// column-sum at the end, so the result is a plain integer sum —
 /// identical for every worker count).
-fn histogram_into(src: &[Pair], pass: Pass, workers: usize, ss: &mut SortScratch) {
-    let buckets = 1usize << pass.bits;
+fn histogram_into<R: SortRec>(src: &[R], pass: Pass, workers: usize, ss: &mut SortScratch) {
     let n = src.len();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 {
-        let table = &mut ss.workers[0].table;
-        table.clear();
-        table.resize(buckets, 0);
-        for &p in src {
-            table[pdigit(p.key(), pass)] += 1;
-        }
+        count4(src, &mut ss.workers[0].table, pass, R::sort_key);
         merge_tables(ss, 1);
         return;
     }
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         for (w, ws) in ss.workers[..workers].iter_mut().enumerate() {
-            ws.table.clear();
-            ws.table.resize(buckets, 0);
             let table = &mut ws.table;
             let src = &src[(w * chunk).min(n)..((w + 1) * chunk).min(n)];
-            scope.spawn(move || {
-                for &p in src {
-                    table[pdigit(p.key(), pass)] += 1;
-                }
-            });
+            scope.spawn(move || count4(src, table, pass, R::sort_key));
         }
     });
     merge_tables(ss, workers);
@@ -511,15 +1120,15 @@ fn merge_tables(ss: &mut SortScratch, workers: usize) {
 }
 
 /// Stable parallel scatter by bucket ownership: buckets are cut into
-/// `workers` contiguous runs of near-equal pair mass (from the
+/// `workers` contiguous runs of near-equal record mass (from the
 /// histogram), the output splits into the matching disjoint regions, and
-/// each worker scans the full source writing only its run's pairs through
-/// its own write-combining staging. Within a bucket, writes happen in
-/// source order, so the result equals the sequential staged scatter
-/// exactly, for any worker count.
-fn scatter_parallel(
-    src: &[Pair],
-    dst: &mut [Pair],
+/// each worker scans the full source writing only its run's records
+/// through its own write-combining staging. Within a bucket, writes
+/// happen in source order, so the result equals the sequential staged
+/// scatter exactly, for any worker count.
+fn scatter_parallel<R: SortRec>(
+    src: &[R],
+    dst: &mut [R],
     starts: &[u32],
     pass: Pass,
     workers: usize,
@@ -536,9 +1145,9 @@ fn scatter_parallel(
         }
     };
     // Run r covers buckets `cuts[r]..cuts[r + 1]`; each cut lands on the
-    // first bucket at or past the r-th equal slice of the pair count, so
-    // runs are contiguous in bucket (= digit) order and balanced by the
-    // histogram, not by bucket count.
+    // first bucket at or past the r-th equal slice of the record count,
+    // so runs are contiguous in bucket (= digit) order and balanced by
+    // the histogram, not by bucket count.
     cuts.clear();
     cuts.push(0);
     for r in 1..workers {
@@ -549,7 +1158,7 @@ fn scatter_parallel(
     cuts.push(buckets);
 
     std::thread::scope(|scope| {
-        let mut rest: &mut [Pair] = dst;
+        let mut rest: &mut [R] = dst;
         for (w, ws) in pool[..workers].iter_mut().enumerate() {
             let (lo_b, hi_b) = (cuts[w], cuts[w + 1]);
             let taken = std::mem::take(&mut rest);
@@ -567,40 +1176,41 @@ fn scatter_parallel(
 /// `region` (that run's disjoint slice of the destination), staged
 /// through [`STAGE`]-slot write-combining buffers. The trailing
 /// partial-bucket drain is the `sort.flush` span.
-fn scatter_run(
-    src: &[Pair],
-    region: &mut [Pair],
+fn scatter_run<R: SortRec>(
+    src: &[R],
+    region: &mut [R],
     starts: &[u32],
     pass: Pass,
     lo_b: usize,
     hi_b: usize,
     ws: &mut WorkerScratch,
 ) {
+    let (stage, fill, cursors) = R::split_stage(ws);
     let run = hi_b - lo_b;
     let base = if run > 0 { starts[lo_b] } else { 0 };
-    ws.cursors.clear();
-    ws.cursors.extend(starts[lo_b..hi_b].iter().map(|&s| s - base));
-    ws.fill.clear();
-    ws.fill.resize(run, 0);
-    if ws.stage.len() < run * STAGE {
-        ws.stage.resize(run * STAGE, Pair::default());
+    cursors.clear();
+    cursors.extend(starts[lo_b..hi_b].iter().map(|&s| s - base));
+    fill.clear();
+    fill.resize(run, 0);
+    if stage.len() < run * STAGE {
+        stage.resize(run * STAGE, R::default());
     }
 
     for &p in src {
-        let d = pdigit(p.key(), pass);
+        let d = pdigit(p.sort_key(), pass);
         if !(lo_b..hi_b).contains(&d) {
             continue;
         }
         let s = d - lo_b;
-        let f = ws.fill[s] as usize;
-        ws.stage[s * STAGE + f] = p;
+        let f = fill[s] as usize;
+        stage[s * STAGE + f] = p;
         if f + 1 == STAGE {
-            let c = ws.cursors[s] as usize;
-            region[c..c + STAGE].copy_from_slice(&ws.stage[s * STAGE..s * STAGE + STAGE]);
-            ws.cursors[s] = (c + STAGE) as u32;
-            ws.fill[s] = 0;
+            let c = cursors[s] as usize;
+            region[c..c + STAGE].copy_from_slice(&stage[s * STAGE..s * STAGE + STAGE]);
+            cursors[s] = (c + STAGE) as u32;
+            fill[s] = 0;
         } else {
-            ws.fill[s] = (f + 1) as u32;
+            fill[s] = (f + 1) as u32;
         }
     }
 
@@ -609,27 +1219,29 @@ fn scatter_run(
     let _span = obs::span("sort.flush");
     let _wall = trace::span("sort.flush");
     for s in 0..run {
-        let f = ws.fill[s] as usize;
+        let f = fill[s] as usize;
         if f > 0 {
-            let c = ws.cursors[s] as usize;
-            region[c..c + f].copy_from_slice(&ws.stage[s * STAGE..s * STAGE + f]);
-            ws.cursors[s] = (c + f) as u32;
+            let c = cursors[s] as usize;
+            region[c..c + f].copy_from_slice(&stage[s * STAGE..s * STAGE + f]);
+            cursors[s] = (c + f) as u32;
         }
     }
 }
 
 /// Finishes every bucket of the partitioned batch with bucket-local LSD
-/// passes ([`sort_segment`]), sequentially or over a [`par::StealQueue`]
-/// of disjoint `(pairs, scratch)` segment slices dealt round-robin.
-/// Returns the summed [`SegStats`] — plain integer sums, so identical
-/// for any worker count or steal interleaving.
-fn sort_segments(
-    pairs: &mut [Pair],
-    scratch: &mut [Pair],
+/// passes ([`SortRec::sort_segment`]), sequentially or over a
+/// [`par::StealQueue`] of disjoint `(pairs, scratch)` segment slices
+/// dealt round-robin. Returns the summed [`SegStats`] — plain integer
+/// sums, so identical for any worker count or steal interleaving.
+#[allow(clippy::too_many_arguments)]
+fn sort_segments<R: SortRec>(
+    pairs: &mut [R],
+    scratch: &mut [R],
     starts: &[u32],
     workers: usize,
     pool: &mut [WorkerScratch],
     policy: SortPolicy,
+    narrow: bool,
 ) -> SegStats {
     let n = pairs.len();
     let buckets = starts.len();
@@ -641,12 +1253,18 @@ fn sort_segments(
         }
     };
     if workers <= 1 {
-        let table = &mut pool[0].table;
+        let ws = &mut pool[0];
         let mut stats = SegStats::default();
         for b in 0..buckets {
             let (lo, hi) = (bound(b), bound(b + 1));
             if hi - lo > 1 {
-                stats.merge(sort_segment(&mut pairs[lo..hi], &mut scratch[lo..hi], table, policy));
+                stats.merge(R::sort_segment(
+                    &mut pairs[lo..hi],
+                    &mut scratch[lo..hi],
+                    ws,
+                    policy,
+                    narrow,
+                ));
             }
         }
         return stats;
@@ -674,15 +1292,14 @@ fn sort_segments(
     let queue = &queue;
     // One atomic per SegStats field, merged from per-worker local sums —
     // commutative integer adds, so the totals ignore steal interleaving.
-    let totals: [std::sync::atomic::AtomicU64; 5] = Default::default();
+    let totals: [std::sync::atomic::AtomicU64; 7] = Default::default();
     std::thread::scope(|scope| {
         for (w, ws) in pool[..workers].iter_mut().enumerate() {
             let totals = &totals;
-            let table = &mut ws.table;
             scope.spawn(move || {
                 let mut acc = SegStats::default();
                 while let Some(((seg_a, seg_b), _stolen)) = queue.pop(w) {
-                    acc.merge(sort_segment(seg_a, seg_b, table, policy));
+                    acc.merge(R::sort_segment(seg_a, seg_b, ws, policy, narrow));
                 }
                 let order = std::sync::atomic::Ordering::Relaxed;
                 totals[0].fetch_add(acc.run, order);
@@ -690,6 +1307,8 @@ fn sort_segments(
                 totals[2].fetch_add(acc.read, order);
                 totals[3].fetch_add(acc.written, order);
                 totals[4].fetch_add(acc.items, order);
+                totals[5].fetch_add(acc.narrow_segs, order);
+                totals[6].fetch_add(acc.wide_segs, order);
             });
         }
     });
@@ -700,116 +1319,217 @@ fn sort_segments(
         read: totals[2].load(order),
         written: totals[3].load(order),
         items: totals[4].load(order),
+        narrow_segs: totals[5].load(order),
+        wide_segs: totals[6].load(order),
     }
 }
 
-/// Sorts one bucket's segment by LSD counting passes replanned from the
-/// segment's own diff fold (the global pass made the top window constant
-/// here, and clustered keys often shrink the window further), leaving the
-/// result in `a`. When the replanned pass count is odd, `a` pre-copies
-/// into `b` so the ping-pong still ends in `a`. Segments below the cost
-/// model's crossover fall back to a comparison sort under
-/// [`SortPolicy::Adaptive`]. Returns this segment's [`SegStats`]: pass
-/// counts plus the analytic traffic of the executed passes (a comparison
-/// fallback or constant segment contributes items only — comparison-sort
-/// traffic is data-dependent, so the model does not charge it).
-fn sort_segment(
-    a: &mut [Pair],
-    b: &mut [Pair],
-    table: &mut Vec<u32>,
-    policy: SortPolicy,
-) -> SegStats {
-    let m = a.len();
-    debug_assert!(m > 1 && b.len() == m);
-    let items_only = SegStats {
-        items: m as u64,
-        ..SegStats::default()
-    };
-    let first = a[0].key();
-    let diff = a.iter().fold(0u64, |acc, &p| acc | (p.key() ^ first));
-    if diff == 0 {
-        // The whole segment is one key: the global pass's stable order
-        // already equals the sorted order.
-        return items_only;
-    }
-    // Digit width tracks the segment size (table ≈ one entry per pair):
-    // an oversized table spends more on zeroing and prefix-summing than
-    // its fewer passes save, an undersized one multiplies passes.
-    let width = (usize::BITS - 1 - m.leading_zeros()).clamp(MIN_DIGIT_BITS, MAX_DIGIT_BITS);
-    let (passes, run, skipped) = plan_passes(diff, width);
-    let plan = &passes[..run];
-    let lsd = match policy {
-        SortPolicy::Comparison => false,
-        SortPolicy::Lsd => true,
-        SortPolicy::Adaptive => lsd_is_cheaper(m, plan),
-    };
-    if !lsd {
-        a.sort_unstable_by_key(|p| (p.key(), p.id()));
-        return items_only;
-    }
-
+/// The plain LSD ping-pong at the record's own width: one [`count_all`]
+/// scan fills every pass's table, then the replanned passes alternate
+/// `a ↔ b`, pre-copying once when the pass count is odd so the sorted
+/// result lands back in `a`.
+fn lsd_segment<R: SortRec>(a: &mut [R], b: &mut [R], table: &mut Vec<u32>, plan: &[Pass]) {
+    let run = plan.len();
+    count_all(a, table, plan, R::sort_key);
     if run % 2 == 1 {
         b.copy_from_slice(a);
     }
     let mut in_b = run % 2 == 1;
+    let mut off = 0usize;
     for &pass in plan {
-        let lb = 1usize << pass.bits;
-        if table.len() < lb {
-            table.resize(lb, 0);
-        }
-        let table = &mut table[..lb];
-        table.fill(0);
-        let (src, dst): (&mut [Pair], &mut [Pair]) = if in_b { (b, a) } else { (a, b) };
-        for &p in src.iter() {
-            table[pdigit(p.key(), pass)] += 1;
-        }
-        let mut acc = 0u32;
-        for c in table.iter_mut() {
-            let v = *c;
-            *c = acc;
-            acc += v;
-        }
-        for &p in src.iter() {
-            let d = pdigit(p.key(), pass);
-            dst[table[d] as usize] = p;
-            table[d] += 1;
-        }
+        let buckets = 1usize << pass.bits;
+        let t = &mut table[off..off + buckets];
+        exclusive_prefix(t);
+        let (src, dst): (&mut [R], &mut [R]) = if in_b { (b, a) } else { (a, b) };
+        scatter_local(src, dst, t, pass);
         in_b = !in_b;
+        off += buckets;
     }
     debug_assert!(!in_b, "ping-pong must end with the sorted segment in `a`");
-    // Per pass the source is scanned twice (count, then scatter) and the
-    // destination written once; an odd plan pre-copies the segment.
-    let seg_bytes = m as u64 * PAIR_BYTES;
-    let (r, odd) = (run as u64, u64::from(run % 2 == 1));
-    SegStats {
-        run: r,
-        skipped,
-        read: seg_bytes * (2 * r + odd),
-        written: seg_bytes * (r + odd),
-        items: m as u64,
+}
+
+/// One cache-resident counting scatter with the [`LOOKAHEAD`] source
+/// touch (see the module docs): a `black_box` load per 4-record group
+/// keeps the next source lines streaming in ahead of the
+/// random-destination writes, without changing a single destination.
+fn scatter_local<R: SortRec>(src: &[R], dst: &mut [R], table: &mut [u32], pass: Pass) {
+    let len = src.len();
+    let mut i = 0usize;
+    while i < len {
+        if let Some(&ahead) = src.get(i + LOOKAHEAD) {
+            std::hint::black_box(ahead);
+        }
+        let end = (i + 4).min(len);
+        while i < end {
+            let p = src[i];
+            let d = pdigit(p.sort_key(), pass);
+            dst[table[d] as usize] = p;
+            table[d] += 1;
+            i += 1;
+        }
+    }
+}
+
+/// The narrowed segment pipeline (see the module docs): one
+/// [`count_all`] scan of the wide segment fills every pass's table,
+/// then a fused repack first pass (wide in, narrow out; the tie-ranked
+/// shape also streams the shadow copy into `b`), narrow ping-pong
+/// middle passes in the worker's private buffers, and a fused emit last
+/// pass (narrow in, wide out — reconstructed from the segment's
+/// constant bits when exact, gathered from the shadow copy by rank when
+/// tie-ranked), plus the tie-run fixup scan. Requires ≥ 2 planned
+/// passes.
+fn narrow_segment(
+    a: &mut [Pair],
+    b: &mut [Pair],
+    ws: &mut WorkerScratch,
+    win_lo: u32,
+    plan: &[Pass],
+    ties: bool,
+) {
+    let m = a.len();
+    let run = plan.len();
+    debug_assert!(run >= 2 && b.len() == m);
+    let first = a[0].key();
+    let WorkerScratch { table, na, nb, .. } = ws;
+    if na.len() < m {
+        na.resize(m, NarrowPair::default());
+    }
+    let na = &mut na[..m];
+    let nb: &mut [NarrowPair] = if run > 2 {
+        if nb.len() < m {
+            nb.resize(m, NarrowPair::default());
+        }
+        &mut nb[..m]
+    } else {
+        // No middle passes: the first pass writes `na`, the last reads it.
+        &mut []
+    };
+
+    // One scan fills every pass's digit table (the pass windows all sit
+    // below bit 32 of the shifted key, so counting the full shift equals
+    // counting the truncated `u32` window).
+    count_all(a, table, plan, |p: Pair| p.key() >> win_lo);
+    let mut off = 0usize;
+
+    // First pass: scatter wide records into narrow ones. Tie-ranked
+    // segments also stream the shadow copy (fused here so it costs no
+    // extra scan of `a`).
+    let p0 = plan[0];
+    exclusive_prefix(&mut table[off..off + (1usize << p0.bits)]);
+    {
+        let mut i = 0usize;
+        while i < m {
+            if let Some(&ahead) = a.get(i + LOOKAHEAD) {
+                std::hint::black_box(ahead);
+            }
+            let end = (i + 4).min(m);
+            while i < end {
+                let p = a[i];
+                let nk = (p.key() >> win_lo) as u32;
+                let d = off + pdigit(u64::from(nk), p0);
+                let payload = if ties { i as u32 } else { p.id() };
+                na[table[d] as usize] = NarrowPair {
+                    key: nk,
+                    id: payload,
+                };
+                table[d] += 1;
+                if ties {
+                    b[i] = p;
+                }
+                i += 1;
+            }
+        }
+    }
+    off += 1usize << p0.bits;
+
+    // Middle passes: plain narrow ping-pong.
+    let mut in_na = true;
+    for &pass in &plan[1..run - 1] {
+        let buckets = 1usize << pass.bits;
+        let t = &mut table[off..off + buckets];
+        exclusive_prefix(t);
+        let (src, dst): (&mut [NarrowPair], &mut [NarrowPair]) =
+            if in_na { (na, nb) } else { (nb, na) };
+        scatter_local(src, dst, t, pass);
+        in_na = !in_na;
+        off += buckets;
+    }
+
+    // Last pass: emit wide straight into `a` — which no narrow buffer
+    // aliases, and whose pre-pass contents survive in `b` when the
+    // gather needs them.
+    let pf = plan[run - 1];
+    let src: &mut [NarrowPair] = if in_na { na } else { nb };
+    exclusive_prefix(&mut table[off..off + (1usize << pf.bits)]);
+    let const_bits = first & !(0xFFFF_FFFFu64 << win_lo);
+    {
+        let len = src.len();
+        let mut i = 0usize;
+        while i < len {
+            if let Some(&ahead) = src.get(i + LOOKAHEAD) {
+                std::hint::black_box(ahead);
+            }
+            let end = (i + 4).min(len);
+            while i < end {
+                let np = src[i];
+                let d = off + pdigit(u64::from(np.key), pf);
+                let pos = table[d] as usize;
+                table[d] += 1;
+                a[pos] = if ties {
+                    b[np.id as usize]
+                } else {
+                    Pair::new(const_bits | (u64::from(np.key) << win_lo), np.id)
+                };
+                i += 1;
+            }
+        }
+    }
+
+    // Tie-run fixup: records equal in the window sit in input (= rank)
+    // order but may differ below it; one scan re-sorts each run by
+    // `(key, id)` — the stable key order, since ids rise in input order.
+    if ties {
+        let mut i = 0usize;
+        while i < m {
+            let w = (a[i].key() >> win_lo) as u32;
+            let mut j = i + 1;
+            while j < m && (a[j].key() >> win_lo) as u32 == w {
+                j += 1;
+            }
+            if j - i > 1 {
+                a[i..j].sort_unstable_by_key(|p| (p.key(), p.id()));
+            }
+            i = j;
+        }
     }
 }
 
 /// Predicts the analytic traffic [`sort_pairs`] will charge to
-/// [`crate::prof`] for `keys` under `policy`, **without sorting**: the
-/// planner's decisions (pass plan, adaptive cutover, per-segment replans)
-/// are re-derived from the key stream alone. Segment diffs fold directly
-/// off the input — a diff fold is base-independent over its key set and a
-/// segment's membership is a pure function of the top digit — so the
-/// prediction never needs the scattered order. The differential seam for
+/// [`crate::prof`] for `keys` under `policy` and the `narrow` knob,
+/// **without sorting**: the planner's decisions (pass plan, adaptive
+/// cutover, global and per-segment narrowing, per-segment replans) are
+/// re-derived from the key stream alone, through the same
+/// [`plan_global`]/[`plan_segment`]/[`seg_traffic`] functions the
+/// executor uses. Segment diffs fold directly off the input — a diff
+/// fold is base-independent over its key set and a segment's membership
+/// is a pure function of the top digit — so the prediction never needs
+/// the scattered order. The differential seam for
 /// `tests/prof_traffic.rs`: the recorded charges come from the executed
 /// pipeline, this prediction from the formulas, and the two must agree
 /// on arbitrary inputs.
 pub(crate) fn predict_traffic(
     keys: &[u64],
     policy: SortPolicy,
-) -> [(prof::Phase, prof::Traffic); 4] {
+    narrow: bool,
+) -> [(prof::Phase, prof::Traffic); 5] {
     use prof::{Phase, Traffic};
     let mut out = [
         (Phase::SortHist, Traffic::default()),
         (Phase::SortScatter, Traffic::default()),
         (Phase::SortFlush, Traffic::default()),
         (Phase::SortLocal, Traffic::default()),
+        (Phase::SortNarrow, Traffic::default()),
     ];
     let n = keys.len();
     if n <= 1 {
@@ -820,22 +1540,68 @@ pub(crate) fn predict_traffic(
     if diff == 0 {
         return out;
     }
-    let (passes, run_len, _) = plan_passes(diff, MAX_DIGIT_BITS);
-    let plan = &passes[..run_len];
-    let lsd = match policy {
-        SortPolicy::Lsd => true,
-        SortPolicy::Comparison => false,
-        SortPolicy::Adaptive => lsd_is_cheaper(n, plan),
-    };
-    if !lsd {
-        return out;
+    match plan_global(n, diff, policy, narrow) {
+        GlobalPlan::Comparison => {}
+        GlobalPlan::Wide { passes, run, .. } => {
+            predict_pipeline(
+                keys,
+                |k| k,
+                PAIR_BYTES,
+                &passes[..run],
+                policy,
+                narrow,
+                &mut out,
+            );
+        }
+        GlobalPlan::Narrow {
+            lo, passes, run, ..
+        } => {
+            // Repack (12 in, 8 out) plus widen (8 in, 12 out), each one
+            // scan of the batch.
+            let nb = n as u64;
+            out[4].1 = Traffic {
+                bytes_read: nb * (PAIR_BYTES + NARROW_BYTES),
+                bytes_written: nb * (NARROW_BYTES + PAIR_BYTES),
+                items: 2 * nb,
+            };
+            predict_pipeline(
+                keys,
+                move |k| u64::from((k >> lo) as u32),
+                NARROW_BYTES,
+                &passes[..run],
+                policy,
+                false,
+                &mut out,
+            );
+        }
     }
+    out
+}
+
+/// Shared body of [`predict_traffic`]: charges the global pass and the
+/// per-segment replans at `elem` bytes per record over the mapped key
+/// stream (identity for the wide pipeline, the shifted 32-bit window for
+/// the globally narrowed one).
+#[allow(clippy::too_many_arguments)]
+fn predict_pipeline(
+    keys: &[u64],
+    map: impl Fn(u64) -> u64,
+    elem: u64,
+    plan: &[Pass],
+    policy: SortPolicy,
+    narrow: bool,
+    out: &mut [(prof::Phase, prof::Traffic); 5],
+) {
+    use prof::Traffic;
+    let n = keys.len();
+    let run_len = plan.len();
     let top = plan[run_len - 1];
     let buckets = 1usize << top.bits;
     let mut counts = vec![0u64; buckets];
     let mut bases = vec![0u64; buckets];
     let mut seg_diffs = vec![0u64; buckets];
     for &k in keys {
+        let k = map(k);
         let d = pdigit(k, top);
         if counts[d] == 0 {
             bases[d] = k;
@@ -844,7 +1610,7 @@ pub(crate) fn predict_traffic(
         }
         counts[d] += 1;
     }
-    let batch_bytes = n as u64 * PAIR_BYTES;
+    let batch_bytes = n as u64 * elem;
     let flush_pairs: u64 = counts.iter().map(|&c| c % STAGE as u64).sum();
     out[0].1 = Traffic {
         bytes_read: batch_bytes,
@@ -853,43 +1619,29 @@ pub(crate) fn predict_traffic(
     };
     out[1].1 = Traffic {
         bytes_read: batch_bytes,
-        bytes_written: batch_bytes - flush_pairs * PAIR_BYTES,
+        bytes_written: batch_bytes - flush_pairs * elem,
         items: n as u64,
     };
     out[2].1 = Traffic {
         bytes_read: 0,
-        bytes_written: flush_pairs * PAIR_BYTES,
+        bytes_written: flush_pairs * elem,
         items: flush_pairs,
     };
     if run_len > 1 {
-        let mut local = Traffic::default();
-        for d in 0..buckets {
-            let m = counts[d] as usize;
+        let mut local = SegStats::default();
+        for (&c, &sd) in counts.iter().zip(&seg_diffs) {
+            let m = c as usize;
             if m <= 1 {
                 continue;
             }
-            local.items += m as u64;
-            if seg_diffs[d] == 0 {
-                continue;
-            }
-            let width = (usize::BITS - 1 - m.leading_zeros()).clamp(MIN_DIGIT_BITS, MAX_DIGIT_BITS);
-            let (seg_passes, seg_run, _) = plan_passes(seg_diffs[d], width);
-            let seg_lsd = match policy {
-                SortPolicy::Lsd => true,
-                SortPolicy::Comparison => false,
-                SortPolicy::Adaptive => lsd_is_cheaper(m, &seg_passes[..seg_run]),
-            };
-            if !seg_lsd {
-                continue;
-            }
-            let seg_bytes = m as u64 * PAIR_BYTES;
-            let (r, odd) = (seg_run as u64, u64::from(seg_run % 2 == 1));
-            local.bytes_read += seg_bytes * (2 * r + odd);
-            local.bytes_written += seg_bytes * (r + odd);
+            local.merge(seg_traffic(&plan_segment(m, sd, policy, narrow), c, elem));
         }
-        out[3].1 = local;
+        out[3].1 = Traffic {
+            bytes_read: local.read,
+            bytes_written: local.written,
+            items: local.items,
+        };
     }
-    out
 }
 
 #[cfg(test)]
@@ -897,7 +1649,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const POLICIES: [SortPolicy; 3] = [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison];
+    const POLICIES: [SortPolicy; 3] = [
+        SortPolicy::Adaptive,
+        SortPolicy::Lsd,
+        SortPolicy::Comparison,
+    ];
 
     fn reference_sort(pairs: &[Pair]) -> Vec<Pair> {
         let mut v = pairs.to_vec();
@@ -905,11 +1661,19 @@ mod tests {
         v
     }
 
-    fn sorted(input: &[Pair], threads: usize, policy: SortPolicy) -> Vec<Pair> {
+    fn sorted(input: &[Pair], threads: usize, policy: SortPolicy, narrow: bool) -> Vec<Pair> {
         let mut pairs = input.to_vec();
         let mut scratch = Vec::new();
         let mut ss = SortScratch::default();
-        sort_pairs(&mut pairs, &mut scratch, &mut ss, threads, None, policy);
+        sort_pairs(
+            &mut pairs,
+            &mut scratch,
+            &mut ss,
+            threads,
+            None,
+            policy,
+            narrow,
+        );
         pairs
     }
 
@@ -937,6 +1701,14 @@ mod tests {
     }
 
     #[test]
+    fn narrow_pair_packs_to_eight_bytes() {
+        assert_eq!(std::mem::size_of::<NarrowPair>(), 8);
+        assert_eq!(std::mem::align_of::<NarrowPair>(), 4);
+        // STAGE narrow slots are exactly one cache line.
+        assert_eq!(STAGE * std::mem::size_of::<NarrowPair>(), 64);
+    }
+
+    #[test]
     fn matches_stable_reference_across_sizes_threads_and_policies() {
         for &n in &[0usize, 1, 2, 100, 2_047, 2_048, 40_000] {
             for &mask in &[u64::MAX, 0x3FFF_FFFF_FFFF_FFFF, 0xFF00, 0xFF] {
@@ -944,15 +1716,149 @@ mod tests {
                 let expected = reference_sort(&input);
                 for threads in [1, 2, 4, 7] {
                     for policy in POLICIES {
-                        assert_eq!(
-                            sorted(&input, threads, policy),
-                            expected,
-                            "n={n} mask={mask:#x} threads={threads} policy={policy:?}"
-                        );
+                        for narrow in [false, true] {
+                            assert_eq!(
+                                sorted(&input, threads, policy, narrow),
+                                expected,
+                                "n={n} mask={mask:#x} threads={threads} policy={policy:?} narrow={narrow}"
+                            );
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// The adversarial narrowing grid: masks that pin each narrow shape
+    /// — bit 63 set (tie-ranked window at the very top), a window
+    /// straddling the 32-bit boundary (exact, global narrow at lo=20),
+    /// a full-span fold (tie-ranked), a fully narrow fold (global
+    /// narrow), and a one-giant-bucket skew. Narrow and wide runs must
+    /// be byte-identical to each other and to the stable reference for
+    /// every policy and thread count.
+    #[test]
+    fn narrow_and_wide_paths_are_byte_identical() {
+        let masks: &[u64] = &[
+            0x8000_0000_0000_00FF, // bit 63 set, sparse low bits
+            0x0000_00FF_FFF0_0000, // bits 20..40: straddles the u32 boundary
+            u64::MAX,              // full span: tie-ranked segments
+            0xFFFF_FFFF,           // fits 32 bits: global narrow
+            0x7FFF_FFFF_8000_0000, // 32-bit window at hi=63: segment ties
+        ];
+        for &mask in masks {
+            let input = pseudo_random_pairs(30_000, mask, 0xC0FFEE ^ mask);
+            let expected = reference_sort(&input);
+            for threads in [1, 4] {
+                for policy in POLICIES {
+                    let wide = sorted(&input, threads, policy, false);
+                    let narrow = sorted(&input, threads, policy, true);
+                    assert_eq!(
+                        wide, expected,
+                        "wide mask={mask:#x} threads={threads} {policy:?}"
+                    );
+                    assert_eq!(narrow, wide, "mask={mask:#x} threads={threads} {policy:?}");
+                }
+            }
+        }
+        // One giant bucket: ~95% of keys share a top digit and a 48-bit
+        // tail span, so the heavy segment takes the tie-ranked path.
+        let input: Vec<Pair> = pseudo_random_pairs(30_000, u64::MAX, 99)
+            .into_iter()
+            .map(|p| {
+                if p.id() % 20 != 0 {
+                    Pair::new((p.key() & 0xFFFF_FFFF_FFFF) | 0x3A00_0000_0000_0000, p.id())
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let expected = reference_sort(&input);
+        for threads in [1, 4] {
+            assert_eq!(
+                sorted(&input, threads, SortPolicy::Lsd, true),
+                expected,
+                "giant bucket"
+            );
+        }
+    }
+
+    /// The planner's narrowing rule: exact below 32 bits of span,
+    /// tie-ranked above, comparison or wide where narrowing can't pay.
+    #[test]
+    fn plan_segment_narrowing_rule() {
+        let m = 40_000;
+        // 20-bit span: exact window at the fold's trailing zeros.
+        match plan_segment(m, 0xF_FFFF_0000, SortPolicy::Lsd, true) {
+            SegPlan::Narrowed { win_lo, ties, .. } => {
+                assert_eq!(win_lo, 16);
+                assert!(!ties);
+            }
+            _ => panic!("20-bit span must narrow exactly"),
+        }
+        // Full span: the window covers the top 32 varying bits.
+        match plan_segment(m, u64::MAX, SortPolicy::Lsd, true) {
+            SegPlan::Narrowed { win_lo, ties, .. } => {
+                assert_eq!(win_lo, 32);
+                assert!(ties);
+            }
+            _ => panic!("full span must narrow with tie ranks"),
+        }
+        // Bit 63 set with a gap: window is [hi-32, hi) = [32, 64). Four
+        // wide passes (digits 0, 2, 3, 5) against two narrow ones — the
+        // diet pays even with the tie-rank extras.
+        match plan_segment(m, 0x8000_00FF_0000_00FF, SortPolicy::Lsd, true) {
+            SegPlan::Narrowed { win_lo, ties, .. } => {
+                assert_eq!(win_lo, 32);
+                assert!(ties);
+            }
+            _ => panic!("bit-63 span must narrow with tie ranks"),
+        }
+        // A sparse bit-63 mask that plans only two wide passes stays
+        // wide: the single runnable narrow pass cannot fuse repack and
+        // emit, and the tie extras would cost more than they save.
+        assert!(matches!(
+            plan_segment(m, 0x8000_0000_0000_00FF, SortPolicy::Lsd, true),
+            SegPlan::Lsd { .. }
+        ));
+        // Knob off: same fold plans wide.
+        assert!(matches!(
+            plan_segment(m, u64::MAX, SortPolicy::Lsd, false),
+            SegPlan::Lsd { .. }
+        ));
+        // Comparison policy never narrows.
+        assert!(matches!(
+            plan_segment(m, u64::MAX, SortPolicy::Comparison, true),
+            SegPlan::Comparison
+        ));
+        // A single-pass plan cannot fuse repack and emit: stays wide.
+        assert!(matches!(
+            plan_segment(64, 0xF0, SortPolicy::Lsd, true),
+            SegPlan::Lsd { .. }
+        ));
+    }
+
+    /// The global narrow path engages exactly when the whole fold fits
+    /// 32 bits, and its predicted traffic moves to 8-byte units.
+    #[test]
+    fn global_narrow_engages_on_32_bit_folds() {
+        let keys: Vec<u64> = pseudo_random_pairs(40_000, 0xFFFF_FFFF, 5)
+            .iter()
+            .map(|p| p.key())
+            .collect();
+        let narrow = predict_traffic(&keys, SortPolicy::Lsd, true);
+        let wide = predict_traffic(&keys, SortPolicy::Lsd, false);
+        assert_eq!(narrow[4].1.items, 2 * keys.len() as u64, "repack + widen");
+        assert_eq!(narrow[0].1.bytes_read, keys.len() as u64 * NARROW_BYTES);
+        assert_eq!(wide[4].1, prof::Traffic::default());
+        assert_eq!(wide[0].1.bytes_read, keys.len() as u64 * PAIR_BYTES);
+        // Wide span: no global narrowing even with the knob on.
+        let keys: Vec<u64> = pseudo_random_pairs(40_000, u64::MAX, 6)
+            .iter()
+            .map(|p| p.key())
+            .collect();
+        let t = predict_traffic(&keys, SortPolicy::Lsd, true);
+        assert_eq!(t[4].1, prof::Traffic::default());
+        assert_eq!(t[0].1.bytes_read, keys.len() as u64 * PAIR_BYTES);
     }
 
     #[test]
@@ -965,7 +1871,13 @@ mod tests {
             .collect();
         let expected = reference_sort(&input);
         for threads in [1, 4] {
-            assert_eq!(sorted(&input, threads, SortPolicy::Lsd), expected, "threads={threads}");
+            for narrow in [false, true] {
+                assert_eq!(
+                    sorted(&input, threads, SortPolicy::Lsd, narrow),
+                    expected,
+                    "threads={threads} narrow={narrow}"
+                );
+            }
         }
     }
 
@@ -994,12 +1906,23 @@ mod tests {
         // pass-skip rule exists for.
         let input: Vec<Pair> = pseudo_random_pairs(20_000, u64::MAX, 9)
             .into_iter()
-            .map(|p| Pair::new(p.key() & (0xF | (0xF << 40)) | 0x5000_0000_0000_0000, p.id()))
+            .map(|p| {
+                Pair::new(
+                    p.key() & (0xF | (0xF << 40)) | 0x5000_0000_0000_0000,
+                    p.id(),
+                )
+            })
             .collect();
         let expected = reference_sort(&input);
         for threads in [1, 4] {
             for policy in POLICIES {
-                assert_eq!(sorted(&input, threads, policy), expected, "{policy:?}");
+                for narrow in [false, true] {
+                    assert_eq!(
+                        sorted(&input, threads, policy, narrow),
+                        expected,
+                        "{policy:?}"
+                    );
+                }
             }
         }
     }
@@ -1009,7 +1932,9 @@ mod tests {
         // All keys equal: stability demands untouched input order.
         let input: Vec<Pair> = (0..10_000).map(|i| Pair::new(7, i as u32)).collect();
         for policy in POLICIES {
-            assert_eq!(sorted(&input, 4, policy), input, "{policy:?}");
+            for narrow in [false, true] {
+                assert_eq!(sorted(&input, 4, policy, narrow), input, "{policy:?}");
+            }
         }
     }
 
@@ -1018,7 +1943,15 @@ mod tests {
         let mut ss = SortScratch::default();
         let mut scratch = Vec::new();
         let mut pairs = pseudo_random_pairs(30_000, u64::MAX, 1);
-        sort_pairs(&mut pairs, &mut scratch, &mut ss, 2, None, SortPolicy::Lsd);
+        sort_pairs(
+            &mut pairs,
+            &mut scratch,
+            &mut ss,
+            2,
+            None,
+            SortPolicy::Lsd,
+            true,
+        );
         assert!(scratch.capacity() >= 30_000);
         // The global-pass swap trades the two buffers, so measure the
         // pair: a second, smaller sort must keep serving from the two
@@ -1026,7 +1959,15 @@ mod tests {
         let total = pairs.capacity() + scratch.capacity();
         pairs.clear();
         pairs.extend(pseudo_random_pairs(20_000, u64::MAX, 2));
-        sort_pairs(&mut pairs, &mut scratch, &mut ss, 2, None, SortPolicy::Lsd);
+        sort_pairs(
+            &mut pairs,
+            &mut scratch,
+            &mut ss,
+            2,
+            None,
+            SortPolicy::Lsd,
+            true,
+        );
         assert_eq!(
             pairs.capacity() + scratch.capacity(),
             total,
@@ -1049,15 +1990,42 @@ mod tests {
             (PARALLEL_SORT, 0x3_0000_0000_0000u64),
         ] {
             let input = pseudo_random_pairs(n, mask, 7 + n as u64);
-            let mut seq = input.clone();
-            let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
-            sort_pairs_with(&mut seq, &mut scratch, &mut ss, 1, 1, None, SortPolicy::Lsd);
-            assert_eq!(seq, reference_sort(&input), "sequential n={n}");
-            for workers in [2usize, 3, 4, 8] {
-                let mut pairs = input.clone();
+            for narrow in [false, true] {
+                let mut seq = input.clone();
                 let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
-                sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 4, workers, None, SortPolicy::Lsd);
-                assert_eq!(pairs, seq, "n={n} mask={mask:#x} workers={workers}");
+                sort_pairs_with(
+                    &mut seq,
+                    &mut scratch,
+                    &mut ss,
+                    1,
+                    1,
+                    None,
+                    SortPolicy::Lsd,
+                    narrow,
+                );
+                assert_eq!(
+                    seq,
+                    reference_sort(&input),
+                    "sequential n={n} narrow={narrow}"
+                );
+                for workers in [2usize, 3, 4, 8] {
+                    let mut pairs = input.clone();
+                    let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
+                    sort_pairs_with(
+                        &mut pairs,
+                        &mut scratch,
+                        &mut ss,
+                        4,
+                        workers,
+                        None,
+                        SortPolicy::Lsd,
+                        narrow,
+                    );
+                    assert_eq!(
+                        pairs, seq,
+                        "n={n} mask={mask:#x} workers={workers} narrow={narrow}"
+                    );
+                }
             }
         }
     }
@@ -1083,13 +2051,28 @@ mod tests {
         let expected = reference_sort(&input);
         for threads in [2, 4, 8] {
             for policy in POLICIES {
-                assert_eq!(sorted(&input, threads, policy), expected, "threads={threads} {policy:?}");
+                for narrow in [false, true] {
+                    assert_eq!(
+                        sorted(&input, threads, policy, narrow),
+                        expected,
+                        "threads={threads} {policy:?} narrow={narrow}"
+                    );
+                }
             }
         }
         for workers in [2, 5, 8] {
             let mut pairs = input.clone();
             let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
-            sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 4, workers, None, SortPolicy::Lsd);
+            sort_pairs_with(
+                &mut pairs,
+                &mut scratch,
+                &mut ss,
+                4,
+                workers,
+                None,
+                SortPolicy::Lsd,
+                true,
+            );
             assert_eq!(pairs, expected, "workers={workers}");
         }
     }
@@ -1100,12 +2083,14 @@ mod tests {
         /// Counting pipeline ≡ stable comparison sort on arbitrary
         /// batches, including duplicate keys, narrow/holey diff masks
         /// (random `mask` ANDs punch unpredictable constant-bit windows),
-        /// and empty/singleton inputs (`len` starts at 0).
+        /// and empty/singleton inputs (`len` starts at 0) — for both
+        /// narrowing knob settings.
         #[test]
         fn lsd_equals_stable_comparison_sort(
             keys in proptest::collection::vec(any::<u64>(), 0..800),
             mask in any::<u64>(),
             threads in 1usize..5,
+            narrow in any::<bool>(),
         ) {
             let input: Vec<Pair> = keys
                 .iter()
@@ -1114,7 +2099,7 @@ mod tests {
                 .collect();
             let expected = reference_sort(&input);
             for policy in POLICIES {
-                prop_assert_eq!(&sorted(&input, threads, policy), &expected, "{:?}", policy);
+                prop_assert_eq!(&sorted(&input, threads, policy, narrow), &expected, "{:?}", policy);
             }
         }
 
@@ -1124,6 +2109,7 @@ mod tests {
         fn duplicate_heavy_batches_stay_stable(
             keys in proptest::collection::vec(0u64..7, 0..600),
             workers in 1usize..6,
+            narrow in any::<bool>(),
         ) {
             let input: Vec<Pair> = keys
                 .iter()
@@ -1133,9 +2119,8 @@ mod tests {
             let expected = reference_sort(&input);
             let mut pairs = input.clone();
             let (mut scratch, mut ss) = (Vec::new(), SortScratch::default());
-            sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 2, workers, None, SortPolicy::Lsd);
+            sort_pairs_with(&mut pairs, &mut scratch, &mut ss, 2, workers, None, SortPolicy::Lsd, narrow);
             prop_assert_eq!(&pairs, &expected);
         }
     }
 }
-

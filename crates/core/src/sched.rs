@@ -78,10 +78,8 @@ fn finalize(
         Some(link) if queries > 0 => {
             let input_end = link.request_ready_ps(queries - 1);
             let response_end = link.response_drain_ps(queries, link.request_bytes);
-            let total = makespan_with_dispatch
-                .max(input_end)
-                .max(response_end)
-                + link.base_latency_ps;
+            let total =
+                makespan_with_dispatch.max(input_end).max(response_end) + link.base_latency_ps;
             // How much the link (packetization, queueing, drain) stretched
             // the run beyond ideal dispatch — pure model time, so the
             // histogram stays deterministic.
@@ -147,8 +145,8 @@ pub(crate) fn simulate_type23(config: &SieveConfig, loads: &[SubLoad]) -> SimRep
     // one 64-bit write per pattern group into the query columns; the
     // shared formula also backs xcheck::setup_per_batch.
     let setup_per_batch = config.batch_setup_ps();
-    let hit_extra = etm::hit_identify_ps(config.etm_segments(), &config.timing)
-        + payload_time(config);
+    let hit_extra =
+        etm::hit_identify_ps(config.etm_segments(), &config.timing) + payload_time(config);
 
     let mut energy = EnergyLedger::new();
     let mut row_activations = 0u64;

@@ -73,12 +73,13 @@ impl ShardPlan {
     /// `diff` optionally carries the batch's precomputed OR-fold of
     /// `key ^ first_key` (see [`radix::sort_pairs`]) so the sort can
     /// skip its own scan over the keys; `policy` selects the sort
-    /// pipeline.
+    /// pipeline and `narrow` allows it to repack pairs to 8-byte records
+    /// where a diff window fits 32 bits.
     ///
     /// The sort is stable on k-mer bits whenever ids are assigned in
     /// input order, and the boundary searches are pure functions of the
     /// sorted sequence, so the plan is identical for every `threads`
-    /// value and every `policy`.
+    /// value, every `policy`, and either `narrow` setting.
     #[allow(clippy::too_many_arguments)]
     pub fn rebuild(
         &mut self,
@@ -89,6 +90,7 @@ impl ShardPlan {
         threads: usize,
         diff: Option<u64>,
         policy: SortPolicy,
+        narrow: bool,
     ) {
         self.starts.clear();
         self.subarrays.clear();
@@ -104,7 +106,7 @@ impl ShardPlan {
         {
             let _span = obs::span("shard.sort");
             let _wall = trace::span("shard.sort");
-            radix::sort_pairs(pairs, pairs_scratch, sort, threads, diff, policy);
+            radix::sort_pairs(pairs, pairs_scratch, sort, threads, diff, policy, narrow);
         }
         {
             let _span = obs::span("shard.route");
@@ -128,8 +130,18 @@ impl ShardPlan {
         threads: usize,
         diff: Option<u64>,
         policy: SortPolicy,
+        narrow: bool,
     ) -> Vec<SealedTask<'data>> {
-        self.rebuild(index, pairs, pairs_scratch, sort, threads, diff, policy);
+        self.rebuild(
+            index,
+            pairs,
+            pairs_scratch,
+            sort,
+            threads,
+            diff,
+            policy,
+            narrow,
+        );
 
         // Shards tile `[0, n)` and tasks tile each shard in order, so the
         // sealed slices are disjoint and cover the array exactly.
@@ -222,7 +234,10 @@ impl ShardPlan {
     /// pair array.
     #[cfg(test)]
     pub fn shard(&self, s: usize) -> (usize, std::ops::Range<usize>) {
-        (self.subarrays[s] as usize, self.starts[s]..self.starts[s + 1])
+        (
+            self.subarrays[s] as usize,
+            self.starts[s]..self.starts[s + 1],
+        )
     }
 
     /// Number of match tasks (shards split to at most [`TASK_TARGET`]
@@ -235,7 +250,10 @@ impl ShardPlan {
     /// pair array (a contiguous sub-range of one shard).
     pub fn task(&self, t: usize) -> (usize, std::ops::Range<usize>) {
         let (s, lo, hi) = self.tasks[t];
-        (self.subarrays[s as usize] as usize, lo as usize..hi as usize)
+        (
+            self.subarrays[s as usize] as usize,
+            lo as usize..hi as usize,
+        )
     }
 
     /// One past the highest routed subarray (the length a per-subarray
@@ -290,6 +308,7 @@ mod tests {
             threads,
             None,
             SortPolicy::Adaptive,
+            true,
         );
         (plan, pairs)
     }
@@ -325,7 +344,16 @@ mod tests {
             let mut pairs = make_pairs(&queries);
             let mut scratch = Vec::new();
             let mut sort = radix::SortScratch::default();
-            plan.rebuild(&index, &mut pairs, &mut scratch, &mut sort, 2, None, policy);
+            plan.rebuild(
+                &index,
+                &mut pairs,
+                &mut scratch,
+                &mut sort,
+                2,
+                None,
+                policy,
+                true,
+            );
             assert_eq!(pairs, base_pairs, "{policy:?}");
             assert_eq!(plan.starts, base.starts, "{policy:?}");
             assert_eq!(plan.subarrays, base.subarrays, "{policy:?}");
@@ -447,6 +475,7 @@ mod tests {
                     threads,
                     None,
                     SortPolicy::Adaptive,
+                    true,
                 );
                 assert_eq!(plan.starts, want_plan.starts, "{name}");
                 assert_eq!(plan.subarrays, want_plan.subarrays, "{name}");
@@ -459,8 +488,7 @@ mod tests {
                     let (want_sub, range) = plan.task(i);
                     assert_eq!(task.subarray, want_sub, "{name} task {i}");
                     assert_eq!(
-                        task.pairs,
-                        &want_pairs[range],
+                        task.pairs, &want_pairs[range],
                         "{name} threads={threads} task {i}"
                     );
                 }
@@ -484,6 +512,7 @@ mod tests {
             2,
             None,
             SortPolicy::Adaptive,
+            true,
         );
         assert!(tasks.is_empty());
         assert_eq!(plan.shard_count(), 0);
@@ -511,6 +540,7 @@ mod tests {
             4,
             None,
             SortPolicy::Adaptive,
+            true,
         );
         assert_eq!(plan.tasks, want_plan.tasks);
         for task in tasks {

@@ -13,14 +13,19 @@ use crate::config::SortPolicy;
 use crate::prof;
 use crate::radix;
 
-/// Analytic traffic prediction for a sort of `keys` under `policy` —
-/// [`crate::radix`]'s planner decisions replayed over the raw key stream,
-/// returning the `(phase, traffic)` charges the executed sort must
-/// report to [`crate::prof`] (order: hist, scatter, flush, local). The
+/// Analytic traffic prediction for a sort of `keys` under `policy` with
+/// the `narrow` knob — [`crate::radix`]'s planner decisions replayed over
+/// the raw key stream, returning the `(phase, traffic)` charges the
+/// executed sort must report to [`crate::prof`] (order: hist, scatter,
+/// flush, local, narrow — element-width-aware throughout). The
 /// differential seam for `tests/prof_traffic.rs`.
 #[must_use]
-pub fn predict_traffic(keys: &[u64], policy: SortPolicy) -> [(prof::Phase, prof::Traffic); 4] {
-    radix::predict_traffic(keys, policy)
+pub fn predict_traffic(
+    keys: &[u64],
+    policy: SortPolicy,
+    narrow: bool,
+) -> [(prof::Phase, prof::Traffic); 5] {
+    radix::predict_traffic(keys, policy, narrow)
 }
 
 /// Owns one sort's input and scratch buffers across bench iterations.
@@ -51,10 +56,10 @@ impl SortHarness {
     }
 
     /// Refills the input from the master copy and sorts it under
-    /// `policy` with the given `threads` knob. Returns a fold of the
-    /// sorted order (so the optimizer cannot discard the work; callers
-    /// can also assert it across policies).
-    pub fn run(&mut self, policy: SortPolicy, threads: usize) -> u64 {
+    /// `policy` with the given `threads` and `narrow` knobs. Returns a
+    /// fold of the sorted order (so the optimizer cannot discard the
+    /// work; callers can also assert it across policies).
+    pub fn run(&mut self, policy: SortPolicy, threads: usize, narrow: bool) -> u64 {
         self.pairs.clear();
         self.pairs.extend_from_slice(&self.master);
         radix::sort_pairs(
@@ -64,12 +69,11 @@ impl SortHarness {
             threads,
             None,
             policy,
+            narrow,
         );
-        self.pairs
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, p)| {
-                acc.wrapping_mul(0x100_0000_01B3).wrapping_add(p.key() ^ u64::from(p.id()) ^ i as u64)
-            })
+        self.pairs.iter().enumerate().fold(0u64, |acc, (i, p)| {
+            acc.wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(p.key() ^ u64::from(p.id()) ^ i as u64)
+        })
     }
 }

@@ -495,7 +495,10 @@ impl TraceSnapshot {
     pub fn to_chrome_json(&self) -> String {
         let mut entries: Vec<String> =
             Vec::with_capacity(self.model.len() + self.wall.len() + self.counters.len() + 8);
-        for (pid, label) in [(1, "model time (simulated, ps)"), (2, "wall clock (host, ns)")] {
+        for (pid, label) in [
+            (1, "model time (simulated, ps)"),
+            (2, "wall clock (host, ns)"),
+        ] {
             entries.push(format!(
                 "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
                  \"args\":{{\"name\":\"{label}\"}}}}"
@@ -515,14 +518,22 @@ impl TraceSnapshot {
         }
         for (pid, events) in [(1u32, &self.model), (2, &self.wall)] {
             for e in events {
-                let ts = if pid == 1 { ps_as_us(e.ts) } else { ns_as_us(e.ts) };
+                let ts = if pid == 1 {
+                    ps_as_us(e.ts)
+                } else {
+                    ns_as_us(e.ts)
+                };
                 let common = format!(
                     "\"pid\":{pid},\"tid\":{},\"name\":\"{}\",\"ts\":{ts},\
                      \"args\":{{\"arg\":{},\"arg2\":{}}}",
                     e.track, e.name, e.arg, e.arg2
                 );
                 if e.dur > 0 {
-                    let dur = if pid == 1 { ps_as_us(e.dur) } else { ns_as_us(e.dur) };
+                    let dur = if pid == 1 {
+                        ps_as_us(e.dur)
+                    } else {
+                        ns_as_us(e.dur)
+                    };
                     entries.push(format!("{{\"ph\":\"X\",{common},\"dur\":{dur}}}"));
                 } else {
                     entries.push(format!("{{\"ph\":\"i\",\"s\":\"t\",{common}}}"));
@@ -708,7 +719,10 @@ mod tests {
         assert!(json.contains("wall clock (host, ns)"));
         // The 2.5 µs model stamp renders fractionally.
         assert!(json.contains("\"ts\":2.500000"));
-        assert!(json.contains("\"ph\":\"X\""), "durations become complete events");
+        assert!(
+            json.contains("\"ph\":\"X\""),
+            "durations become complete events"
+        );
         assert!(json.contains("\"ph\":\"i\""), "zero-dur becomes an instant");
         assert!(json.contains("\"name\":\"match\""));
     }

@@ -110,11 +110,7 @@ pub fn event_driven_type3_makespan(
 /// timing the aggregate model assumes. Validating this trace proves the
 /// model's cadence is JEDEC-legal.
 #[must_use]
-pub fn emit_subarray_trace(
-    config: &SieveConfig,
-    bank: BankId,
-    query_rows: &[u32],
-) -> CommandTrace {
+pub fn emit_subarray_trace(config: &SieveConfig, bank: BankId, query_rows: &[u32]) -> CommandTrace {
     let mut trace = CommandTrace::new();
     let t = &config.timing;
     let mut now: TimePs = 0;
@@ -237,7 +233,10 @@ mod tests {
             }
             aggregate = aggregate.max(bins.into_iter().max().unwrap());
         }
-        assert!(event <= aggregate, "event ({event}) must not exceed LPT ({aggregate})");
+        assert!(
+            event <= aggregate,
+            "event ({event}) must not exceed LPT ({aggregate})"
+        );
         let ratio = aggregate as f64 / event as f64;
         assert!(
             ratio < 1.10,

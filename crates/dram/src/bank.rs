@@ -152,10 +152,7 @@ mod tests {
         assert_eq!(bank.activations(), 1);
         assert_eq!(bank.reads(), 1);
         assert_eq!(bank.writes(), 1);
-        assert_eq!(
-            bank.energy_fj(),
-            u128::from(e.e_act + e.e_rd + e.e_wr)
-        );
+        assert_eq!(bank.energy_fj(), u128::from(e.e_act + e.e_rd + e.e_wr));
     }
 
     #[test]

@@ -114,7 +114,7 @@ impl TimingParams {
             t_faw: 16_000,
             t_refi: 3_900_000,
             t_rfc: 260_000,
-            }
+        }
     }
 
     /// A ReRAM-class NVM preset — the paper's other stated future work

@@ -111,8 +111,10 @@ impl TraceValidator {
         let t = &self.timing;
         let mut violations = Vec::new();
         // Per-bank state.
-        let mut last_act: std::collections::HashMap<usize, TimePs> = std::collections::HashMap::new();
-        let mut last_col: std::collections::HashMap<usize, TimePs> = std::collections::HashMap::new();
+        let mut last_act: std::collections::HashMap<usize, TimePs> =
+            std::collections::HashMap::new();
+        let mut last_col: std::collections::HashMap<usize, TimePs> =
+            std::collections::HashMap::new();
         let mut act_window: std::collections::HashMap<usize, Vec<TimePs>> =
             std::collections::HashMap::new();
         for e in entries {
@@ -212,7 +214,10 @@ mod tests {
         for i in 0..62u64 {
             trace.push(i * t.row_cycle(), bank(0), DramCommand::ActivatePrecharge);
         }
-        assert!(validator().is_legal(&trace), "Sieve's cadence must be legal");
+        assert!(
+            validator().is_legal(&trace),
+            "Sieve's cadence must be legal"
+        );
     }
 
     #[test]
@@ -243,10 +248,7 @@ mod tests {
             trace.push(i * 4_000, bank(0), DramCommand::ActivatePrecharge);
         }
         let v = validator().validate(&trace);
-        assert!(
-            v.iter().any(|x| x.constraint.contains("tFAW")),
-            "got {v:?}"
-        );
+        assert!(v.iter().any(|x| x.constraint.contains("tFAW")), "got {v:?}");
     }
 
     #[test]

@@ -167,10 +167,7 @@ fn parse_stage(reads: &[DnaSequence]) -> Duration {
 }
 
 /// Collects the k-mer hits of each read, timed as the matching stage.
-fn match_stage<D: KmerDatabase>(
-    db: &D,
-    reads: &[DnaSequence],
-) -> (Vec<Vec<TaxonId>>, Duration) {
+fn match_stage<D: KmerDatabase>(db: &D, reads: &[DnaSequence]) -> (Vec<Vec<TaxonId>>, Duration) {
     let start = Instant::now();
     let mut all_hits = Vec::with_capacity(reads.len());
     for read in reads {
@@ -477,7 +474,11 @@ mod tests {
             assert_eq!(p.app, app);
             assert!(p.total() > Duration::ZERO, "{:?} total is zero", app);
             let covered: f64 = p.stages.iter().map(|(s, _)| p.fraction(*s)).sum();
-            assert!((covered - 1.0).abs() < 1e-9, "{:?} fractions {covered}", app);
+            assert!(
+                (covered - 1.0).abs() < 1e-9,
+                "{:?} fractions {covered}",
+                app
+            );
         }
     }
 

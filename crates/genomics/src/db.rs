@@ -355,7 +355,15 @@ mod tests {
     }
 
     fn entries(k: usize) -> Vec<(Kmer, TaxonId)> {
-        build_entries(&genomes(), DbOptions { k, ..DbOptions::default() }, None).unwrap()
+        build_entries(
+            &genomes(),
+            DbOptions {
+                k,
+                ..DbOptions::default()
+            },
+            None,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -385,8 +393,15 @@ mod tests {
             (s1, "ACGTACGTAC".parse().unwrap()),
             (s2, "TTGCAACGTA".parse().unwrap()),
         ];
-        let es = build_entries(&genomes, DbOptions { k: 5, ..DbOptions::default() }, Some(&tax))
-            .unwrap();
+        let es = build_entries(
+            &genomes,
+            DbOptions {
+                k: 5,
+                ..DbOptions::default()
+            },
+            Some(&tax),
+        )
+        .unwrap();
         let acgta: Kmer = "ACGTA".parse().unwrap();
         let hit = es.iter().find(|(k, _)| *k == acgta).unwrap();
         assert_eq!(hit.1, genus);
@@ -443,7 +458,16 @@ mod tests {
     #[test]
     fn canonical_option_stores_canonical_forms() {
         let genomes = vec![(TaxonId(1), "ACGT".parse().unwrap())];
-        let es = build_entries(&genomes, DbOptions { k: 4, canonical: true, min_count: 1 }, None).unwrap();
+        let es = build_entries(
+            &genomes,
+            DbOptions {
+                k: 4,
+                canonical: true,
+                min_count: 1,
+            },
+            None,
+        )
+        .unwrap();
         assert_eq!(es.len(), 1);
         assert_eq!(es[0].0, es[0].0.canonical());
     }
@@ -464,7 +488,9 @@ mod tests {
         for &(sig, bits, taxon) in db.storage() {
             let (off, len) = db.bucket(sig).unwrap();
             let slice = &db.storage()[off as usize..(off + len) as usize];
-            assert!(slice.iter().any(|&(s, b, t)| s == sig && b == bits && t == taxon));
+            assert!(slice
+                .iter()
+                .any(|&(s, b, t)| s == sig && b == bits && t == taxon));
             total += 1;
         }
         assert_eq!(total, db.len());
@@ -482,13 +508,20 @@ mod tests {
         ];
         let all = build_entries(
             &genomes,
-            DbOptions { k: 5, ..DbOptions::default() },
+            DbOptions {
+                k: 5,
+                ..DbOptions::default()
+            },
             None,
         )
         .unwrap();
         let solid = build_entries(
             &genomes,
-            DbOptions { k: 5, min_count: 2, ..DbOptions::default() },
+            DbOptions {
+                k: 5,
+                min_count: 2,
+                ..DbOptions::default()
+            },
             None,
         )
         .unwrap();
@@ -497,13 +530,32 @@ mod tests {
         // (count 6 actually — poly-T k-mer repeats; pick a unique one).
         let unique: Kmer = "GTACG".parse().unwrap();
         assert!(all.iter().any(|(k, _)| *k == unique));
-        assert!(solid.iter().any(|(k, _)| *k == unique), "appears in both genomes");
+        assert!(
+            solid.iter().any(|(k, _)| *k == unique),
+            "appears in both genomes"
+        );
     }
 
     #[test]
     fn invalid_k_rejected() {
-        assert!(build_entries(&genomes(), DbOptions { k: 0, ..DbOptions::default() }, None).is_err());
-        assert!(build_entries(&genomes(), DbOptions { k: 33, ..DbOptions::default() }, None).is_err());
+        assert!(build_entries(
+            &genomes(),
+            DbOptions {
+                k: 0,
+                ..DbOptions::default()
+            },
+            None
+        )
+        .is_err());
+        assert!(build_entries(
+            &genomes(),
+            DbOptions {
+                k: 33,
+                ..DbOptions::default()
+            },
+            None
+        )
+        .is_err());
     }
 
     #[test]

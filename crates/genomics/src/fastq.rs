@@ -60,10 +60,12 @@ pub fn parse(text: &str) -> Result<Vec<FastqRecord>, GenomicsError> {
             })?
             .trim()
             .to_string();
-        let sequence = DnaSequence::from_bytes(lines[i + 1].trim_end().as_bytes())
-            .map_err(|e| GenomicsError::MalformedFastq {
-                line: i + 2,
-                reason: e.to_string(),
+        let sequence =
+            DnaSequence::from_bytes(lines[i + 1].trim_end().as_bytes()).map_err(|e| {
+                GenomicsError::MalformedFastq {
+                    line: i + 2,
+                    reason: e.to_string(),
+                }
             })?;
         if !lines[i + 2].starts_with('+') {
             return Err(GenomicsError::MalformedFastq {

@@ -376,7 +376,11 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                let bits = if k == MAX_K { x } else { x & ((1u64 << (2 * k)) - 1) };
+                let bits = if k == MAX_K {
+                    x
+                } else {
+                    x & ((1u64 << (2 * k)) - 1)
+                };
                 let kmer = Kmer::from_u64(bits, k).unwrap();
                 assert_eq!(
                     kmer.reverse_complement(),

@@ -238,9 +238,11 @@ impl Iterator for Kmers<'_> {
                     self.pos += bad + 1;
                     continue;
                 }
-                let kmer = Kmer::from_bases(window.iter().map(|&c| {
-                    Base::from_ascii(c).expect("window pre-validated")
-                }))
+                let kmer = Kmer::from_bases(
+                    window
+                        .iter()
+                        .map(|&c| Base::from_ascii(c).expect("window pre-validated")),
+                )
                 .expect("k validated in DnaSequence::kmers");
                 // Store as if the *previous* roll produced it: next() rolls
                 // from pos, so park current at pos-1 semantics.
@@ -312,10 +314,9 @@ mod tests {
             for off in 0..=(seq.len().saturating_sub(k)) {
                 let window = &seq.as_bytes()[off..off + k];
                 if window.iter().all(|&c| Base::from_ascii(c).is_ok()) {
-                    let kmer = Kmer::from_bases(
-                        window.iter().map(|&c| Base::from_ascii(c).unwrap()),
-                    )
-                    .unwrap();
+                    let kmer =
+                        Kmer::from_bases(window.iter().map(|&c| Base::from_ascii(c).unwrap()))
+                            .unwrap();
                     naive.push((off, kmer));
                 }
             }

@@ -45,7 +45,11 @@ pub fn sequence_stats(seq: &DnaSequence) -> SequenceStats {
     }
     SequenceStats {
         len: seq.len(),
-        gc_content: if acgt == 0 { 0.0 } else { gc as f64 / acgt as f64 },
+        gc_content: if acgt == 0 {
+            0.0
+        } else {
+            gc as f64 / acgt as f64
+        },
         n_rate: if seq.is_empty() {
             0.0
         } else {
@@ -99,8 +103,16 @@ pub fn read_set_stats(reads: &[DnaSequence]) -> ReadSetStats {
         },
         min_len: if reads.is_empty() { 0 } else { min_len },
         max_len,
-        gc_content: if acgt == 0 { 0.0 } else { gc as f64 / acgt as f64 },
-        n_rate: if total == 0 { 0.0 } else { n as f64 / total as f64 },
+        gc_content: if acgt == 0 {
+            0.0
+        } else {
+            gc as f64 / acgt as f64
+        },
+        n_rate: if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        },
     }
 }
 

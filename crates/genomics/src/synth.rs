@@ -209,12 +209,7 @@ pub fn make_dataset(preset: ReferencePreset, k: usize, seed: u64) -> SyntheticDa
 ///
 /// Panics if `taxa` is 0 or `k` invalid.
 #[must_use]
-pub fn make_dataset_with(
-    taxa: usize,
-    genome_len: usize,
-    k: usize,
-    seed: u64,
-) -> SyntheticDataset {
+pub fn make_dataset_with(taxa: usize, genome_len: usize, k: usize, seed: u64) -> SyntheticDataset {
     assert!(taxa > 0, "need at least one taxon");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut taxonomy = Taxonomy::new();
@@ -238,7 +233,10 @@ pub fn make_dataset_with(
     }
     let entries = build_entries(
         &genomes,
-        DbOptions { k, ..DbOptions::default() },
+        DbOptions {
+            k,
+            ..DbOptions::default()
+        },
         Some(&taxonomy),
     )
     .expect("k validated by caller");
@@ -342,11 +340,7 @@ pub fn phred_error_prob(q: char) -> f64 {
 /// Applies quality-driven substitution errors: each base flips with the
 /// probability its quality character encodes.
 #[must_use]
-pub fn corrupt_by_quality(
-    seq: &DnaSequence,
-    quality: &str,
-    rng: &mut StdRng,
-) -> DnaSequence {
+pub fn corrupt_by_quality(seq: &DnaSequence, quality: &str, rng: &mut StdRng) -> DnaSequence {
     assert_eq!(seq.len(), quality.len(), "quality length mismatch");
     let mut out = DnaSequence::new();
     for (i, q) in quality.chars().enumerate() {
@@ -577,7 +571,10 @@ mod tests {
         assert_eq!(q.len(), 100);
         let head: f64 = q.chars().take(20).map(phred_error_prob).sum::<f64>() / 20.0;
         let tail: f64 = q.chars().rev().take(20).map(phred_error_prob).sum::<f64>() / 20.0;
-        assert!(tail > head, "3' end must be noisier: {head:.5} vs {tail:.5}");
+        assert!(
+            tail > head,
+            "3' end must be noisier: {head:.5} vs {tail:.5}"
+        );
         // Phred 40 ('I') ≈ 1e-4.
         assert!((phred_error_prob('I') - 1e-4).abs() < 1e-6);
     }

@@ -18,7 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Transport::dimm(),
         dataset.entries.clone(),
     );
-    println!("Type-3 on DIMM: {}", dimm_attempt.err().map(|e| e.to_string()).unwrap_or_default());
+    println!(
+        "Type-3 on DIMM: {}",
+        dimm_attempt
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+    );
 
     // …so deploy it on PCIe 4.0 x16.
     let mut api = SieveApi::deploy(

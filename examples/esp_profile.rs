@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{rows:>3} rows | {bar} {count}");
     }
     let avg = total_rows as f64 / queries as f64;
-    println!("\naverage: {avg:.1} of 62 rows  →  ETM prunes {:.1}%", 100.0 * (1.0 - avg / 62.0));
+    println!(
+        "\naverage: {avg:.1} of 62 rows  →  ETM prunes {:.1}%",
+        100.0 * (1.0 - avg / 62.0)
+    );
     println!("(the mode sits near log2(|DB|)+2 bits — the shared prefix with the");
     println!(" query's nearest sorted neighbours; hits and near-misses reach 62)");
     Ok(())

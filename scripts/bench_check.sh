@@ -23,6 +23,16 @@
 #     planning regression cannot hide inside the whole-pipeline margin.
 #     Keyed on the single-thread snapshot, which by construction is
 #     never oversubscribed; baselines predating the span are skipped.
+#   * local sort wall time — the same per-read gate on wall.sort.local.ns
+#     alone (CHECK_MAX_LOCAL_PCT, default 15%): the bucket-local passes
+#     are where the pair-narrowing traffic diet lands, and a whole-sort
+#     gate could hide a local-pass regression behind a histogram or
+#     scatter win. Baselines predating the narrowed pipeline are
+#     skipped. Unlike the whole-sort number, per-read local cost is
+#     workload-size-sensitive (batch size sets segment sizes, which set
+#     the narrowing plan), so CHECK_READS defaults to the baseline's
+#     own read count and this gate is skipped with a message when an
+#     explicit CHECK_READS differs from the baseline's.
 #   * scatter roofline efficiency — the fresh run's sort.scatter phase
 #     must achieve at least CHECK_MIN_SCATTER_FRAC (default 0.4) of the
 #     machine's calibrated scatter peak (results/MACHINE.json, written
@@ -46,11 +56,11 @@ cd "$(dirname "$0")/.."
 
 BASELINE=results/BENCH_classify.json
 CHECK_OUT=target/bench_check.json
-CHECK_READS="${CHECK_READS:-2000}"
 CHECK_REPS="${CHECK_REPS:-9}"
 CHECK_MAX_LOSS_PCT="${CHECK_MAX_LOSS_PCT:-10}"
 CHECK_MAX_OBS_PCT="${CHECK_MAX_OBS_PCT:-3}"
 CHECK_MAX_SORT_PCT="${CHECK_MAX_SORT_PCT:-15}"
+CHECK_MAX_LOCAL_PCT="${CHECK_MAX_LOCAL_PCT:-15}"
 CHECK_MIN_SCATTER_FRAC="${CHECK_MIN_SCATTER_FRAC:-0.4}"
 MACHINE=results/MACHINE.json
 
@@ -71,6 +81,15 @@ require_schema() {
     fi
 }
 require_schema "$BASELINE"
+
+# Per-read gates compare like-for-like only when the fresh workload
+# matches the baseline's, so CHECK_READS defaults to the baseline's own
+# read count (2000 if a pre-schema baseline lacks the field).
+reads_of() {
+    awk -F'"reads": ' '/"reads": / { split($2, a, "[,}]"); print a[1]; exit }' "$1"
+}
+CHECK_READS="${CHECK_READS:-$(reads_of "$BASELINE")}"
+CHECK_READS="${CHECK_READS:-2000}"
 
 echo "== bench_check: ${CHECK_READS} reads x ${CHECK_REPS} reps vs $BASELINE =="
 cargo run -q --release -p sieve-bench --bin bench_classify -- \
@@ -126,9 +145,6 @@ fi
 sort_ns() {
     awk -F'"sum": ' '/"wall.shard.sort.ns"/ { split($2, a, "[,}]"); print a[1]; exit }' "$1"
 }
-reads_of() {
-    awk -F'"reads": ' '/"reads": / { split($2, a, "[,}]"); print a[1]; exit }' "$1"
-}
 base_sort=$(sort_ns "$BASELINE")
 fresh_sort=$(sort_ns "$CHECK_OUT")
 if [[ -z "$base_sort" ]]; then
@@ -141,6 +157,30 @@ else
     echo "   shard sort: baseline=$(awk -v s="$base_sort" -v r="$base_reads" 'BEGIN{printf "%.0f", s/r}') fresh=$(awk -v s="$fresh_sort" -v r="$fresh_reads" 'BEGIN{printf "%.0f", s/r}') ns/read (delta ${sort_pct}%)"
     if ! awk -v p="$sort_pct" -v max="$CHECK_MAX_SORT_PCT" 'BEGIN { exit !(p <= max) }'; then
         echo "bench_check: FAIL — wall.shard.sort.ns rose ${sort_pct}% per read (> ${CHECK_MAX_SORT_PCT}% allowed) vs committed baseline" >&2
+        fail=1
+    fi
+fi
+
+# Local-pass gate: same construction as the shard-sort gate, keyed on
+# wall.sort.local.ns so the narrowed bucket passes cannot regress while
+# hiding inside the whole-sort number.
+local_ns() {
+    awk -F'"sum": ' '/"wall.sort.local.ns"/ { split($2, a, "[,}]"); print a[1]; exit }' "$1"
+}
+base_local=$(local_ns "$BASELINE")
+fresh_local=$(local_ns "$CHECK_OUT")
+base_reads=$(reads_of "$BASELINE")
+fresh_reads=$(reads_of "$CHECK_OUT")
+if [[ -z "$base_local" || -z "$fresh_local" ]]; then
+    echo "   local sort: SKIP (baseline or fresh run predates the wall.sort.local.ns span)"
+elif [[ "$base_reads" != "$fresh_reads" ]]; then
+    echo "   local sort: SKIP (fresh ${fresh_reads} reads vs baseline ${base_reads}: per-read local cost is size-sensitive — batch size sets segment sizes and the narrowing plan; rerun with CHECK_READS=${base_reads} to gate)"
+else
+    local_pct=$(awk -v bs="$base_local" -v br="$base_reads" -v fs="$fresh_local" -v fr="$fresh_reads" \
+        'BEGIN { printf "%.1f", ((fs / fr) / (bs / br) - 1) * 100 }')
+    echo "   local sort: baseline=$(awk -v s="$base_local" -v r="$base_reads" 'BEGIN{printf "%.0f", s/r}') fresh=$(awk -v s="$fresh_local" -v r="$fresh_reads" 'BEGIN{printf "%.0f", s/r}') ns/read (delta ${local_pct}%)"
+    if ! awk -v p="$local_pct" -v max="$CHECK_MAX_LOCAL_PCT" 'BEGIN { exit !(p <= max) }'; then
+        echo "bench_check: FAIL — wall.sort.local.ns rose ${local_pct}% per read (> ${CHECK_MAX_LOCAL_PCT}% allowed) vs committed baseline" >&2
         fail=1
     fi
 fi

@@ -5,6 +5,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== tier1: cargo fmt --check =="
+cargo fmt --check
+
 echo "== tier1: cargo build --release =="
 cargo build --release
 

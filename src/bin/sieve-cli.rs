@@ -224,9 +224,7 @@ fn load_reference(
 
 fn run_pipeline(args: &[String], per_read: bool) -> Result<(), Box<dyn Error>> {
     let flags = parse_flags(args)?;
-    let reference = flags
-        .get("reference")
-        .ok_or("requires --reference FASTA")?;
+    let reference = flags.get("reference").ok_or("requires --reference FASTA")?;
     let reads_path = flags.get("reads").ok_or("requires --reads FASTQ")?;
     let k = flag(&flags, "k", 31usize)?;
     let limit = flag(&flags, "limit", 10usize)?;
@@ -258,7 +256,10 @@ fn run_pipeline(args: &[String], per_read: bool) -> Result<(), Box<dyn Error>> {
             );
         }
         if out.reads.len() > limit {
-            println!("… ({} more reads; raise --limit to see them)", out.reads.len() - limit);
+            println!(
+                "… ({} more reads; raise --limit to see them)",
+                out.reads.len() - limit
+            );
         }
     }
     let classified = out.reads.iter().filter(|r| r.taxon.is_some()).count();

@@ -38,9 +38,15 @@ fn one_device_cluster_equals_single_device_bit_for_bit() {
     let cluster = SieveCluster::new(config(), 1, ds.entries.clone()).unwrap();
     assert_eq!(cluster.len(), 1);
     let out = cluster.run(&qs).unwrap();
-    assert_eq!(out.results, single.results, "functional results must be identical");
+    assert_eq!(
+        out.results, single.results,
+        "functional results must be identical"
+    );
     assert_eq!(out.device_reports.len(), 1);
-    assert_eq!(out.device_reports[0], single.report, "report must be bit-for-bit equal");
+    assert_eq!(
+        out.device_reports[0], single.report,
+        "report must be bit-for-bit equal"
+    );
     assert_eq!(out.hits, single.report.hits);
     assert_eq!(out.makespan_ps, single.report.makespan_ps);
     assert_eq!(out.energy_fj, single.report.energy.total_fj());
@@ -61,7 +67,12 @@ fn empty_query_batch_is_a_clean_no_op() {
         }
         // An idle cluster still reports a makespan (refresh/static floor
         // may be zero for a zero-length run) — it must simply be the max.
-        let max = out.device_reports.iter().map(|r| r.makespan_ps).max().unwrap();
+        let max = out
+            .device_reports
+            .iter()
+            .map(|r| r.makespan_ps)
+            .max()
+            .unwrap();
         assert_eq!(out.makespan_ps, max);
     }
 }

@@ -16,7 +16,11 @@ fn built() -> (synth::SyntheticDataset, Vec<Kmer>) {
     (ds, queries)
 }
 
-fn run(config: SieveConfig, ds: &synth::SyntheticDataset, queries: &[Kmer]) -> sieve::core::RunOutput {
+fn run(
+    config: SieveConfig,
+    ds: &synth::SyntheticDataset,
+    queries: &[Kmer],
+) -> sieve::core::RunOutput {
     SieveDevice::new(
         config.with_geometry(Geometry::scaled_medium()),
         ds.entries.clone(),
@@ -78,9 +82,15 @@ fn energy_ledger_is_complete() {
     let report = run(SieveConfig::type3(8), &ds, &queries).report;
     let e = &report.energy;
     assert!(e.activation_fj > 0, "row activations must cost energy");
-    assert!(e.write_fj > 0, "query-batch replacement writes must cost energy");
+    assert!(
+        e.write_fj > 0,
+        "query-batch replacement writes must cost energy"
+    );
     assert!(e.component_fj > 0, "matcher/ETM overhead must be charged");
-    assert!(e.static_fj > 0, "static power over the makespan must be charged");
+    assert!(
+        e.static_fj > 0,
+        "static power over the makespan must be charged"
+    );
     // The 6 % matcher overhead claim: component ≈ 6 % of activation energy
     // (plus per-hit finders, which are small at ~1 % hit rate).
     let ratio = e.component_fj as f64 / e.activation_fj as f64;

@@ -30,7 +30,11 @@ fn fixture() -> (SieveDevice, u32) {
 /// Sampled stored ranks: spread across the subarray, deterministic.
 fn probe_ranks(len: usize, salt: u64) -> Vec<usize> {
     (0..24usize)
-        .map(|i| i.wrapping_mul(977).wrapping_add((salt % 131) as usize * 131) % len)
+        .map(|i| {
+            i.wrapping_mul(977)
+                .wrapping_add((salt % 131) as usize * 131)
+                % len
+        })
         .collect()
 }
 

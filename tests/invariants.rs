@@ -9,7 +9,11 @@ use sieve::genomics::db::{HashDb, HybridDb, KmerDatabase, SortedDb};
 use sieve::genomics::{Base, DnaSequence, Kmer, TaxonId};
 
 fn kmer(k: usize) -> impl Strategy<Value = Kmer> {
-    let max = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let max = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
     (0..=max).prop_map(move |bits| Kmer::from_u64(bits, k).expect("in range"))
 }
 

@@ -211,9 +211,13 @@ fn regression_all_n_read() {
 fn regression_n_straddles_word_boundary() {
     // 31 bases + N + 31 bases: the N sits at packed-word offset 31; the
     // two flanks each emit exactly one 31-mer.
-    let read: DnaSequence = format!("{}N{}", "ACGTACG".repeat(5).get(0..31).unwrap(), "TGCATGC".repeat(5).get(0..31).unwrap())
-        .parse()
-        .unwrap();
+    let read: DnaSequence = format!(
+        "{}N{}",
+        "ACGTACG".repeat(5).get(0..31).unwrap(),
+        "TGCATGC".repeat(5).get(0..31).unwrap()
+    )
+    .parse()
+    .unwrap();
     assert_extract_twins(std::slice::from_ref(&read), 31, "N at word boundary");
     assert_eq!(swar_extract(std::slice::from_ref(&read), 31).0.len(), 2);
 }

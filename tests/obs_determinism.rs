@@ -60,9 +60,7 @@ fn device(config: SieveConfig, threads: usize, ds: &synth::SyntheticDataset) -> 
 
 /// Runs `work` once per thread count and returns each run's deterministic
 /// snapshot (recorder reset between runs).
-fn snapshot_sweep(
-    mut work: impl FnMut(usize),
-) -> Vec<obs::MetricsSnapshot> {
+fn snapshot_sweep(mut work: impl FnMut(usize)) -> Vec<obs::MetricsSnapshot> {
     THREAD_SWEEP
         .iter()
         .map(|&threads| {
@@ -143,9 +141,10 @@ fn steal_grid_snapshots_identically_across_worker_counts() {
 /// policy (adaptive cutover, forced radix, forced comparison) only
 /// reorders work, so the deterministic snapshot of a streamed
 /// classification — host counters, chunk histograms, device model
-/// metrics — must be bit-identical across kernels × sort policy × fused
-/// × cache × threads {1,2,4}. (The sort's own `wall.sort_passes_*`
-/// counters legitimately differ across policies; they are wall-prefixed
+/// metrics — must be bit-identical across kernels × sort policy × narrow
+/// × fused × cache × threads {1,2,4}. (The sort's own `wall.sort_passes_*`
+/// and `wall.sort_{narrow,wide}_segments` counters legitimately differ
+/// across policies and the narrowing knob; they are wall-prefixed
 /// exactly so `deterministic()` drops them.)
 #[test]
 fn kernel_grid_snapshots_identically() {
@@ -163,28 +162,35 @@ fn kernel_grid_snapshots_identically() {
             sieve::core::SortPolicy::Lsd,
             sieve::core::SortPolicy::Comparison,
         ] {
-            for kernels in [sieve::core::HostKernels::Scalar, sieve::core::HostKernels::Swar] {
-                for threads in [1usize, 2, 4] {
-                    obs::global().reset();
-                    let config = SieveConfig::type3(8)
-                        .with_host_kernels(kernels)
-                        .with_fused(fused)
-                        .with_hot_kmers(hot_kmers)
-                        .with_sort_policy(policy);
-                    HostPipeline::new(device(config, threads, &ds))
-                        .classify_stream(&reads, 10)
-                        .unwrap();
-                    let snap = obs::global().snapshot().deterministic();
-                    match &reference {
-                        None => reference = Some(snap),
-                        Some(base) => assert_eq!(
-                            &snap,
-                            base,
-                            "sort={} kernels={} fused={fused} hot_kmers={hot_kmers} \
-                             threads={threads}: deterministic snapshot diverged",
-                            policy.label(),
-                            kernels.label()
-                        ),
+            for narrow in [false, true] {
+                for kernels in [
+                    sieve::core::HostKernels::Scalar,
+                    sieve::core::HostKernels::Swar,
+                ] {
+                    for threads in [1usize, 2, 4] {
+                        obs::global().reset();
+                        let config = SieveConfig::type3(8)
+                            .with_host_kernels(kernels)
+                            .with_fused(fused)
+                            .with_hot_kmers(hot_kmers)
+                            .with_sort_policy(policy)
+                            .with_sort_narrow(narrow);
+                        HostPipeline::new(device(config, threads, &ds))
+                            .classify_stream(&reads, 10)
+                            .unwrap();
+                        let snap = obs::global().snapshot().deterministic();
+                        match &reference {
+                            None => reference = Some(snap),
+                            Some(base) => assert_eq!(
+                                &snap,
+                                base,
+                                "sort={} narrow={narrow} kernels={} fused={fused} \
+                                 hot_kmers={hot_kmers} threads={threads}: \
+                                 deterministic snapshot diverged",
+                                policy.label(),
+                                kernels.label()
+                            ),
+                        }
                     }
                 }
             }
@@ -280,8 +286,7 @@ fn cached_streams_engage_and_snapshot_identically() {
     });
     for (i, snap) in snaps.iter().enumerate().skip(1) {
         assert_eq!(
-            snap,
-            &snaps[0],
+            snap, &snaps[0],
             "cached stream threads={}: deterministic snapshot diverged",
             THREAD_SWEEP[i]
         );
@@ -295,12 +300,9 @@ fn cluster_runs_snapshot_identically_and_record_skew() {
     let queries: Vec<Kmer> = ds.entries.iter().step_by(29).map(|(k, _)| *k).collect();
     let config = || SieveConfig::type3(8).with_geometry(Geometry::scaled_medium());
     let snaps = snapshot_sweep(|threads| {
-        let cluster = sieve::core::SieveCluster::new(
-            config().with_threads(threads),
-            3,
-            ds.entries.clone(),
-        )
-        .unwrap();
+        let cluster =
+            sieve::core::SieveCluster::new(config().with_threads(threads), 3, ds.entries.clone())
+                .unwrap();
         cluster.run(&queries).unwrap();
     });
     for snap in &snaps[1..] {

@@ -4,7 +4,9 @@
 //! bit-identical to the sequential run's.
 
 use proptest::prelude::*;
-use sieve::core::{HostKernels, HostPipeline, PipelineOutput, SieveConfig, SieveDevice, SortPolicy};
+use sieve::core::{
+    HostKernels, HostPipeline, PipelineOutput, SieveConfig, SieveDevice, SortPolicy,
+};
 use sieve::dram::Geometry;
 use sieve::genomics::{synth, DnaSequence, Kmer};
 
@@ -70,7 +72,8 @@ fn seeded_workload_runs_identically_on_every_design() {
 fn seeded_pipeline_is_identical_across_thread_counts() {
     let ds = dataset();
     let (reads, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 50, 23);
-    let (pairs, _) = synth::simulate_paired_reads(&ds, synth::ReadSimConfig::default(), 200, 25, 29);
+    let (pairs, _) =
+        synth::simulate_paired_reads(&ds, synth::ReadSimConfig::default(), 200, 25, 29);
     let base = HostPipeline::new(device(SieveConfig::type3(8), 1, &ds));
     let base_reads = base.classify_reads(&reads).unwrap();
     let base_stream = base.classify_stream(&reads, 9).unwrap();
@@ -164,12 +167,7 @@ fn pipelined_stream_matches_serial_for_every_chunk_size() {
 fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
     let ds = dataset();
     let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 30, 31);
-    let reads: Vec<DnaSequence> = pass
-        .iter()
-        .cycle()
-        .take(pass.len() * 3)
-        .cloned()
-        .collect();
+    let reads: Vec<DnaSequence> = pass.iter().cycle().take(pass.len() * 3).cloned().collect();
     let chunk = 10;
     let reference = SieveConfig::type3(8)
         .with_fused(false)
@@ -178,7 +176,16 @@ fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
     let base = HostPipeline::new(device(reference, 1, &ds))
         .classify_stream(&reads, chunk)
         .unwrap();
-    for policy in [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison] {
+    // The narrow axis only matters where the radix pipeline can run, so
+    // the comparison policy rides with a single setting.
+    let sort_grid = [
+        (SortPolicy::Adaptive, false),
+        (SortPolicy::Adaptive, true),
+        (SortPolicy::Lsd, false),
+        (SortPolicy::Lsd, true),
+        (SortPolicy::Comparison, true),
+    ];
+    for (policy, narrow) in sort_grid {
         for kernels in [HostKernels::Scalar, HostKernels::Swar] {
             for fused in [false, true] {
                 for hot_kmers in [0usize, 1 << 18] {
@@ -189,7 +196,8 @@ fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
                                 .with_hot_kmers(hot_kmers)
                                 .with_steal(steal)
                                 .with_host_kernels(kernels)
-                                .with_sort_policy(policy);
+                                .with_sort_policy(policy)
+                                .with_sort_narrow(narrow);
                             let out = HostPipeline::new(device(config, threads, &ds))
                                 .classify_stream(&reads, chunk)
                                 .unwrap();
@@ -197,8 +205,8 @@ fn fused_and_cache_grid_is_bit_identical_across_thread_counts() {
                                 &out,
                                 &base,
                                 &format!(
-                                    "sort={} kernels={} fused={fused} hot_kmers={hot_kmers} \
-                                     steal={steal} threads={threads}",
+                                    "sort={} narrow={narrow} kernels={} fused={fused} \
+                                     hot_kmers={hot_kmers} steal={steal} threads={threads}",
                                     policy.label(),
                                     kernels.label()
                                 ),

@@ -61,17 +61,28 @@ fn device(config: SieveConfig, threads: usize, ds: &synth::SyntheticDataset) -> 
     .expect("dataset fits the scaled geometry")
 }
 
-/// The full acceptance grid: threads × sort policy × host kernels over a
-/// streamed classification. Within each policy the traffic table must be
-/// bit-identical for every (kernels, threads) cell — the kernel twins
-/// extract identical streams, and thread count must never move a byte.
+/// The full acceptance grid: threads × sort policy × narrowing × host
+/// kernels over a streamed classification. Within each (policy, narrow)
+/// point the traffic table must be bit-identical for every (kernels,
+/// threads) cell — the kernel twins extract identical streams, and
+/// thread count must never move a byte. (The narrow axis gets its own
+/// reference: narrowing legitimately changes the charged element width,
+/// and the prof_traffic differential suite pins each side to its
+/// predictor.)
 #[test]
 fn traffic_grid_is_bit_identical_across_threads_and_kernels() {
     let _session = RecorderSession::begin();
     let ds = dataset();
     let (pass, _) = synth::simulate_reads(&ds, synth::ReadSimConfig::default(), 25, 31);
     let reads: Vec<_> = pass.iter().cycle().take(pass.len() * 2).cloned().collect();
-    for policy in [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison] {
+    let sort_grid = [
+        (SortPolicy::Adaptive, false),
+        (SortPolicy::Adaptive, true),
+        (SortPolicy::Lsd, false),
+        (SortPolicy::Lsd, true),
+        (SortPolicy::Comparison, true),
+    ];
+    for (policy, narrow) in sort_grid {
         let mut reference: Option<prof::ProfSnapshot> = None;
         for kernels in [HostKernels::Scalar, HostKernels::Swar] {
             for threads in [1usize, 2, 4] {
@@ -79,7 +90,8 @@ fn traffic_grid_is_bit_identical_across_threads_and_kernels() {
                 prof::reset();
                 let config = SieveConfig::type3(8)
                     .with_host_kernels(kernels)
-                    .with_sort_policy(policy);
+                    .with_sort_policy(policy)
+                    .with_sort_narrow(narrow);
                 HostPipeline::new(device(config, threads, &ds))
                     .classify_stream(&reads, 10)
                     .unwrap();
@@ -89,7 +101,8 @@ fn traffic_grid_is_bit_identical_across_threads_and_kernels() {
                     Some(base) => assert_eq!(
                         &snap,
                         base,
-                        "sort={} kernels={} threads={threads}: traffic snapshot diverged",
+                        "sort={} narrow={narrow} kernels={} threads={threads}: \
+                         traffic snapshot diverged",
                         policy.label(),
                         kernels.label()
                     ),
@@ -137,7 +150,8 @@ fn device_batches_charge_identically_across_the_sweep() {
             match &reference {
                 None => reference = Some(snap),
                 Some(base) => assert_eq!(
-                    &snap, base,
+                    &snap,
+                    base,
                     "{} threads={threads}: traffic snapshot diverged",
                     config.device.label()
                 ),

@@ -20,6 +20,10 @@ use sieve::genomics::synth;
 /// layout ever drifted from this constant.
 const PAIR_BYTES: u64 = 12;
 
+/// `size_of::<radix::NarrowPair>()` — the repacked 8-byte layout the
+/// pipeline moves when a diff window fits 32 bits and narrowing is on.
+const NARROW_BYTES: u64 = 8;
+
 /// Pairs per write-combining staging line (radix's `STAGE`): each
 /// bucket's trailing `count % STAGE` pairs drain through `sort.flush`.
 const STAGE: u64 = 8;
@@ -53,11 +57,16 @@ impl Drop for RecorderSession<'_> {
 
 /// Runs the production sort over `keys` and returns the prof snapshot
 /// it recorded.
-fn sort_traffic(keys: &[u64], policy: SortPolicy, threads: usize) -> prof::ProfSnapshot {
+fn sort_traffic(
+    keys: &[u64],
+    policy: SortPolicy,
+    threads: usize,
+    narrow: bool,
+) -> prof::ProfSnapshot {
     let mut harness = sort_bench::SortHarness::new(keys);
     obs::global().reset();
     prof::reset();
-    harness.run(policy, threads);
+    harness.run(policy, threads, narrow);
     prof::snapshot()
 }
 
@@ -77,35 +86,63 @@ fn splitmix(seed: u64, n: usize) -> Vec<u64> {
 
 /// An 8-bit key span over a batch whose bucket counts are all multiples
 /// of the staging line: one global pass, no flush, no local passes —
-/// every charge is a closed form in `n` alone.
+/// every charge is a closed form in `n` alone, at the record width the
+/// `narrow` knob selects (the 8-bit span always fits 32 bits, so the
+/// narrowed run repacks the whole array up front).
 #[test]
 fn single_pass_uniform_batch_matches_the_closed_form() {
     let _session = RecorderSession::begin();
     // 256 buckets × 160 pairs each; 160 ≡ 0 (mod STAGE) → zero drains.
     let n: u64 = 256 * 160;
     let keys: Vec<u64> = (0..n).map(|i| i % 256).collect();
-    let snap = sort_traffic(&keys, SortPolicy::Lsd, 1);
-    let full = n * PAIR_BYTES;
-    assert_eq!(
-        snap.traffic(prof::Phase::SortHist),
-        prof::Traffic {
-            bytes_read: full,
-            bytes_written: 0,
-            items: n
-        }
-    );
-    assert_eq!(
-        snap.traffic(prof::Phase::SortScatter),
-        prof::Traffic {
-            bytes_read: full,
-            bytes_written: full,
-            items: n
-        }
-    );
-    assert_eq!(snap.traffic(prof::Phase::SortFlush), prof::Traffic::default());
-    // A single planned pass finishes in the global scatter: no local
-    // phase at all.
-    assert_eq!(snap.traffic(prof::Phase::SortLocal), prof::Traffic::default());
+    for (narrow, elem) in [(false, PAIR_BYTES), (true, NARROW_BYTES)] {
+        let snap = sort_traffic(&keys, SortPolicy::Lsd, 1, narrow);
+        let full = n * elem;
+        assert_eq!(
+            snap.traffic(prof::Phase::SortHist),
+            prof::Traffic {
+                bytes_read: full,
+                bytes_written: 0,
+                items: n
+            },
+            "narrow={narrow}"
+        );
+        assert_eq!(
+            snap.traffic(prof::Phase::SortScatter),
+            prof::Traffic {
+                bytes_read: full,
+                bytes_written: full,
+                items: n
+            },
+            "narrow={narrow}"
+        );
+        assert_eq!(
+            snap.traffic(prof::Phase::SortFlush),
+            prof::Traffic::default()
+        );
+        // A single planned pass finishes in the global scatter: no local
+        // phase at all.
+        assert_eq!(
+            snap.traffic(prof::Phase::SortLocal),
+            prof::Traffic::default()
+        );
+        // The global repack + widen scans are the narrowed run's only
+        // extra charge: 12 → 8 B down, 8 → 12 B back up, once per pair.
+        let expect_narrow = if narrow {
+            prof::Traffic {
+                bytes_read: n * (PAIR_BYTES + NARROW_BYTES),
+                bytes_written: n * (NARROW_BYTES + PAIR_BYTES),
+                items: 2 * n,
+            }
+        } else {
+            prof::Traffic::default()
+        };
+        assert_eq!(
+            snap.traffic(prof::Phase::SortNarrow),
+            expect_narrow,
+            "narrow={narrow}"
+        );
+    }
 }
 
 /// Appending five more pairs to one bucket makes its count 165 ≡ 5
@@ -120,27 +157,29 @@ fn partial_stage_drains_are_charged_to_flush() {
     let n = keys.len() as u64;
     let drains = 165 % STAGE; // bucket 0 holds 165 pairs now
     assert_eq!(drains, 5);
-    for threads in [1usize, 4] {
-        let snap = sort_traffic(&keys, SortPolicy::Lsd, threads);
-        assert_eq!(
-            snap.traffic(prof::Phase::SortFlush),
-            prof::Traffic {
-                bytes_read: 0,
-                bytes_written: drains * PAIR_BYTES,
-                items: drains
-            },
-            "threads={threads}"
-        );
-        assert_eq!(
-            snap.traffic(prof::Phase::SortScatter),
-            prof::Traffic {
-                bytes_read: n * PAIR_BYTES,
-                bytes_written: (n - drains) * PAIR_BYTES,
-                items: n
-            },
-            "threads={threads}"
-        );
-        assert_eq!(snap.traffic(prof::Phase::SortHist).bytes_read, n * PAIR_BYTES);
+    for (narrow, elem) in [(false, PAIR_BYTES), (true, NARROW_BYTES)] {
+        for threads in [1usize, 4] {
+            let snap = sort_traffic(&keys, SortPolicy::Lsd, threads, narrow);
+            assert_eq!(
+                snap.traffic(prof::Phase::SortFlush),
+                prof::Traffic {
+                    bytes_read: 0,
+                    bytes_written: drains * elem,
+                    items: drains
+                },
+                "narrow={narrow} threads={threads}"
+            );
+            assert_eq!(
+                snap.traffic(prof::Phase::SortScatter),
+                prof::Traffic {
+                    bytes_read: n * elem,
+                    bytes_written: (n - drains) * elem,
+                    items: n
+                },
+                "narrow={narrow} threads={threads}"
+            );
+            assert_eq!(snap.traffic(prof::Phase::SortHist).bytes_read, n * elem);
+        }
     }
 }
 
@@ -153,13 +192,19 @@ fn comparison_and_degenerate_batches_charge_nothing() {
     let zero = prof::ProfSnapshot {
         phases: prof::Phase::ALL.map(|p| (p, prof::Traffic::default())),
     };
-    // All keys equal: the stable order is the input order, no passes.
-    assert_eq!(sort_traffic(&[42u64; 100], SortPolicy::Lsd, 1), zero);
-    // Single pair: nothing to sort.
-    assert_eq!(sort_traffic(&[7u64], SortPolicy::Lsd, 1), zero);
-    // Forced comparison sort on a radix-friendly batch.
-    let keys = splitmix(1, 50_000);
-    assert_eq!(sort_traffic(&keys, SortPolicy::Comparison, 1), zero);
+    for narrow in [false, true] {
+        // All keys equal: the stable order is the input order, no
+        // passes (and nothing for the narrowing path to repack).
+        assert_eq!(
+            sort_traffic(&[42u64; 100], SortPolicy::Lsd, 1, narrow),
+            zero
+        );
+        // Single pair: nothing to sort.
+        assert_eq!(sort_traffic(&[7u64], SortPolicy::Lsd, 1, narrow), zero);
+        // Forced comparison sort on a radix-friendly batch.
+        let keys = splitmix(1, 50_000);
+        assert_eq!(sort_traffic(&keys, SortPolicy::Comparison, 1, narrow), zero);
+    }
 }
 
 /// The differential gate: for arbitrary key distributions — full-width
@@ -180,35 +225,76 @@ fn recorded_traffic_matches_the_differential_predictor() {
         .collect();
     for (label, keys) in [("wide", &wide), ("narrow", &narrow), ("skewed", &skewed)] {
         for policy in [SortPolicy::Adaptive, SortPolicy::Lsd] {
-            let predicted = sort_bench::predict_traffic(keys, policy);
-            for threads in [1usize, 2, 4] {
-                let recorded = sort_traffic(keys, policy, threads);
-                for &(phase, expected) in &predicted {
-                    assert_eq!(
-                        recorded.traffic(phase),
-                        expected,
-                        "{label} {policy:?} threads={threads}: {} diverged from the predictor",
-                        phase.name()
-                    );
+            for knob in [false, true] {
+                let predicted = sort_bench::predict_traffic(keys, policy, knob);
+                for threads in [1usize, 2, 4] {
+                    let recorded = sort_traffic(keys, policy, threads, knob);
+                    for &(phase, expected) in &predicted {
+                        assert_eq!(
+                            recorded.traffic(phase),
+                            expected,
+                            "{label} {policy:?} narrow={knob} threads={threads}: \
+                             {} diverged from the predictor",
+                            phase.name()
+                        );
+                    }
                 }
             }
         }
         // Structural invariants of the global pass, on the predictor the
-        // recorded side just matched: every pair is written exactly once
-        // between scatter and flush, and flush bytes are whole pairs.
-        let p = sort_bench::predict_traffic(keys, SortPolicy::Lsd);
-        let (hist, scatter, flush) = (p[0].1, p[1].1, p[2].1);
-        assert_eq!(scatter.bytes_written + flush.bytes_written, hist.bytes_read);
-        assert_eq!(flush.bytes_written, flush.items * PAIR_BYTES);
-        assert_eq!(hist.bytes_read, keys.len() as u64 * PAIR_BYTES);
+        // recorded side just matched, at both knob settings: every pair
+        // is written exactly once between scatter and flush, and flush
+        // bytes are whole records of whichever width the planner chose
+        // (12 B, or 8 B when the batch narrowed globally).
+        for knob in [false, true] {
+            let p = sort_bench::predict_traffic(keys, SortPolicy::Lsd, knob);
+            let (hist, scatter, flush, narrowed) = (p[0].1, p[1].1, p[2].1, p[4].1);
+            let n = keys.len() as u64;
+            let elem = hist.bytes_read / n;
+            assert!(
+                elem == PAIR_BYTES || (knob && elem == NARROW_BYTES),
+                "{label}: global pass moves whole records"
+            );
+            assert_eq!(scatter.bytes_written + flush.bytes_written, hist.bytes_read);
+            assert_eq!(flush.bytes_written, flush.items * elem);
+            // The repack + widen scans exist iff the batch narrowed
+            // globally, and then charge exactly one down- and one
+            // up-conversion per pair.
+            if elem == NARROW_BYTES {
+                assert_eq!(narrowed.items, 2 * n, "{label}");
+                assert_eq!(narrowed.bytes_read, n * (PAIR_BYTES + NARROW_BYTES));
+                assert_eq!(narrowed.bytes_written, n * (NARROW_BYTES + PAIR_BYTES));
+            } else {
+                assert_eq!(narrowed, prof::Traffic::default(), "{label}");
+            }
+        }
     }
     // Non-vacuity: the wide batch must have engaged multi-pass local
-    // sorting, and at least one batch must have partial-line drains.
-    let wide_local = sort_bench::predict_traffic(&wide, SortPolicy::Lsd)[3].1;
-    assert!(wide_local.bytes_read > 0, "wide batch never ran local passes");
-    let flush_any = [&wide, &narrow, &skewed]
-        .iter()
-        .any(|k| sort_bench::predict_traffic(k, SortPolicy::Lsd)[2].1.items > 0);
+    // sorting, its narrowed run must actually shrink the local charge
+    // (tie-ranked segment repacks — the committed workload's shape), the
+    // narrow batch must narrow globally, and at least one batch must
+    // have partial-line drains.
+    let wide_local = sort_bench::predict_traffic(&wide, SortPolicy::Lsd, false)[3].1;
+    assert!(
+        wide_local.bytes_read > 0,
+        "wide batch never ran local passes"
+    );
+    let wide_local_narrowed = sort_bench::predict_traffic(&wide, SortPolicy::Lsd, true)[3].1;
+    assert!(
+        wide_local_narrowed.bytes_read < wide_local.bytes_read,
+        "narrowing never engaged on the wide batch's local segments"
+    );
+    let narrow_global = sort_bench::predict_traffic(&narrow, SortPolicy::Lsd, true)[4].1;
+    assert!(
+        narrow_global.items > 0,
+        "narrow batch never narrowed globally"
+    );
+    let flush_any = [&wide, &narrow, &skewed].iter().any(|k| {
+        sort_bench::predict_traffic(k, SortPolicy::Lsd, false)[2]
+            .1
+            .items
+            > 0
+    });
     assert!(flush_any, "no batch exercised the flush charge");
 }
 

@@ -25,14 +25,11 @@ fn workload() -> (synth::SyntheticDataset, Vec<Kmer>) {
 
 fn run(config: SieveConfig) -> SimReport {
     let (ds, queries) = workload();
-    SieveDevice::new(
-        config.with_geometry(Geometry::scaled_medium()),
-        ds.entries,
-    )
-    .expect("dataset fits the scaled geometry")
-    .run(&queries)
-    .expect("valid workload")
-    .report
+    SieveDevice::new(config.with_geometry(Geometry::scaled_medium()), ds.entries)
+        .expect("dataset fits the scaled geometry")
+        .run(&queries)
+        .expect("valid workload")
+        .report
 }
 
 /// One-line canonical rendering of every report field.
@@ -117,7 +114,10 @@ fn golden_reports_are_internally_consistent() {
     assert_eq!(t1.queries, t3.queries);
     assert_eq!(t1.hits, t3.hits);
     assert!(t1.makespan_ps > t3.makespan_ps, "T1 is the slowest design");
-    assert!(t3.row_activations < t3_free.row_activations, "ETM prunes rows");
+    assert!(
+        t3.row_activations < t3_free.row_activations,
+        "ETM prunes rows"
+    );
     assert_eq!(t3.rows_without_etm, t3_free.rows_without_etm);
     assert_eq!(
         t3_free.row_activations,

@@ -135,10 +135,11 @@ fn stream_model_trace_is_byte_identical_across_thread_counts() {
 }
 
 /// The fused plan/match pipeline, the hot-k-mer cache, and the planner's
-/// sort policy must not leak into the model-time event stream: for every
-/// grid point the stream is byte-identical across thread counts, and
-/// every (fused, cache, policy) point renders the same bytes (the sort
-/// emits only `wall.*` spans, never model events). Since `threads == 1`
+/// sort policy and narrowing knob must not leak into the model-time event
+/// stream: for every grid point the stream is byte-identical across
+/// thread counts, and every (fused, cache, policy, narrow) point renders
+/// the same bytes (the sort — its `sort.narrow` repack included — emits
+/// only `wall.*` spans, never model events). Since `threads == 1`
 /// always runs the unfused path, the sweep also proves fused and unfused
 /// runs emit the same model events in the same order. The stream repeats
 /// its reads three times so the cache genuinely engages; engagement is
@@ -154,14 +155,22 @@ fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
     // instants), so the cross-point reference is per-cache-setting; the
     // fused and sort-policy axes must leave those bytes untouched.
     let mut reference: [Option<String>; 2] = [None, None];
-    for policy in [SortPolicy::Adaptive, SortPolicy::Lsd, SortPolicy::Comparison] {
+    let sort_grid = [
+        (SortPolicy::Adaptive, false),
+        (SortPolicy::Adaptive, true),
+        (SortPolicy::Lsd, false),
+        (SortPolicy::Lsd, true),
+        (SortPolicy::Comparison, true),
+    ];
+    for (policy, narrow) in sort_grid {
         for fused in [false, true] {
             for (cache_axis, hot_kmers) in [(0usize, 0usize), (1, 1 << 18)] {
                 let runs = model_sweep(|threads| {
                     let config = SieveConfig::type3(8)
                         .with_fused(fused)
                         .with_hot_kmers(hot_kmers)
-                        .with_sort_policy(policy);
+                        .with_sort_policy(policy)
+                        .with_sort_narrow(narrow);
                     HostPipeline::new(device(config, threads, &ds))
                         .classify_stream(&reads, 10)
                         .unwrap();
@@ -170,9 +179,10 @@ fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
                 assert!(!base_lines.is_empty());
                 for (i, (lines, _)) in runs.iter().enumerate().skip(1) {
                     assert_eq!(
-                        lines, base_lines,
-                        "sort={} fused={fused} hot_kmers={hot_kmers} threads={}: \
-                         model stream diverged",
+                        lines,
+                        base_lines,
+                        "sort={} narrow={narrow} fused={fused} hot_kmers={hot_kmers} \
+                         threads={}: model stream diverged",
                         policy.label(),
                         THREAD_SWEEP[i]
                     );
@@ -182,8 +192,8 @@ fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
                     Some(base) => assert_eq!(
                         base_lines,
                         base,
-                        "sort={} fused={fused} hot_kmers={hot_kmers}: model stream \
-                         diverged from the grid reference",
+                        "sort={} narrow={narrow} fused={fused} hot_kmers={hot_kmers}: \
+                         model stream diverged from the grid reference",
                         policy.label()
                     ),
                 }
@@ -193,7 +203,10 @@ fn fused_and_cached_streams_keep_the_model_trace_byte_identical() {
                     .filter(|e| e.name == "cache.probe")
                     .count();
                 if hot_kmers > 0 {
-                    assert!(probes > 0, "fused={fused}: repeated chunks never probed the cache");
+                    assert!(
+                        probes > 0,
+                        "fused={fused}: repeated chunks never probed the cache"
+                    );
                 } else {
                     assert_eq!(probes, 0, "fused={fused}: disabled cache must not probe");
                 }
@@ -302,7 +315,10 @@ fn cluster_model_trace_is_byte_identical_and_devices_share_a_start() {
         .filter(|e| e.name == "cluster.device")
         .collect();
     assert_eq!(devs.len(), 3);
-    assert!(devs.iter().all(|e| e.ts == devs[0].ts), "devices must share t0");
+    assert!(
+        devs.iter().all(|e| e.ts == devs[0].ts),
+        "devices must share t0"
+    );
     // And the final model clock is t0 + the slowest device.
     let makespan = devs.iter().map(|e| e.dur).max().unwrap();
     assert_eq!(trace::global().model_ps(), devs[0].ts + makespan);
@@ -425,7 +441,12 @@ fn folded_export_round_trips_the_snapshot() {
     assert_eq!(model_total, model_mass);
     assert!(model_mass > 0);
     let mut root_mass = 0u64;
-    for track in snap.wall.iter().map(|e| e.track).collect::<std::collections::BTreeSet<_>>() {
+    for track in snap
+        .wall
+        .iter()
+        .map(|e| e.track)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let mut open_until = 0u64;
         for e in snap.wall.iter().filter(|e| e.track == track) {
             if e.ts >= open_until {
@@ -588,9 +609,10 @@ mod json {
 
     fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         let start = *pos;
-        while b.get(*pos).is_some_and(|c| {
-            c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
+        while b
+            .get(*pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
             *pos += 1;
         }
         std::str::from_utf8(&b[start..*pos])

@@ -139,13 +139,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(
-            &self.name,
-            &id.id,
-            self.throughput,
-            self.sample_size,
-            |b| f(b, input),
-        );
+        run_benchmark(&self.name, &id.id, self.throughput, self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 

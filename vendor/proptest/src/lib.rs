@@ -225,7 +225,9 @@ fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
         // Printable, newline-free characters (ASCII subset of \PC).
         ((0x20u8..0x7f).map(char::from).collect(), rest)
     } else if let Some(body) = pattern.strip_prefix('[') {
-        let Some(end) = body.find(']') else { unsupported() };
+        let Some(end) = body.find(']') else {
+            unsupported()
+        };
         let mut alphabet = Vec::new();
         let class: Vec<char> = body[..end].chars().collect();
         let mut i = 0;
@@ -250,13 +252,18 @@ fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
         let Some(spec) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
             unsupported()
         };
-        let Some((lo, hi)) = spec.split_once(',') else { unsupported() };
+        let Some((lo, hi)) = spec.split_once(',') else {
+            unsupported()
+        };
         match (lo.trim().parse(), hi.trim().parse()) {
             (Ok(lo), Ok(hi)) => (lo, hi),
             _ => unsupported(),
         }
     };
-    assert!(!alphabet.is_empty() && min <= max, "degenerate pattern {pattern:?}");
+    assert!(
+        !alphabet.is_empty() && min <= max,
+        "degenerate pattern {pattern:?}"
+    );
     (alphabet, min, max)
 }
 
